@@ -1,0 +1,50 @@
+// Ablation A3 — bandwidth sweep between the paper's operating points.
+//
+// Table IV jumps from 60 Kbps (cross-continent) to 40-56 Mbps; this bench
+// fills the gap on the inter-department machine/disk, locating where greedy
+// transitions from "survives with low free space" to "overflows and
+// stalls", and confirming the optimizer completes across the whole range.
+#include <cstdio>
+
+#include "experiment_common.hpp"
+#include "util/logging.hpp"
+
+using namespace adaptviz;
+using namespace adaptviz::bench;
+
+int main() {
+  std::printf("=== Ablation: WAN bandwidth sweep (inter-department machine) "
+              "===\n");
+  std::printf("%-12s %-18s %-10s %-10s %-10s %-9s\n", "bandwidth",
+              "algorithm", "completed", "min-free", "stall(h)", "frames");
+
+  CsvTable csv({"bandwidth_mbps", "algorithm", "completed", "min_free_pct",
+                "stall_hours", "frames_visualized"});
+  set_log_level(LogLevel::kError);
+  for (double mbps : {0.06, 0.6, 2.0, 8.0, 24.0, 56.0, 200.0}) {
+    for (AlgorithmKind alg : {AlgorithmKind::kGreedyThreshold,
+                              AlgorithmKind::kOptimization}) {
+      SiteSpec site = inter_department_site();
+      site.wan_nominal = Bandwidth::mbps(mbps);
+      ExperimentConfig cfg = standard_config("bw-sweep", site, alg);
+      const ExperimentResult r = run_experiment(cfg);
+      std::printf("%-12s %-18s %-10s %-9.1f%% %-10.1f %-9lld\n",
+                  to_string(Bandwidth::mbps(mbps)).c_str(), to_string(alg),
+                  r.summary.completed ? "yes" : "NO",
+                  r.summary.min_free_disk_percent,
+                  r.summary.total_stall_time.as_hours(),
+                  static_cast<long long>(r.summary.frames_visualized));
+      csv.add_row({mbps, std::string(to_string(alg)),
+                   static_cast<long>(r.summary.completed),
+                   r.summary.min_free_disk_percent,
+                   r.summary.total_stall_time.as_hours(),
+                   static_cast<long>(r.summary.frames_visualized)});
+    }
+  }
+  save_csv(csv, "ablation_bandwidth");
+  std::printf(
+      "\nShape check: the optimizer completes at every bandwidth; greedy's\n"
+      "free disk collapses as the link slows, reproducing the paper's\n"
+      "cross-continent overflow at the thin end of the sweep.\n");
+  return 0;
+}

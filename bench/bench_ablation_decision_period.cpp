@@ -1,0 +1,44 @@
+// Ablation A2 — decision-invocation period.
+//
+// The paper invokes the application manager "periodically every 1.5 hours"
+// without justifying the constant. This bench sweeps the period on the
+// inter-department configuration for both algorithms: too-rare decisions
+// let the disk swing wide between corrections (greedy especially); very
+// frequent decisions add restart overhead for little benefit.
+#include <cstdio>
+
+#include "experiment_common.hpp"
+#include "util/logging.hpp"
+
+using namespace adaptviz;
+using namespace adaptviz::bench;
+
+int main() {
+  std::printf("=== Ablation: decision period (inter-department) ===\n");
+  std::printf("%-10s %-18s %-10s %-10s %-9s %-9s\n", "period", "algorithm",
+              "wall(h)", "min-free", "restarts", "frames");
+
+  CsvTable csv({"period_hours", "algorithm", "wall_hours", "min_free_pct",
+                "restarts", "frames_visualized"});
+  set_log_level(LogLevel::kError);
+  for (double period_h : {0.5, 1.5, 3.0, 6.0}) {
+    for (AlgorithmKind alg : {AlgorithmKind::kGreedyThreshold,
+                              AlgorithmKind::kOptimization}) {
+      ExperimentConfig cfg = standard_config(
+          "inter-department", inter_department_site(), alg);
+      cfg.decision_period = WallSeconds::hours(period_h);
+      const ExperimentResult r = run_experiment(cfg);
+      std::printf("%-10.1f %-18s %-10.1f %-9.1f%% %-9d %-9lld\n", period_h,
+                  to_string(alg), r.summary.sim_finished_wall.as_hours(),
+                  r.summary.min_free_disk_percent, r.summary.restarts,
+                  static_cast<long long>(r.summary.frames_visualized));
+      csv.add_row({period_h, std::string(to_string(alg)),
+                   r.summary.sim_finished_wall.as_hours(),
+                   r.summary.min_free_disk_percent,
+                   static_cast<long>(r.summary.restarts),
+                   static_cast<long>(r.summary.frames_visualized)});
+    }
+  }
+  save_csv(csv, "ablation_decision_period");
+  return 0;
+}

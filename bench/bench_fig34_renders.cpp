@@ -1,0 +1,87 @@
+// Figures 3 and 4 — the paper's visualization imagery.
+//
+//   Fig 3: "Windspeed visualization in finer resolution nest inside parent
+//          domain"
+//   Fig 4: "Visualization of Perturbation Pressure at 18:00 hours on 23rd,
+//          24th and 25th May, 2009"
+//
+// Runs the Aila simulation standalone (walking the Table III ladder) and
+// renders exactly those panels to bench_out/: three perturbation-pressure
+// frames at the paper's timestamps with the storm track overlaid, plus a
+// wind-speed frame showing the 1:3 nest box around the eye.
+#include <cstdio>
+
+#include "experiment_common.hpp"
+#include "vis/renderer.hpp"
+#include "weather/model.hpp"
+
+using namespace adaptviz;
+using namespace adaptviz::bench;
+
+int main() {
+  std::printf("=== Figures 3 & 4: rendered imagery ===\n");
+  ModelConfig cfg;
+  cfg.compute_scale = 6.0;  // finer compute grid for imagery
+  WeatherModel model(cfg);
+  const CalendarEpoch epoch = CalendarEpoch::aila_start();
+
+  RenderOptions pressure;
+  pressure.width = 720;
+  pressure.field = RenderField::kPressure;
+  RenderOptions wind;
+  wind.width = 720;
+  wind.field = RenderField::kWindSpeed;
+  wind.draw_contours = false;
+  wind.draw_streamlines = true;  // the "vector plot" companion view
+  const FrameRenderer pressure_view(pressure);
+  const FrameRenderer wind_view(wind);
+
+  // The paper's Fig 4 timestamps.
+  const SimSeconds targets[] = {epoch.at(23, 18), epoch.at(24, 18),
+                                epoch.at(25, 6)};
+  // (The run ends 25-May 06:00; the paper's third panel, 25-May 18:00, lies
+  // beyond the simulated window shown in its own Fig 5, so the final frame
+  // stands in.)
+  const char* names[] = {"fig4_pressure_23may1800", "fig4_pressure_24may1800",
+                         "fig4_pressure_25may0600"};
+  std::size_t next = 0;
+  bool wind_done = false;
+
+  while (model.sim_time() < SimSeconds::hours(60.0)) {
+    model.step();
+    if (model.resolution_change_pending()) {
+      model.set_modeled_resolution(model.recommended_resolution_km());
+    }
+    // Fig 3: first wind view once the nest exists and the storm organized.
+    if (!wind_done && model.nest_active() &&
+        model.min_pressure_hpa() < 990.0) {
+      const std::string path = output_dir() + "/fig3_windspeed_nest.ppm";
+      wind_view.render(model.make_frame(), &model.tracker().track())
+          .save_ppm(path);
+      std::printf("  fig 3  %s  (p=%.1f hPa, nest %.1f km)  -> %s\n",
+                  sim_label(model.sim_time()).c_str(),
+                  model.min_pressure_hpa(),
+                  model.modeled_resolution_km() / kNestRatio, path.c_str());
+      wind_done = true;
+    }
+    if (next < 3 && model.sim_time() >= targets[next]) {
+      const std::string path =
+          output_dir() + "/" + names[next] + ".ppm";
+      pressure_view.render(model.make_frame(), &model.tracker().track())
+          .save_ppm(path);
+      std::printf("  fig 4  %s  (p=%.1f hPa, eye %.1fN %.1fE)  -> %s\n",
+                  sim_label(model.sim_time()).c_str(),
+                  model.min_pressure_hpa(), model.eye().lat, model.eye().lon,
+                  path.c_str());
+      ++next;
+    }
+  }
+
+  std::printf(
+      "\nShape check: the depression forms in the central Bay of Bengal\n"
+      "(~14N) and traverses north toward Darjeeling (~27N), deepening as it\n"
+      "goes — the track the paper's Fig 4 shows. Figures 1 and 2 are\n"
+      "architecture diagrams; they are realized by the framework itself\n"
+      "(see DESIGN.md / src/core/framework.hpp).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 7 (a, b, c) — "Progress at the visualization end".
+//
+// Each point in the paper's figure is (wall-clock time a frame was
+// visualized, simulated time that frame represents). Shape criteria: the
+// optimization method's visualization progress is faster and steadier (the
+// scientist sees a consistent quality-of-service); greedy lags because it
+// "tries to send every time step ... in the initial stages", and over slow
+// links visualizes only a few hours of simulation even after a day of wall
+// time.
+#include <algorithm>
+#include <cstdio>
+
+#include "experiment_common.hpp"
+
+using namespace adaptviz;
+using namespace adaptviz::bench;
+
+namespace {
+
+void print_series(const std::string& site, const SitePair& pair) {
+  std::printf("\n--- Fig 7: %s ---\n", site.c_str());
+
+  CsvTable csv({"algorithm", "wall_hours", "frame_sim_hours", "sequence"});
+  auto emit = [&csv](const char* alg, const ExperimentResult& r) {
+    for (const auto& v : r.vis_records) {
+      csv.add_row({std::string(alg), v.wall_time.as_hours(),
+                   v.sim_time.as_hours(), static_cast<long>(v.sequence)});
+    }
+  };
+  emit("greedy", pair.greedy);
+  emit("optimization", pair.optimization);
+
+  // Print a sampled view: newest visualized sim-time at 3-hour wall marks.
+  std::printf("%-8s %-18s %-18s\n", "wall", "greedy (sim time)",
+              "optimization (sim time)");
+  auto newest_at = [](const ExperimentResult& r, double wall_h) {
+    SimSeconds newest(0.0);
+    for (const auto& v : r.vis_records) {
+      if (v.wall_time.as_hours() <= wall_h + 1e-9) newest = v.sim_time;
+    }
+    return newest;
+  };
+  const double end_h =
+      std::max(pair.greedy.summary.wall_elapsed.as_hours(),
+               pair.optimization.summary.wall_elapsed.as_hours());
+  for (double h = 0.0; h <= end_h + 1e-9; h += 3.0) {
+    std::printf("%-8s %-18s %-18s\n", hh_mm(WallSeconds::hours(h)).c_str(),
+                sim_label(newest_at(pair.greedy, h)).c_str(),
+                sim_label(newest_at(pair.optimization, h)).c_str());
+  }
+  save_csv(csv, "fig7_" + site);
+
+  std::printf("  frames visualized: greedy %lld, optimization %lld\n",
+              static_cast<long long>(pair.greedy.summary.frames_visualized),
+              static_cast<long long>(
+                  pair.optimization.summary.frames_visualized));
+  std::printf("  newest sim time visualized: greedy %s, optimization %s\n",
+              sim_label(newest_at(pair.greedy, end_h)).c_str(),
+              sim_label(newest_at(pair.optimization, end_h)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 7: visualization progress, greedy vs optimization "
+              "===\n");
+  for (const auto& [name, site] : table4_sites()) {
+    print_series(name, run_site(name, site));
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Microbenchmarks (google-benchmark): the per-operation costs behind the
+// framework — LP solve, shallow-water step at several compute resolutions,
+// nest substep cycle, frame encode/decode, render, and decision latency.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/greedy_threshold.hpp"
+#include "core/lp_optimizer.hpp"
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+#include "perf/perf_model.hpp"
+#include "vis/renderer.hpp"
+#include "weather/model.hpp"
+
+namespace {
+
+using namespace adaptviz;
+
+void BM_LpSolve(benchmark::State& state) {
+  lp::Problem p;
+  const int t = p.add_variable("t", 30.0, 300.0, 1.0);
+  const int z = p.add_variable("z", 0.04, 0.33, -1e-4);
+  const int y = p.add_variable("y", 0.0, lp::kInfinity, 0.0);
+  p.add_constraint("y_le_z", {{y, 1.0}, {z, -1.0}}, lp::Relation::kLessEqual,
+                   0.0);
+  p.add_constraint("eq5", {{t, 1.0}, {z, 6.0}, {y, -880.0}},
+                   lp::Relation::kLessEqual, 0.0);
+  p.add_constraint("eq6", {{t, 1.0}, {z, -424.0}},
+                   lp::Relation::kGreaterEqual, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve(p));
+  }
+}
+BENCHMARK(BM_LpSolve);
+
+void BM_SwStep(benchmark::State& state) {
+  const double res = static_cast<double>(state.range(0));
+  GridSpec g(60.0, -10.0, 60.0, 50.0, res);
+  DomainState s(g);
+  SwSolver solver;
+  const double dt = SwSolver::dt_for_resolution_km(res);
+  for (auto _ : state) {
+    solver.step(s, dt, SwForcing{});
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.point_count()));
+  state.counters["points"] = static_cast<double>(g.point_count());
+}
+BENCHMARK(BM_SwStep)->Arg(300)->Arg(192)->Arg(96);
+
+void BM_ModelFullStep(benchmark::State& state) {
+  ModelConfig cfg;
+  cfg.compute_scale = static_cast<double>(state.range(0));
+  WeatherModel model(cfg);
+  // Deepen until the nest exists so the step includes nest substeps.
+  while (!model.nest_active() && model.sim_time() < SimSeconds::hours(30)) {
+    model.step();
+  }
+  for (auto _ : state) {
+    model.step();
+  }
+}
+BENCHMARK(BM_ModelFullStep)->Arg(12)->Arg(8);
+
+void BM_FrameEncodeDecode(benchmark::State& state) {
+  ModelConfig cfg;
+  cfg.compute_scale = 8.0;
+  WeatherModel model(cfg);
+  const NclFile frame = model.make_frame();
+  for (auto _ : state) {
+    std::stringstream ss;
+    frame.encode(ss);
+    benchmark::DoNotOptimize(NclFile::decode(ss));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(frame.encoded_size()));
+}
+BENCHMARK(BM_FrameEncodeDecode);
+
+void BM_RenderFrame(benchmark::State& state) {
+  ModelConfig cfg;
+  cfg.compute_scale = 8.0;
+  WeatherModel model(cfg);
+  while (model.sim_time() < SimSeconds::hours(16)) model.step();
+  const NclFile frame = model.make_frame();
+  RenderOptions opts;
+  opts.width = static_cast<std::size_t>(state.range(0));
+  const FrameRenderer renderer(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(renderer.render(frame, nullptr));
+  }
+}
+BENCHMARK(BM_RenderFrame)->Arg(240)->Arg(480);
+
+std::shared_ptr<PerformanceModel> micro_perf() {
+  GroundTruthMachine machine(inter_department_site().machine, 1);
+  BenchmarkProfiler profiler;
+  return std::make_shared<PerformanceModel>(profiler.profile(machine, 1.0),
+                                            48);
+}
+
+DecisionInput micro_input(const PerformanceModel& perf) {
+  DecisionInput in;
+  in.free_disk_percent = 45.0;
+  in.disk_capacity = Bytes::gigabytes(182);
+  in.free_disk_bytes = in.disk_capacity * 0.45;
+  in.observed_bandwidth = Bandwidth::megabytes_per_second(2.0);
+  in.io_bandwidth = Bandwidth::megabytes_per_second(150.0);
+  in.work_units = 0.6;
+  in.frame_bytes = Bytes::megabytes(900);
+  in.integration_step = SimSeconds(60.0);
+  in.remaining_sim_time = SimSeconds::hours(30.0);
+  in.current_processors = 48;
+  in.current_output_interval = SimSeconds::minutes(3.0);
+  in.perf = &perf;
+  in.min_processors = 4;
+  in.max_processors = 48;
+  return in;
+}
+
+void BM_GreedyDecision(benchmark::State& state) {
+  auto perf = micro_perf();
+  GreedyThresholdAlgorithm algo;
+  const DecisionInput in = micro_input(*perf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo.decide(in));
+  }
+}
+BENCHMARK(BM_GreedyDecision);
+
+void BM_OptimizerDecision(benchmark::State& state) {
+  auto perf = micro_perf();
+  LpOptimizerAlgorithm algo;
+  const DecisionInput in = micro_input(*perf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo.decide(in));
+  }
+}
+BENCHMARK(BM_OptimizerDecision);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Table I — "Illustration of Disk Space Limitation".
+//
+// Reproduces the paper's estimate of when stable storage becomes full for a
+// projected petascale run: 4486x4486 points at 10 km (~31 GB/frame), 1.2 s
+// per step on 16,384 cores, ~5 GBps parallel I/O, for disks of 5..500 TB
+// and networks of 1 and 10 Gbps. Paper values are printed alongside for
+// shape comparison (same analytic model, the paper rounds).
+#include <cstdio>
+
+#include "core/storage_estimate.hpp"
+#include "experiment_common.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+using namespace adaptviz;
+
+namespace {
+
+std::string pretty(std::optional<WallSeconds> t) {
+  if (!t) return "never";
+  const double h = t->as_hours();
+  if (h < 1.5) {
+    return format("%.0f minutes", t->seconds() / 60.0);
+  }
+  return format("%.1f hours", h);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table I: time until storage becomes full ===\n");
+  std::printf(
+      "grid 4486x4486 @10 km, 31 GB/frame, 1.2 s/step on 16,384 cores, "
+      "5 GBps I/O\n\n");
+  std::printf("%-12s %-12s %-16s %-16s\n", "Disk", "Network", "This repo",
+              "Paper");
+
+  struct Row {
+    double disk_tb;
+    double gbps;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {5, 1, "25 minutes"},    {5, 10, "36 minutes"},
+      {100, 1, "8 hours"},     {100, 10, "12 hours"},
+      {300, 1, "24.5 hours"},  {300, 10, "36 hours"},
+      {500, 1, "41 hours"},    {500, 10, "60 hours"},
+  };
+
+  CsvTable csv({"disk_tb", "network_gbps", "hours_until_full",
+                "paper_value"});
+  for (const Row& row : rows) {
+    StorageEstimateInput in;
+    in.disk_capacity = Bytes::terabytes(row.disk_tb);
+    in.network_bandwidth = Bandwidth::gbps(row.gbps);
+    const auto t = time_until_storage_full(in);
+    std::printf("%-12s %-12s %-16s %-16s\n",
+                format("%.0f TB", row.disk_tb).c_str(),
+                format("%.0f Gbps", row.gbps).c_str(), pretty(t).c_str(),
+                row.paper);
+    csv.add_row({row.disk_tb, row.gbps, t ? t->as_hours() : -1.0,
+                 std::string(row.paper)});
+  }
+  bench::save_csv(csv, "table1_disk_limit");
+
+  std::printf(
+      "\nShape check: minutes at 5 TB, hours at 100+ TB, and the faster\n"
+      "network always buys time — matching the paper's conclusion that even\n"
+      "large disks fill within hours at petascale output rates.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Table III — "Resolutions for different Pressure Values".
+//
+// Runs the Aila simulation standalone and logs every resolution switch the
+// framework would perform: the simulated time at which the storm's minimum
+// pressure crossed each Table III threshold and the resolution adopted.
+#include <cstdio>
+
+#include "experiment_common.hpp"
+#include "weather/model.hpp"
+
+using namespace adaptviz;
+
+int main() {
+  std::printf("=== Table III: pressure-driven resolution ladder ===\n");
+  std::printf("%-10s %-12s | observed crossing during the Aila run\n",
+              "Pressure", "Resolution");
+  const ResolutionLadder ladder = ResolutionLadder::table3();
+  for (const auto& rung : ladder.rungs()) {
+    std::printf("%-10.0f %-12.0f |\n", rung.pressure_hpa, rung.resolution_km);
+  }
+
+  ModelConfig cfg;
+  cfg.compute_scale = 8.0;
+  WeatherModel model(cfg);
+
+  std::printf("\n%-16s %-14s %-12s %-12s %-10s\n", "sim time",
+              "min pressure", "resolution", "frame", "nest");
+  CsvTable csv({"sim_time", "min_pressure_hpa", "resolution_km",
+                "frame_mb", "nest_active"});
+
+  auto report = [&] {
+    std::printf("%-16s %-14.2f %-12.1f %-12s %-10s\n",
+                bench::sim_label(model.sim_time()).c_str(),
+                model.min_pressure_hpa(), model.modeled_resolution_km(),
+                to_string(model.frame_bytes()).c_str(),
+                model.nest_active() ? "yes" : "no");
+    csv.add_row({bench::sim_label(model.sim_time()), model.min_pressure_hpa(),
+                 model.modeled_resolution_km(), model.frame_bytes().mb(),
+                 static_cast<long>(model.nest_active())});
+  };
+
+  report();
+  double next_report_h = 6.0;
+  while (model.sim_time() < SimSeconds::hours(60.0)) {
+    model.step();
+    if (model.resolution_change_pending()) {
+      // The job handler would checkpoint/restart here; standalone we switch
+      // in place to trace the ladder.
+      std::printf("  >> pressure %.2f hPa crossed a threshold: "
+                  "%-4.1f km -> %.1f km at %s\n",
+                  model.min_pressure_hpa(), model.modeled_resolution_km(),
+                  model.recommended_resolution_km(),
+                  bench::sim_label(model.sim_time()).c_str());
+      model.set_modeled_resolution(model.recommended_resolution_km());
+      report();
+    }
+    if (model.sim_time().as_hours() >= next_report_h) {
+      report();
+      next_report_h += 6.0;
+    }
+  }
+  bench::save_csv(csv, "table3_resolution_ladder");
+
+  std::printf(
+      "\nShape check: the run starts at 24 km, spawns the 1:3 nest when the\n"
+      "pressure first drops below 995 hPa, and walks all six Table III rungs\n"
+      "down to 10 km (nest 3.33 km) as Aila intensifies.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "experiment_common.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/logging.hpp"
+
+namespace adaptviz::bench {
+
+std::vector<std::pair<std::string, SiteSpec>> table4_sites() {
+  return {{"inter-department", inter_department_site()},
+          {"intra-country", intra_country_site()},
+          {"cross-continent", cross_continent_site()}};
+}
+
+ExperimentConfig standard_config(const std::string& site_name,
+                                 const SiteSpec& site,
+                                 AlgorithmKind algorithm) {
+  ExperimentConfig cfg;
+  cfg.name = site_name;
+  cfg.site = site;
+  cfg.algorithm = algorithm;
+  cfg.sim_window = SimSeconds::hours(60.0);  // 22-May 18:00 .. 25-May 06:00
+  cfg.max_wall = WallSeconds::hours(60.0);
+  cfg.model.compute_scale = 8.0;
+  cfg.sample_period = WallSeconds::minutes(10.0);
+  cfg.seed = 42;
+  return cfg;
+}
+
+SitePair run_site(const std::string& site_name, const SiteSpec& site) {
+  set_log_level(LogLevel::kError);
+  SitePair pair{
+      .greedy = run_experiment(standard_config(
+          site_name, site, AlgorithmKind::kGreedyThreshold)),
+      .optimization = run_experiment(
+          standard_config(site_name, site, AlgorithmKind::kOptimization)),
+  };
+  return pair;
+}
+
+ExperimentResult run_static(const std::string& site_name,
+                            const SiteSpec& site) {
+  set_log_level(LogLevel::kError);
+  return run_experiment(
+      standard_config(site_name, site, AlgorithmKind::kStatic));
+}
+
+std::string output_dir() {
+  const std::string dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void save_csv(const CsvTable& table, const std::string& name) {
+  const std::string path = output_dir() + "/" + name + ".csv";
+  table.save(path);
+  std::printf("  [csv] %s (%zu rows)\n", path.c_str(), table.row_count());
+}
+
+std::string sim_label(SimSeconds t) {
+  return CalendarEpoch::aila_start().label(t);
+}
+
+void print_summary(const std::string& tag, const ExperimentResult& r) {
+  std::printf(
+      "  %-34s completed=%s  sim=%s  wall=%s  min-free=%4.1f%%  "
+      "peak=%s  stall=%.1fh  frames w/s/v=%lld/%lld/%lld  restarts=%d\n",
+      tag.c_str(), r.summary.completed ? "yes" : "NO ",
+      sim_label(r.summary.sim_reached).c_str(),
+      hh_mm(r.summary.sim_finished_wall).c_str(),
+      r.summary.min_free_disk_percent,
+      to_string(r.summary.peak_disk_used).c_str(),
+      r.summary.total_stall_time.as_hours(),
+      static_cast<long long>(r.summary.frames_written),
+      static_cast<long long>(r.summary.frames_sent),
+      static_cast<long long>(r.summary.frames_visualized),
+      r.summary.restarts);
+}
+
+}  // namespace adaptviz::bench

@@ -1,0 +1,52 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Each bench binary regenerates one of the paper's tables/figures. The three
+// experiment settings (Table IV) and the two decision algorithms give six
+// runs; figures 5, 6, 7 and 8 are different views of the same runs, so the
+// harness runs an experiment once per binary invocation and each bench
+// prints its own series. Series are printed to stdout in the paper's
+// units/labels and saved as CSV next to the binary (bench_out/).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "util/calendar.hpp"
+#include "util/csv.hpp"
+
+namespace adaptviz::bench {
+
+/// The three Table IV configurations.
+std::vector<std::pair<std::string, SiteSpec>> table4_sites();
+
+/// Standard experiment configuration used by every figure bench: full Aila
+/// window (22-May 18:00 + 60 h), 1.5-hour decisions, Table IV site.
+ExperimentConfig standard_config(const std::string& site_name,
+                                 const SiteSpec& site, AlgorithmKind algorithm);
+
+/// Runs greedy + optimization on one site.
+struct SitePair {
+  ExperimentResult greedy;
+  ExperimentResult optimization;
+};
+SitePair run_site(const std::string& site_name, const SiteSpec& site);
+
+/// The non-adaptive baseline the paper reasons about ("a non-adaptive
+/// solution would result in stalling of the simulation much earlier").
+ExperimentResult run_static(const std::string& site_name,
+                            const SiteSpec& site);
+
+/// Output directory for CSV artifacts (created on demand).
+std::string output_dir();
+
+/// Saves a table under bench_out/<name>.csv and reports the path on stdout.
+void save_csv(const CsvTable& table, const std::string& name);
+
+/// Simulation-time axis label in the paper's style ("23-May 09:00").
+std::string sim_label(SimSeconds t);
+
+/// Prints a one-line run summary (completion, wall, storage, frames).
+void print_summary(const std::string& tag, const ExperimentResult& r);
+
+}  // namespace adaptviz::bench

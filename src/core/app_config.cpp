@@ -1,0 +1,54 @@
+#include "core/app_config.hpp"
+
+#include <stdexcept>
+
+namespace adaptviz {
+
+namespace {
+constexpr const char* kSection = "application";
+}
+
+IniDocument ApplicationConfiguration::to_ini() const {
+  IniDocument doc;
+  doc.set_int(kSection, "processors", processors);
+  doc.set_double(kSection, "output_interval_sim_seconds",
+                 output_interval.seconds());
+  doc.set_double(kSection, "resolution_km", resolution_km);
+  doc.set_bool(kSection, "critical", critical);
+  doc.set_bool(kSection, "paused", paused);
+  doc.set_int(kSection, "version", version);
+  return doc;
+}
+
+ApplicationConfiguration ApplicationConfiguration::from_ini(
+    const IniDocument& doc) {
+  ApplicationConfiguration c;
+  const auto procs = doc.get_int(kSection, "processors");
+  const auto oi = doc.get_double(kSection, "output_interval_sim_seconds");
+  const auto res = doc.get_double(kSection, "resolution_km");
+  if (!procs || !oi || !res) {
+    throw std::runtime_error("ApplicationConfiguration: missing keys");
+  }
+  c.processors = static_cast<int>(*procs);
+  c.output_interval = SimSeconds(*oi);
+  c.resolution_km = *res;
+  c.critical = doc.get_bool(kSection, "critical").value_or(false);
+  c.paused = doc.get_bool(kSection, "paused").value_or(false);
+  c.version = doc.get_int(kSection, "version").value_or(0);
+  if (c.processors < 1 || c.output_interval.seconds() <= 0 ||
+      c.resolution_km <= 0) {
+    throw std::runtime_error("ApplicationConfiguration: invalid values");
+  }
+  return c;
+}
+
+void ApplicationConfiguration::save(const std::string& path) const {
+  to_ini().save(path);
+}
+
+ApplicationConfiguration ApplicationConfiguration::load(
+    const std::string& path) {
+  return from_ini(IniDocument::load(path));
+}
+
+}  // namespace adaptviz

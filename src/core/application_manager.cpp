@@ -1,0 +1,124 @@
+#include "core/application_manager.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace adaptviz {
+
+ApplicationManager::ApplicationManager(
+    EventQueue& queue, DecisionAlgorithm& algorithm,
+    const PerformanceModel& perf, DiskModel& disk, NetworkLink& link,
+    BandwidthEstimator& estimator, ApplicationConfiguration& shared_config,
+    StatusProvider status, ConfigChangedFn notify, Options options)
+    : queue_(queue),
+      algorithm_(algorithm),
+      perf_(perf),
+      disk_(disk),
+      link_(link),
+      estimator_(estimator),
+      config_(shared_config),
+      status_(std::move(status)),
+      notify_(std::move(notify)),
+      options_(options) {
+  if (!status_) throw std::invalid_argument("ApplicationManager: null status");
+  if (options_.period.seconds() <= 0) {
+    throw std::invalid_argument("ApplicationManager: period must be > 0");
+  }
+}
+
+void ApplicationManager::start() {
+  if (running_) return;
+  running_ = true;
+  invoke();
+  schedule_next();
+}
+
+void ApplicationManager::stop() { running_ = false; }
+
+void ApplicationManager::set_paused(bool paused) {
+  if (config_.paused == paused) return;
+  config_.paused = paused;
+  ++config_.version;
+  if (!options_.config_file_path.empty()) {
+    config_.save(options_.config_file_path);
+  }
+  ADAPTVIZ_LOG_INFO("app-manager", "[%s] steering: simulation %s",
+                    hh_mm(queue_.now()).c_str(),
+                    paused ? "paused" : "resumed");
+  if (notify_) notify_();
+}
+
+void ApplicationManager::schedule_next() {
+  queue_.schedule_after(
+      options_.period,
+      [this] {
+        if (!running_) return;
+        invoke();
+        schedule_next();
+      },
+      "app-manager.tick");
+}
+
+Bandwidth ApplicationManager::measure_bandwidth() {
+  if (auto est = estimator_.estimate()) return *est;
+  // No frame has crossed the link yet: fall back to an explicit probe (the
+  // paper times a message across the network). The probe runs alongside the
+  // daemons; its duration is not charged to the decision path.
+  const auto probe = link_.probe(queue_.now(), options_.probe_size);
+  estimator_.record_probe(probe.measured);
+  return probe.measured;
+}
+
+void ApplicationManager::invoke() {
+  const ApplicationStatus st = status_();
+  if (st.finished) return;
+
+  DecisionInput in;
+  in.free_disk_percent = disk_.free_percent();
+  in.free_disk_bytes = disk_.free_space();
+  in.disk_capacity = disk_.capacity();
+  in.observed_bandwidth = measure_bandwidth();
+  in.io_bandwidth = disk_.io_bandwidth();
+  in.work_units = st.work_units;
+  in.frame_bytes = st.frame_bytes;
+  in.integration_step = st.integration_step;
+  in.remaining_sim_time = st.remaining_sim_time;
+  in.resolution_km = st.resolution_km;
+  in.current_processors = config_.processors;
+  in.current_output_interval = config_.output_interval;
+  in.perf = &perf_;
+  in.min_processors = options_.min_processors;
+  in.max_processors = st.max_usable_processors;
+  in.bounds = options_.bounds;
+
+  Decision d = algorithm_.decide(in);
+
+  // Safety net independent of the algorithm: never let the disk run
+  // completely full, and clear the flag with hysteresis once transfers have
+  // freed enough space.
+  if (in.free_disk_percent <= options_.critical_set_percent) d.critical = true;
+  if (config_.critical && !d.critical &&
+      in.free_disk_percent < options_.critical_clear_percent) {
+    d.critical = true;  // hold until clear threshold
+  }
+
+  ADAPTVIZ_LOG_INFO("app-manager", "[%s] %s%s", hh_mm(queue_.now()).c_str(),
+                    d.note.c_str(), d.critical ? " [CRITICAL]" : "");
+
+  const bool changed = d.processors != config_.processors ||
+                       d.output_interval != config_.output_interval ||
+                       d.critical != config_.critical;
+  config_.processors = d.processors;
+  config_.output_interval = d.output_interval;
+  config_.critical = d.critical;
+  if (changed) ++config_.version;
+
+  decisions_.push_back(DecisionRecord{queue_.now(), in, d});
+  if (changed && !options_.config_file_path.empty()) {
+    config_.save(options_.config_file_path);
+  }
+  if (changed && notify_) notify_();
+}
+
+}  // namespace adaptviz

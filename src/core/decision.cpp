@@ -1,0 +1,22 @@
+#include "core/decision.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaptviz {
+
+SimSeconds quantize_output_interval(SimSeconds oi, SimSeconds ts,
+                                    const DecisionBounds& bounds) {
+  const double lo =
+      std::max(bounds.min_output_interval.seconds(), ts.seconds());
+  const double hi = std::max(lo, bounds.max_output_interval.seconds());
+  double v = std::clamp(oi.seconds(), lo, hi);
+  const double steps = std::max(1.0, std::round(v / ts.seconds()));
+  v = steps * ts.seconds();
+  // Rounding up may have pushed past the ceiling; prefer the largest
+  // multiple of ts that still respects it (unless even one step exceeds it).
+  if (v > hi && steps > 1.0) v -= ts.seconds();
+  return SimSeconds(v);
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,270 @@
+#include "core/framework.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace adaptviz {
+
+const char* to_string(AlgorithmKind k) {
+  switch (k) {
+    case AlgorithmKind::kGreedyThreshold:
+      return "greedy-threshold";
+    case AlgorithmKind::kOptimization:
+      return "optimization";
+    case AlgorithmKind::kStatic:
+      return "non-adaptive";
+  }
+  return "?";
+}
+
+namespace {
+
+std::unique_ptr<DecisionAlgorithm> make_algorithm(
+    const ExperimentConfig& cfg) {
+  switch (cfg.algorithm) {
+    case AlgorithmKind::kGreedyThreshold:
+      return std::make_unique<GreedyThresholdAlgorithm>(cfg.greedy);
+    case AlgorithmKind::kOptimization:
+      return std::make_unique<LpOptimizerAlgorithm>(cfg.optimizer);
+    case AlgorithmKind::kStatic:
+      return std::make_unique<StaticAlgorithm>();
+  }
+  throw std::invalid_argument("unknown algorithm kind");
+}
+
+}  // namespace
+
+AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
+    : config_(std::move(config)),
+      machine_(config_.site.machine, config_.seed),
+      disk_(config_.site.disk_capacity, config_.site.io_bandwidth),
+      link_(LinkSpec{.nominal = config_.site.wan_nominal,
+                     .outages = config_.wan_outages,
+                     .efficiency = config_.site.wan_efficiency,
+                     .fluctuation_sigma = config_.site.wan_fluctuation_sigma},
+            config_.seed + 1) {
+  // Profile the machine and fit the performance model — the framework's
+  // decision algorithms only ever see this fitted curve, never the ground
+  // truth.
+  BenchmarkProfiler profiler;
+  const ProfileData profile = profiler.profile(machine_, /*work_units=*/1.0);
+  perf_ = std::make_unique<PerformanceModel>(profile,
+                                             config_.site.machine.max_cores);
+
+  // Initial configuration: the greedy strategy's natural starting point —
+  // maximum processors, most frequent output. The optimizer overwrites it
+  // on the manager's first invocation (at t = 0).
+  app_config_.processors = config_.site.machine.max_cores;
+  app_config_.output_interval = config_.bounds.min_output_interval;
+  app_config_.resolution_km = config_.model.base_resolution_km;
+
+  algorithm_ = make_algorithm(config_);
+  VisualizationProcess::Options vis_opts = config_.vis;
+  if (config_.steering_policy) {
+    // Wire the scientist's policy at the visualization site; commands ride
+    // the steering channel back to the simulation site.
+    vis_opts.on_frame = [this](const Frame& f, const VisRecord& rec) {
+      SteeringObservation obs;
+      obs.wall_time = rec.wall_time;
+      obs.sim_time = rec.sim_time;
+      obs.sequence = rec.sequence;
+      obs.min_pressure_hpa = f.min_pressure_hpa;
+      obs.resolution_km = f.resolution_km;
+      obs.nest_active = f.nest_active;
+      if (auto cmd = config_.steering_policy(obs)) {
+        steering_channel_->send(std::move(*cmd));
+      }
+    };
+  }
+  vis_ = std::make_unique<VisualizationProcess>(queue_, vis_opts);
+  receiver_ = std::make_unique<FrameReceiver>(
+      queue_, [this](const Frame& f) { return vis_->visualize(f); },
+      config_.vis_workers);
+  sender_ = std::make_unique<FrameSender>(
+      queue_, link_, catalog_, disk_, estimator_,
+      [this](const Frame& f) { receiver_->on_frame_arrival(f); });
+
+  SimulationProcess::Options sim_opts;
+  sim_opts.end_time = config_.sim_window;
+  sim_opts.keep_payloads = config_.keep_payloads;
+  SimulationProcess::Callbacks sim_cbs;
+  sim_cbs.on_resolution_signal = [this](double res) {
+    job_handler_->on_resolution_signal(res);
+  };
+  process_ = std::make_unique<SimulationProcess>(
+      queue_, machine_, disk_, catalog_, *sender_, app_config_, sim_opts,
+      std::move(sim_cbs));
+
+  ModelConfig model_cfg = config_.model;
+  model_cfg.analysis.seed = config_.seed + 2;
+  job_handler_ = std::make_unique<JobHandler>(
+      queue_, *process_, app_config_, disk_, model_cfg,
+      ResolutionLadder::table3(), config_.job);
+
+  ApplicationManager::Options mgr_opts = config_.manager;
+  mgr_opts.period = config_.decision_period;
+  mgr_opts.bounds = config_.bounds;
+  mgr_opts.min_processors = config_.site.machine.min_cores;
+  manager_ = std::make_unique<ApplicationManager>(
+      queue_, *algorithm_, *perf_, disk_, link_, estimator_, app_config_,
+      [this] { return status_now(); },
+      [this] { job_handler_->on_configuration_changed(); }, mgr_opts);
+
+  telemetry_ = std::make_unique<TelemetryRecorder>(
+      queue_, [this] { return sample_now(); }, config_.sample_period);
+
+  if (config_.steering_policy) {
+    steering_channel_ = std::make_unique<SteeringChannel>(
+        queue_, config_.steering_latency,
+        [this](const SteeringCommand& c) { apply_steering(c); });
+  }
+}
+
+AdaptiveFramework::~AdaptiveFramework() = default;
+
+void AdaptiveFramework::apply_steering(const SteeringCommand& c) {
+  steering_log_.push_back(SteeringRecord{queue_.now(), c});
+  switch (c.kind) {
+    case SteeringCommand::Kind::kSetOutputBounds:
+      manager_->set_bounds(c.bounds);
+      break;
+    case SteeringCommand::Kind::kSetResolutionFloor:
+      job_handler_->set_resolution_floor(c.resolution_floor_km);
+      break;
+    case SteeringCommand::Kind::kSetNestExtent:
+      job_handler_->set_nest_extent(c.nest_extent_deg);
+      break;
+    case SteeringCommand::Kind::kPause:
+      manager_->set_paused(true);
+      if (c.auto_resume_after.seconds() > 0) {
+        queue_.schedule_after(
+            c.auto_resume_after, [this] { manager_->set_paused(false); },
+            "steering.auto_resume");
+      }
+      break;
+    case SteeringCommand::Kind::kResume:
+      manager_->set_paused(false);
+      break;
+  }
+}
+
+ApplicationStatus AdaptiveFramework::status_now() {
+  ApplicationStatus st;
+  const WeatherModel* m = process_->model();
+  if (m == nullptr) {
+    st.resolution_km = config_.model.base_resolution_km;
+    st.integration_step =
+        SimSeconds(SwSolver::dt_for_resolution_km(st.resolution_km));
+    st.remaining_sim_time = config_.sim_window;
+    st.max_usable_processors = config_.site.machine.max_cores;
+    return st;
+  }
+  st.work_units = m->work_units();
+  st.frame_bytes = m->frame_bytes();
+  st.integration_step = SimSeconds(m->dt_seconds());
+  st.remaining_sim_time =
+      std::max(SimSeconds(0.0), config_.sim_window - m->sim_time());
+  st.resolution_km = m->modeled_resolution_km();
+  st.max_usable_processors =
+      std::min(config_.site.machine.max_cores, m->max_usable_processors());
+  st.finished = process_->finished();
+  return st;
+}
+
+TelemetrySample AdaptiveFramework::sample_now() {
+  TelemetrySample s;
+  s.wall_time = queue_.now();
+  s.sim_time = process_->sim_time();
+  s.free_disk_percent = disk_.free_percent();
+  s.processors = app_config_.processors;
+  s.output_interval = app_config_.output_interval;
+  s.stalled = process_->stalled();
+  s.critical = app_config_.critical;
+  s.paused = app_config_.paused;
+  s.frames_written = process_->frames_written();
+  s.frames_sent = sender_->frames_sent();
+  s.frames_visualized = receiver_->frames_visualized();
+  if (const WeatherModel* m = process_->model()) {
+    s.resolution_km = m->modeled_resolution_km();
+    s.min_pressure_hpa = m->min_pressure_hpa();
+  }
+  return s;
+}
+
+bool AdaptiveFramework::drained() const {
+  return catalog_.empty() && !sender_->transfer_in_flight() &&
+         receiver_->backlog() == 0 &&
+         receiver_->frames_received() == receiver_->frames_visualized();
+}
+
+ExperimentResult AdaptiveFramework::run() {
+  ADAPTVIZ_LOG_INFO("framework", "=== %s / %s ===", config_.name.c_str(),
+                    to_string(config_.algorithm));
+  job_handler_->launch_initial();
+  manager_->start();
+  sender_->start();
+  telemetry_->start();
+
+  WallSeconds sim_finished_wall{0.0};
+  bool sim_finish_seen = false;
+  while (queue_.step()) {
+    if (process_->finished() && !sim_finish_seen) {
+      sim_finish_seen = true;
+      sim_finished_wall = queue_.now();
+    }
+    if (queue_.now() >= config_.max_wall) break;
+    if (process_->finished() && drained()) break;
+  }
+
+  telemetry_->stop();
+  manager_->stop();
+  sender_->stop();
+
+  ExperimentResult result;
+  result.config = config_;
+  result.samples = telemetry_->samples();
+  result.samples.push_back(sample_now());
+  result.vis_records = vis_->records();
+  result.decisions = manager_->decisions();
+  if (process_->model() != nullptr) {
+    result.track = process_->model()->tracker().track();
+  }
+  result.steering = steering_log_;
+
+  ExperimentSummary& sum = result.summary;
+  sum.completed = process_->finished();
+  sum.wall_elapsed = queue_.now();
+  sum.sim_finished_wall = sim_finish_seen ? sim_finished_wall : queue_.now();
+  sum.sim_reached = process_->sim_time();
+  sum.peak_disk_used = disk_.peak_used();
+  sum.total_stall_time = process_->total_stall_time();
+  sum.frames_written = process_->frames_written();
+  sum.frames_sent = sender_->frames_sent();
+  sum.frames_visualized = receiver_->frames_visualized();
+  sum.restarts = job_handler_->restarts();
+  sum.decision_count = static_cast<int>(manager_->decisions().size());
+  for (const TelemetrySample& s : result.samples) {
+    sum.min_free_disk_percent =
+        std::min(sum.min_free_disk_percent, s.free_disk_percent);
+  }
+  ADAPTVIZ_LOG_INFO(
+      "framework",
+      "done: completed=%d wall=%.1fh sim=%.1fh peak_disk=%s stall=%.1fh "
+      "frames w/s/v=%lld/%lld/%lld restarts=%d",
+      sum.completed ? 1 : 0, sum.wall_elapsed.as_hours(),
+      sum.sim_reached.as_hours(), to_string(sum.peak_disk_used).c_str(),
+      sum.total_stall_time.as_hours(),
+      static_cast<long long>(sum.frames_written),
+      static_cast<long long>(sum.frames_sent),
+      static_cast<long long>(sum.frames_visualized), sum.restarts);
+  return result;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  AdaptiveFramework fw(config);
+  return fw.run();
+}
+
+}  // namespace adaptviz

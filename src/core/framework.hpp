@@ -1,0 +1,159 @@
+// AdaptiveFramework — the paper's Figure 2 wired together.
+//
+// Owns and connects every component: the ground-truth cluster + profiled
+// performance model, the disk and WAN models, the weather simulation
+// process, frame sender/receiver daemons, the remote visualization process,
+// the application manager with one of the two decision algorithms, and the
+// job handler — all on one discrete-event queue. `run()` executes an entire
+// experiment (a 2.5-day Aila tracking campaign) and returns the telemetry
+// the paper's figures are drawn from.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/application_manager.hpp"
+#include "core/greedy_threshold.hpp"
+#include "core/job_handler.hpp"
+#include "core/lp_optimizer.hpp"
+#include "core/static_algorithm.hpp"
+#include "core/simulation_process.hpp"
+#include "core/telemetry.hpp"
+#include "steering/steering.hpp"
+#include "transport/receiver.hpp"
+#include "vis/vis_process.hpp"
+#include "weather/model.hpp"
+
+namespace adaptviz {
+
+enum class AlgorithmKind { kGreedyThreshold, kOptimization, kStatic };
+
+const char* to_string(AlgorithmKind k);
+
+struct ExperimentConfig {
+  std::string name = "inter-department";
+  SiteSpec site = inter_department_site();
+  AlgorithmKind algorithm = AlgorithmKind::kOptimization;
+
+  ModelConfig model{};
+  /// Simulated window to cover (Aila: 22-May 18:00 + 60 h -> 25-May 06:00).
+  SimSeconds sim_window = SimSeconds::hours(60.0);
+  /// Wall-clock cutoff: a stalled greedy run never finishes on its own.
+  WallSeconds max_wall = WallSeconds::hours(48.0);
+
+  WallSeconds decision_period = WallSeconds::hours(1.5);
+  WallSeconds sample_period = WallSeconds::minutes(10.0);
+  DecisionBounds bounds{};
+  GreedyThresholds greedy{};
+  OptimizerConfig optimizer{};
+  JobHandler::Options job{};
+  VisualizationProcess::Options vis{};
+  ApplicationManager::Options manager{};
+
+  /// Attach real field payloads to frames (examples render them).
+  bool keep_payloads = false;
+  /// Parallel render slots at the visualization site (future work:
+  /// "parallelize the visualization process").
+  int vis_workers = 1;
+  /// Failure injection: scheduled WAN outage windows (sorted,
+  /// non-overlapping). Transfers pause across them; the bandwidth
+  /// estimator and the decision algorithms must ride them out.
+  std::vector<LinkOutage> wan_outages;
+  std::uint64_t seed = 42;
+
+  /// Computational steering (paper future work): when set, this policy is
+  /// consulted at the visualization site for every visualized frame; its
+  /// commands travel back to the simulation site over `steering_latency`.
+  SteeringPolicy steering_policy;
+  WallSeconds steering_latency{0.3};
+};
+
+struct ExperimentSummary {
+  bool completed = false;      // simulation covered the full window
+  WallSeconds wall_elapsed{};  // when the run ended (drained or cutoff)
+  /// Wall time at which the *simulation* finished (Fig 5's endpoint); equal
+  /// to wall_elapsed unless transfers kept draining afterwards. Unset when
+  /// the simulation never completed.
+  WallSeconds sim_finished_wall{};
+  SimSeconds sim_reached{};
+  Bytes peak_disk_used{};
+  double min_free_disk_percent = 100.0;
+  WallSeconds total_stall_time{};
+  std::int64_t frames_written = 0;
+  std::int64_t frames_sent = 0;
+  std::int64_t frames_visualized = 0;
+  int restarts = 0;
+  int decision_count = 0;
+};
+
+struct SteeringRecord {
+  WallSeconds delivered_at{};
+  SteeringCommand command;
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  ExperimentSummary summary;
+  std::vector<TelemetrySample> samples;
+  std::vector<VisRecord> vis_records;
+  std::vector<DecisionRecord> decisions;
+  std::vector<TrackPoint> track;
+  std::vector<SteeringRecord> steering;
+};
+
+class AdaptiveFramework {
+ public:
+  explicit AdaptiveFramework(ExperimentConfig config);
+  ~AdaptiveFramework();
+
+  AdaptiveFramework(const AdaptiveFramework&) = delete;
+  AdaptiveFramework& operator=(const AdaptiveFramework&) = delete;
+
+  /// Runs the experiment to completion (simulation finished and all frames
+  /// visualized) or to the wall cutoff.
+  ExperimentResult run();
+
+  /// Component access for tests and custom drivers.
+  [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] const ApplicationConfiguration& configuration() const {
+    return app_config_;
+  }
+  [[nodiscard]] const PerformanceModel& performance_model() const {
+    return *perf_;
+  }
+
+ private:
+  [[nodiscard]] TelemetrySample sample_now();
+  [[nodiscard]] ApplicationStatus status_now();
+  [[nodiscard]] bool drained() const;
+  void apply_steering(const SteeringCommand& command);
+
+  ExperimentConfig config_;
+  EventQueue queue_;
+
+  GroundTruthMachine machine_;
+  DiskModel disk_;
+  NetworkLink link_;
+  FrameCatalog catalog_;
+  BandwidthEstimator estimator_;
+
+  std::unique_ptr<PerformanceModel> perf_;
+  ApplicationConfiguration app_config_;
+
+  std::unique_ptr<DecisionAlgorithm> algorithm_;
+  std::unique_ptr<VisualizationProcess> vis_;
+  std::unique_ptr<FrameReceiver> receiver_;
+  std::unique_ptr<FrameSender> sender_;
+  std::unique_ptr<SimulationProcess> process_;
+  std::unique_ptr<JobHandler> job_handler_;
+  std::unique_ptr<ApplicationManager> manager_;
+  std::unique_ptr<TelemetryRecorder> telemetry_;
+  std::unique_ptr<SteeringChannel> steering_channel_;
+  std::vector<SteeringRecord> steering_log_;
+};
+
+/// Convenience wrapper: build, run, return.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace adaptviz

@@ -1,0 +1,106 @@
+#include "core/greedy_threshold.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace adaptviz {
+
+GreedyThresholdAlgorithm::GreedyThresholdAlgorithm(GreedyThresholds thresholds)
+    : thresholds_(thresholds) {
+  if (!(thresholds.critical < thresholds.low_lower &&
+        thresholds.low_lower < thresholds.low_upper &&
+        thresholds.low_upper <= thresholds.high)) {
+    throw std::invalid_argument("GreedyThresholds: must be ordered");
+  }
+}
+
+Decision GreedyThresholdAlgorithm::decide(const DecisionInput& in) {
+  const PerformanceModel& perf = *in.perf;
+  const double d = in.free_disk_percent;
+  const GreedyThresholds& th = thresholds_;
+
+  const double min_oi = std::max(in.bounds.min_output_interval.seconds(),
+                                 in.integration_step.seconds());
+  const double max_oi = in.bounds.max_output_interval.seconds();
+  const double old_oi = in.current_output_interval.seconds();
+  // The interval is quantized to whole integration steps, so "already at
+  // maxOI" means "within one step of it" — otherwise Algorithm 1's line-7
+  // slowdown branch could never trigger at step sizes that do not divide
+  // the bound.
+  const bool at_max_oi = old_oi >= max_oi - in.integration_step.seconds();
+  const double mintime = perf.fastest_step_time(in.work_units).seconds();
+  const double maxtime =
+      perf.slowest_step_time(in.work_units, in.min_processors).seconds();
+  const double oldtime =
+      perf.step_time(in.current_processors, in.work_units).seconds();
+
+  Decision out;
+  out.processors = in.current_processors;
+  out.output_interval = in.current_output_interval;
+
+  if (d <= th.critical) {
+    // Line 2: set CRITICAL flag -> stall the simulation.
+    out.critical = true;
+    out.note = format("disk %.0f%% <= %.0f%%: CRITICAL", d, th.critical);
+  } else if (d <= th.low_upper) {
+    if (d >= th.low_lower) {
+      // Line 5: stretch the output interval proportionally to the deficit.
+      const double new_oi =
+          old_oi + (th.low_upper - d) / th.low_lower * (max_oi - old_oi);
+      out.output_interval = SimSeconds(new_oi);
+      out.note = format("disk %.0f%%: stretch OI %.1f -> %.1f sim-min", d,
+                        old_oi / 60.0, new_oi / 60.0);
+    } else if (at_max_oi) {
+      // Line 7: output already minimal; slow the simulation down.
+      const double newtime =
+          oldtime +
+          (th.low_lower - d) / (th.low_lower - th.critical) *
+              (maxtime - oldtime);
+      out.processors = perf.processors_for(WallSeconds(newtime),
+                                           in.work_units);
+      out.note = format("disk %.0f%%: slow down %.1fs -> %.1fs/step (%d procs)",
+                        d, oldtime, newtime, out.processors);
+    } else {
+      // D fell below low_lower before the interval reached its bound (a
+      // fast dive can skip the [low_lower, low_upper] band entirely between
+      // invocations). The stretch formula yields exactly maxOI at
+      // D == low_lower, so the consistent continuation below it is the full
+      // stretch; a literal no-op here would ride the disk straight into
+      // CRITICAL.
+      out.output_interval = SimSeconds(max_oi);
+      out.note = format("disk %.0f%%: jump OI %.1f -> max %.1f sim-min", d,
+                        old_oi / 60.0, max_oi / 60.0);
+    }
+  } else if (d >= th.high) {
+    if (oldtime > mintime + 1e-9) {
+      // Line 11: recover simulation rate first.
+      const double newtime =
+          oldtime - (d - th.high) / (100.0 - th.high) * (oldtime - mintime);
+      out.processors = perf.processors_for(WallSeconds(newtime),
+                                           in.work_units);
+      out.note = format("disk %.0f%%: speed up %.1fs -> %.1fs/step (%d procs)",
+                        d, oldtime, newtime, out.processors);
+    } else if (old_oi > min_oi + 1e-9) {
+      // Line 13: then recover output frequency.
+      const double new_oi =
+          old_oi - (d - th.high) / (100.0 - th.high) * (old_oi - min_oi);
+      out.output_interval = SimSeconds(new_oi);
+      out.note = format("disk %.0f%%: shrink OI %.1f -> %.1f sim-min", d,
+                        old_oi / 60.0, new_oi / 60.0);
+    } else {
+      out.note = format("disk %.0f%%: already at max rate and frequency", d);
+    }
+  } else {
+    out.note = format("disk %.0f%%: between thresholds, hold", d);
+  }
+
+  out.output_interval = quantize_output_interval(
+      out.output_interval, in.integration_step, in.bounds);
+  out.processors =
+      std::clamp(out.processors, in.min_processors, in.max_processors);
+  return out;
+}
+
+}  // namespace adaptviz

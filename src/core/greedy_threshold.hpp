@@ -1,0 +1,50 @@
+// Greedy-Threshold decision algorithm (paper Algorithm 1).
+//
+// Strategy: run at the maximum simulation rate (max processors) and output
+// every few simulated minutes, then *react* to the disk filling:
+//
+//   D <= 10%            -> set CRITICAL (simulation stalls)
+//   10% < D <= 50%      -> if D >= 25%: stretch the output interval
+//                            newOI = oldOI + (50-D)/25 * (maxOI - oldOI)
+//                          else if already at maxOI: slow the simulation
+//                            newtime = oldtime + (25-D)/15 * (maxtime - oldtime)
+//   D >= 60%            -> reverse: speed the simulation first
+//                            newtime = oldtime - (D-60)/40 * (oldtime - mintime)
+//                          then shrink the output interval
+//                            newOI = oldOI - (D-60)/40 * (oldOI - minOI)
+//
+// ("this algorithm gives more preference to maximizing the simulation rate
+// than to maximizing the output frequency.")
+#pragma once
+
+#include "core/decision.hpp"
+
+namespace adaptviz {
+
+struct GreedyThresholds {
+  /// lowdiskspace-thresholdset = {50, 25}; CRITICAL below `critical`.
+  double low_upper = 50.0;
+  double low_lower = 25.0;
+  double critical = 10.0;
+  /// highdiskspace-thresholdset = {60}.
+  double high = 60.0;
+};
+
+class GreedyThresholdAlgorithm final : public DecisionAlgorithm {
+ public:
+  explicit GreedyThresholdAlgorithm(GreedyThresholds thresholds = {});
+
+  [[nodiscard]] Decision decide(const DecisionInput& input) override;
+  [[nodiscard]] std::string name() const override {
+    return "greedy-threshold";
+  }
+
+  [[nodiscard]] const GreedyThresholds& thresholds() const {
+    return thresholds_;
+  }
+
+ private:
+  GreedyThresholds thresholds_;
+};
+
+}  // namespace adaptviz

@@ -1,0 +1,113 @@
+#include "core/lp_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/problem.hpp"
+#include "lp/simplex.hpp"
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+
+namespace adaptviz {
+
+LpOptimizerAlgorithm::LpOptimizerAlgorithm(OptimizerConfig config)
+    : config_(config) {}
+
+WallSeconds LpOptimizerAlgorithm::overflow_horizon(
+    const DecisionInput& in) const {
+  // Expected remaining wall time if the run proceeded at the fastest step
+  // time: (remaining sim time / ts) steps.
+  const double steps =
+      in.remaining_sim_time.seconds() / in.integration_step.seconds();
+  const double fastest =
+      in.perf->fastest_step_time(in.work_units).seconds();
+  const double expected = steps * fastest * config_.horizon_safety;
+  return WallSeconds(std::clamp(expected, config_.min_horizon.seconds(),
+                                config_.max_horizon.seconds()));
+}
+
+Decision LpOptimizerAlgorithm::decide(const DecisionInput& in) {
+  const PerformanceModel& perf = *in.perf;
+  const double ts = in.integration_step.seconds();
+  const double o_bytes = in.frame_bytes.as_double();
+  const double b = std::max(1.0, in.observed_bandwidth.bytes_per_sec());
+  const double tio = o_bytes / in.io_bandwidth.bytes_per_sec();
+
+  const double t_lb = perf.fastest_step_time(in.work_units).seconds();
+  const double t_ub =
+      perf.slowest_step_time(in.work_units, in.min_processors).seconds();
+  const double z_lb =
+      ts / std::max(ts, in.bounds.max_output_interval.seconds());
+  const double z_ub =
+      ts / std::max(ts, in.bounds.min_output_interval.seconds());
+
+  const double n = overflow_horizon(in).seconds();
+  const double drain = in.free_disk_bytes.as_double() / n + b;
+
+  // Primary objective: minimize t. The lexicographically small term on z
+  // selects among t-optimal vertices per the configured preference.
+  const double magnitude = 1e-3 * std::max(t_lb, 1e-6) / std::max(z_ub, 1e-9);
+  const double epsilon =
+      config_.preference == FrequencyPreference::kMaxResolution ? magnitude
+                                                                : -magnitude;
+
+  auto build = [&](bool with_time_constraint) {
+    lp::Problem p;
+    const int t = p.add_variable("t", t_lb, t_ub, 1.0);  // minimize t
+    const int z = p.add_variable("z", z_lb, z_ub, -epsilon);
+    const int y = p.add_variable("y", 0.0, lp::kInfinity, 0.0);
+    // y <= z
+    p.add_constraint("transfer_le_output", {{y, 1.0}, {z, -1.0}},
+                     lp::Relation::kLessEqual, 0.0);
+    if (with_time_constraint) {
+      // (5): t + TIO*z - (O/b)*y <= 0
+      p.add_constraint("continuous_visualization",
+                       {{t, 1.0}, {z, tio}, {y, -o_bytes / b}},
+                       lp::Relation::kLessEqual, 0.0);
+    }
+    // (6): t + TIO*z - (O/drain)*z >= 0
+    p.add_constraint("disk_overflow",
+                     {{t, 1.0}, {z, tio - o_bytes / drain}},
+                     lp::Relation::kGreaterEqual, 0.0);
+    return p;
+  };
+
+  lp::Solution sol = lp::solve(build(true));
+  bool relaxed = false;
+  if (!sol.optimal()) {
+    // Fast-network corner: even T_LB cannot saturate the link. Drop eq. 5.
+    sol = lp::solve(build(false));
+    relaxed = true;
+  }
+
+  Decision out;
+  if (!sol.optimal()) {
+    // Defensive fallback: slowest rate, sparsest output. With valid bounds
+    // the relaxed LP is always feasible (z = z_LB, t as needed), so this
+    // path indicates inconsistent inputs rather than a real regime.
+    out.processors = in.min_processors;
+    out.output_interval = in.bounds.max_output_interval;
+    out.note = "LP infeasible even after relaxation; conservative fallback";
+    ADAPTVIZ_LOG_WARN("optimizer", "%s", out.note.c_str());
+  } else {
+    const double t = sol.values[0];
+    const double z = std::max(sol.values[1], 1e-9);
+    out.processors = perf.processors_for(WallSeconds(t), in.work_units);
+    out.output_interval = SimSeconds(ts / z);  // eq. 9
+    out.note = format(
+        "LP%s: t=%.2fs z=%.4f y=%.4f (b=%s, D=%s, n=%.1fh) -> %d procs, "
+        "OI=%.1f sim-min",
+        relaxed ? " (eq.5 relaxed)" : "", t, z, sol.values[2],
+        to_string(in.observed_bandwidth).c_str(),
+        to_string(in.free_disk_bytes).c_str(), n / 3600.0, out.processors,
+        ts / z / 60.0);
+  }
+
+  out.output_interval = quantize_output_interval(
+      out.output_interval, in.integration_step, in.bounds);
+  out.processors =
+      std::clamp(out.processors, in.min_processors, in.max_processors);
+  return out;
+}
+
+}  // namespace adaptviz

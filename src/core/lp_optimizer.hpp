@@ -1,0 +1,68 @@
+// Optimization decision algorithm (paper Section IV-B).
+//
+// Linear program over decision variables
+//   t — execution time per simulation step (seconds),
+//   z — F/S, frames output per frame solved (inverse output interval in
+//       units of the integration step: OI = ts / z, eq. 9),
+//   y — T/S, frames transferred per frame solved:
+//
+//   minimize t
+//   s.t.  t + TIO*z <= (O/b)*y          (continuous visualization, eq. 5)
+//         t + TIO*z >= O*z / (D/n + b)  (no disk overflow within horizon n,
+//                                        linearization of eq. 4; the z on
+//                                        the O term is required by the
+//                                        derivation — see DESIGN.md)
+//         T_LB <= t <= T_UB             (processor bounds, eq. 7)
+//         z_LB <= z <= z_UB             (output-interval bounds, eq. 8)
+//         0 <= y <= z                   (cannot transfer more than written)
+//
+// where O is the frame size, TIO = O / io_bandwidth, b the observed network
+// bandwidth, D the free disk space and n the overflow horizon.
+//
+// When eq. 5 is infeasible (a network so fast that even the maximum
+// simulation rate cannot keep it busy) the constraint is dropped: frames
+// simply queue briefly at the visualization end — the benign direction.
+#pragma once
+
+#include "core/decision.hpp"
+
+namespace adaptviz {
+
+/// Tiebreak among t-optimal solutions: the objective is min t either way;
+/// the frequency preference only selects which optimal vertex is returned.
+enum class FrequencyPreference {
+  /// Steady output at the lowest acceptable frequency — conserves storage
+  /// and yields the near-constant output interval the paper reports for its
+  /// optimization method ("steady-state simulation and visualization rate",
+  /// "the disk output interval is almost constant").
+  kSteady,
+  /// Output as frequently as the constraints allow (maximum temporal
+  /// resolution). Spends the disk budget; compared in the ablation bench.
+  kMaxResolution,
+};
+
+struct OptimizerConfig {
+  /// Bounds for the disk-overflow horizon n. Within them, n is estimated as
+  /// the expected remaining wall time of the run (at the fastest step time),
+  /// padded by `horizon_safety`.
+  WallSeconds min_horizon = WallSeconds::hours(6.0);
+  WallSeconds max_horizon = WallSeconds::hours(48.0);
+  double horizon_safety = 1.5;
+  FrequencyPreference preference = FrequencyPreference::kSteady;
+};
+
+class LpOptimizerAlgorithm final : public DecisionAlgorithm {
+ public:
+  explicit LpOptimizerAlgorithm(OptimizerConfig config = {});
+
+  [[nodiscard]] Decision decide(const DecisionInput& input) override;
+  [[nodiscard]] std::string name() const override { return "optimization"; }
+
+  /// The horizon n used for a given input (exposed for tests).
+  [[nodiscard]] WallSeconds overflow_horizon(const DecisionInput& in) const;
+
+ private:
+  OptimizerConfig config_;
+};
+
+}  // namespace adaptviz

@@ -1,0 +1,227 @@
+#include "core/scenario.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "util/calendar.hpp"
+#include "util/csv.hpp"
+#include "util/string_util.hpp"
+
+namespace adaptviz {
+namespace {
+
+SiteSpec site_preset(const std::string& name) {
+  if (name == "inter-department") return inter_department_site();
+  if (name == "intra-country") return intra_country_site();
+  if (name == "cross-continent") return cross_continent_site();
+  throw std::runtime_error("scenario: unknown site preset '" + name + "'");
+}
+
+AlgorithmKind algorithm_from(const std::string& name) {
+  if (name == "optimization") return AlgorithmKind::kOptimization;
+  if (name == "greedy-threshold") return AlgorithmKind::kGreedyThreshold;
+  if (name == "non-adaptive") return AlgorithmKind::kStatic;
+  throw std::runtime_error("scenario: unknown algorithm '" + name + "'");
+}
+
+std::vector<LinkOutage> parse_outages(const std::string& spec) {
+  std::vector<LinkOutage> out;
+  for (const std::string& window : split(spec, ',')) {
+    const std::string w = trim(window);
+    if (w.empty()) continue;
+    const auto parts = split(w, '-');
+    if (parts.size() != 2) {
+      throw std::runtime_error("scenario: outage window '" + w +
+                               "' must be start-end (hours)");
+    }
+    try {
+      const double start = std::stod(trim(parts[0]));
+      const double end = std::stod(trim(parts[1]));
+      out.push_back(LinkOutage{WallSeconds::hours(start),
+                               WallSeconds::hours(end)});
+    } catch (const std::invalid_argument&) {
+      throw std::runtime_error("scenario: malformed outage window '" + w +
+                               "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ExperimentConfig scenario_from_ini(const IniDocument& doc) {
+  ExperimentConfig cfg;
+
+  // [experiment]
+  cfg.name = doc.get_or("experiment", "name", "scenario");
+  cfg.algorithm =
+      algorithm_from(doc.get_or("experiment", "algorithm", "optimization"));
+  if (auto v = doc.get_double("experiment", "sim_window_hours")) {
+    cfg.sim_window = SimSeconds::hours(*v);
+  }
+  if (auto v = doc.get_double("experiment", "max_wall_hours")) {
+    cfg.max_wall = WallSeconds::hours(*v);
+  }
+  if (auto v = doc.get_double("experiment", "decision_period_hours")) {
+    cfg.decision_period = WallSeconds::hours(*v);
+  }
+  if (auto v = doc.get_double("experiment", "compute_scale")) {
+    cfg.model.compute_scale = *v;
+  }
+  if (auto v = doc.get_int("experiment", "seed")) {
+    cfg.seed = static_cast<std::uint64_t>(*v);
+  }
+  if (auto v = doc.get_int("experiment", "vis_workers")) {
+    cfg.vis_workers = static_cast<int>(*v);
+  }
+  if (auto v = doc.get_bool("experiment", "keep_payloads")) {
+    cfg.keep_payloads = *v;
+  }
+
+  // [site]
+  cfg.site = site_preset(doc.get_or("site", "preset", "inter-department"));
+  if (auto v = doc.get_int("site", "max_cores")) {
+    cfg.site.machine.max_cores = static_cast<int>(*v);
+  }
+  if (auto v = doc.get_int("site", "min_cores")) {
+    cfg.site.machine.min_cores = static_cast<int>(*v);
+  }
+  if (auto v = doc.get_double("site", "disk_gb")) {
+    cfg.site.disk_capacity = Bytes::gigabytes(*v);
+  }
+  if (auto v = doc.get_double("site", "wan_mbps")) {
+    cfg.site.wan_nominal = Bandwidth::mbps(*v);
+  }
+  if (auto v = doc.get_double("site", "wan_efficiency")) {
+    cfg.site.wan_efficiency = *v;
+  }
+  if (auto v = doc.get_double("site", "io_mbps")) {
+    cfg.site.io_bandwidth = Bandwidth::megabytes_per_second(*v);
+  }
+
+  // [bounds]
+  if (auto v = doc.get_double("bounds", "min_output_interval_min")) {
+    cfg.bounds.min_output_interval = SimSeconds::minutes(*v);
+  }
+  if (auto v = doc.get_double("bounds", "max_output_interval_min")) {
+    cfg.bounds.max_output_interval = SimSeconds::minutes(*v);
+  }
+
+  // [model] — "extend our framework for a larger grid": the domain box and
+  // base resolution are fully configurable.
+  if (auto v = doc.get_double("model", "base_resolution_km")) {
+    cfg.model.base_resolution_km = *v;
+  }
+  if (auto v = doc.get_double("model", "nest_extent_deg")) {
+    cfg.model.nest_extent_deg = *v;
+  }
+  if (auto v = doc.get_double("model", "lon0")) cfg.model.lon0 = *v;
+  if (auto v = doc.get_double("model", "lat0")) cfg.model.lat0 = *v;
+  if (auto v = doc.get_double("model", "extent_lon_deg")) {
+    cfg.model.extent_lon_deg = *v;
+  }
+  if (auto v = doc.get_double("model", "extent_lat_deg")) {
+    cfg.model.extent_lat_deg = *v;
+  }
+
+  // [files] — optional on-disk protocol artifacts.
+  if (auto v = doc.get("files", "config_file")) {
+    cfg.manager.config_file_path = *v;
+  }
+  if (auto v = doc.get("files", "checkpoint_dir")) {
+    cfg.job.checkpoint_dir = *v;
+  }
+
+  // [outages]
+  if (auto v = doc.get("outages", "windows")) {
+    cfg.wan_outages = parse_outages(*v);
+  }
+
+  // Sanity.
+  if (cfg.model.compute_scale < 1.0) {
+    throw std::runtime_error("scenario: compute_scale must be >= 1");
+  }
+  if (cfg.sim_window.seconds() <= 0 || cfg.max_wall.seconds() <= 0) {
+    throw std::runtime_error("scenario: windows must be positive");
+  }
+  return cfg;
+}
+
+ExperimentConfig load_scenario(const std::string& path) {
+  return scenario_from_ini(IniDocument::load(path));
+}
+
+void write_result(const ExperimentResult& result, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const std::string base = dir + "/" + result.config.name;
+  const CalendarEpoch epoch = CalendarEpoch::aila_start();
+
+  CsvTable samples({"wall_hours", "sim_label", "sim_hours",
+                    "free_disk_percent", "processors",
+                    "output_interval_min", "resolution_km",
+                    "min_pressure_hpa", "stalled", "critical", "paused",
+                    "frames_written", "frames_sent", "frames_visualized"});
+  for (const TelemetrySample& s : result.samples) {
+    samples.add_row({s.wall_time.as_hours(), epoch.label(s.sim_time),
+                     s.sim_time.as_hours(), s.free_disk_percent,
+                     static_cast<long>(s.processors),
+                     s.output_interval.as_minutes(), s.resolution_km,
+                     s.min_pressure_hpa, static_cast<long>(s.stalled),
+                     static_cast<long>(s.critical),
+                     static_cast<long>(s.paused), s.frames_written,
+                     s.frames_sent, s.frames_visualized});
+  }
+  samples.save(base + "_samples.csv");
+
+  CsvTable vis({"wall_hours", "frame_sim_label", "frame_sim_hours",
+                "sequence", "size_mb"});
+  for (const VisRecord& v : result.vis_records) {
+    vis.add_row({v.wall_time.as_hours(), epoch.label(v.sim_time),
+                 v.sim_time.as_hours(), static_cast<long>(v.sequence),
+                 v.size.mb()});
+  }
+  vis.save(base + "_visualization.csv");
+
+  CsvTable decisions({"wall_hours", "free_disk_percent", "bandwidth_mbps",
+                      "processors", "output_interval_min", "critical",
+                      "note"});
+  for (const DecisionRecord& d : result.decisions) {
+    decisions.add_row({d.wall_time.as_hours(), d.input.free_disk_percent,
+                       d.input.observed_bandwidth.megabits_per_sec(),
+                       static_cast<long>(d.decision.processors),
+                       d.decision.output_interval.as_minutes(),
+                       static_cast<long>(d.decision.critical),
+                       d.decision.note});
+  }
+  decisions.save(base + "_decisions.csv");
+
+  CsvTable track({"sim_label", "lat", "lon", "min_pressure_hpa",
+                  "max_wind_ms"});
+  for (const TrackPoint& p : result.track) {
+    track.add_row({epoch.label(p.time), p.eye.lat, p.eye.lon,
+                   p.min_pressure_hpa, p.max_wind_ms});
+  }
+  track.save(base + "_track.csv");
+
+  IniDocument summary;
+  const ExperimentSummary& s = result.summary;
+  summary.set("summary", "name", result.config.name);
+  summary.set("summary", "algorithm", to_string(result.config.algorithm));
+  summary.set_bool("summary", "completed", s.completed);
+  summary.set_double("summary", "wall_hours", s.wall_elapsed.as_hours());
+  summary.set_double("summary", "sim_finished_wall_hours",
+                     s.sim_finished_wall.as_hours());
+  summary.set_double("summary", "sim_reached_hours", s.sim_reached.as_hours());
+  summary.set_double("summary", "peak_disk_gb", s.peak_disk_used.gb());
+  summary.set_double("summary", "min_free_disk_percent",
+                     s.min_free_disk_percent);
+  summary.set_double("summary", "stall_hours", s.total_stall_time.as_hours());
+  summary.set_int("summary", "frames_written", s.frames_written);
+  summary.set_int("summary", "frames_sent", s.frames_sent);
+  summary.set_int("summary", "frames_visualized", s.frames_visualized);
+  summary.set_int("summary", "restarts", s.restarts);
+  summary.set_int("summary", "decisions", s.decision_count);
+  summary.save(base + "_summary.ini");
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,57 @@
+// Scenario files: INI-driven experiment configuration.
+//
+// The paper's future work asks to run "a larger grid and ... different
+// configuration settings"; scenario files make any configuration runnable
+// without recompiling (see tools/adaptviz_run and scenarios/*.ini):
+//
+//   [experiment]
+//   name = my-run
+//   algorithm = optimization          ; or greedy-threshold
+//   sim_window_hours = 60
+//   max_wall_hours = 60
+//   decision_period_hours = 1.5
+//   compute_scale = 8
+//   seed = 42
+//   vis_workers = 1
+//
+//   [site]
+//   preset = inter-department         ; inter-department | intra-country |
+//                                     ; cross-continent (each overridable)
+//   max_cores = 48
+//   disk_gb = 182
+//   wan_mbps = 56
+//   wan_efficiency = 0.10
+//   io_mbps = 150
+//
+//   [bounds]
+//   min_output_interval_min = 3
+//   max_output_interval_min = 25
+//
+//   [model]
+//   base_resolution_km = 24
+//   nest_extent_deg = 9
+//
+//   [outages]                          ; optional failure injection
+//   windows = 10-14, 30-31.5           ; wall hours
+#pragma once
+
+#include <string>
+
+#include "core/framework.hpp"
+#include "util/ini.hpp"
+
+namespace adaptviz {
+
+/// Builds an ExperimentConfig from a parsed scenario document. Unknown
+/// values raise std::runtime_error with the offending key.
+ExperimentConfig scenario_from_ini(const IniDocument& doc);
+
+/// Loads and parses a scenario file.
+ExperimentConfig load_scenario(const std::string& path);
+
+/// Writes an ExperimentResult as CSV files under `dir`:
+/// <name>_samples.csv, <name>_visualization.csv, <name>_decisions.csv,
+/// <name>_track.csv, and <name>_summary.ini.
+void write_result(const ExperimentResult& result, const std::string& dir);
+
+}  // namespace adaptviz

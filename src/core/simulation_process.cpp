@@ -1,0 +1,210 @@
+#include "core/simulation_process.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace adaptviz {
+
+SimulationProcess::SimulationProcess(
+    EventQueue& queue, GroundTruthMachine& machine, DiskModel& disk,
+    FrameCatalog& catalog, FrameSender& sender,
+    const ApplicationConfiguration& shared_config, Options options,
+    Callbacks callbacks)
+    : queue_(queue),
+      machine_(machine),
+      disk_(disk),
+      catalog_(catalog),
+      sender_(sender),
+      config_(shared_config),
+      options_(options),
+      callbacks_(std::move(callbacks)) {
+  if (options_.stall_poll.seconds() <= 0) {
+    throw std::invalid_argument("SimulationProcess: stall_poll must be > 0");
+  }
+}
+
+SimSeconds SimulationProcess::sim_time() const {
+  return model_ ? model_->sim_time() : SimSeconds(0.0);
+}
+
+WallSeconds SimulationProcess::total_stall_time() const {
+  WallSeconds total = stall_time_;
+  if (stalled_) total += queue_.now() - stall_started_;
+  return total;
+}
+
+void SimulationProcess::start(std::unique_ptr<WeatherModel> model) {
+  if (running_) {
+    throw std::logic_error("SimulationProcess: already running");
+  }
+  if (!model) throw std::invalid_argument("SimulationProcess: null model");
+  model_ = std::move(model);
+  running_ = true;
+  stalled_ = false;
+  finished_ = false;
+  launch_processors_ = config_.processors;
+  launch_output_interval_ = config_.output_interval;
+  last_signaled_resolution_ = model_->recommended_resolution_km();
+  next_output_due_ = model_->sim_time() + launch_output_interval_;
+  ADAPTVIZ_LOG_INFO("simulation",
+                    "started: %d procs, OI=%.1f sim-min, res=%.1f km",
+                    config_.processors,
+                    config_.output_interval.as_minutes(),
+                    model_->modeled_resolution_km());
+  schedule_step();
+}
+
+void SimulationProcess::request_stop(std::function<void(NclFile)> stopped) {
+  if (!stopped) throw std::invalid_argument("request_stop: null callback");
+  if (stop_pending()) {
+    throw std::logic_error("SimulationProcess: stop already pending");
+  }
+  stop_callback_ = std::move(stopped);
+  if (!running_ || finished_) {
+    deliver_stop();
+    return;
+  }
+  // A step in flight completes first; an idle/stalled process is collected
+  // at its next poll. Nothing to do here — the loops check stop_pending().
+}
+
+void SimulationProcess::deliver_stop() {
+  running_ = false;
+  auto cb = std::move(stop_callback_);
+  stop_callback_ = nullptr;
+  if (!model_) {
+    throw std::logic_error("SimulationProcess: stop without a model");
+  }
+  ADAPTVIZ_LOG_INFO("simulation", "stopped at sim %.1f h (checkpointing)",
+                    model_->sim_time().as_hours());
+  cb(model_->checkpoint());
+}
+
+void SimulationProcess::schedule_step() {
+  if (stop_pending()) {
+    deliver_stop();
+    return;
+  }
+  if (finished_ || !running_) return;
+  if (config_.critical || config_.paused) {
+    enter_stall(config_.critical ? "CRITICAL flag set" : "paused by steering");
+    return;
+  }
+  step_in_flight_ = true;
+  const WallSeconds cost = machine_.step_time(
+      std::max(1, launch_processors_), model_->work_units());
+  queue_.schedule_after(
+      cost, [this] { complete_step(); }, "simulation.step");
+}
+
+void SimulationProcess::complete_step() {
+  step_in_flight_ = false;
+  model_->step();
+  ++steps_;
+
+  if (model_->resolution_change_pending()) {
+    const double rec = model_->recommended_resolution_km();
+    if (rec < last_signaled_resolution_ - 1e-9 &&
+        callbacks_.on_resolution_signal) {
+      last_signaled_resolution_ = rec;
+      ADAPTVIZ_LOG_INFO("simulation",
+                        "pressure %.1f hPa: signalling resolution %.1f km",
+                        model_->min_pressure_hpa(), rec);
+      callbacks_.on_resolution_signal(rec);
+    }
+  }
+
+  if (model_->sim_time() >= next_output_due_ - SimSeconds(1e-6)) {
+    try_write_frame();
+    return;
+  }
+  finish_or_continue();
+}
+
+void SimulationProcess::try_write_frame() {
+  const Bytes size = model_->frame_bytes();
+  if (!disk_.allocate(size)) {
+    enter_stall("disk full");
+    return;
+  }
+  const WallSeconds tio = disk_.write_time(size);
+  queue_.schedule_after(
+      tio,
+      [this, size] {
+        Frame frame;
+        frame.sequence = next_sequence_++;
+        frame.sim_time = model_->sim_time();
+        frame.resolution_km = model_->modeled_resolution_km();
+        frame.min_pressure_hpa = model_->min_pressure_hpa();
+        frame.nest_active = model_->nest_active();
+        frame.size = size;
+        if (options_.keep_payloads) {
+          frame.payload = std::make_shared<NclFile>(model_->make_frame());
+        }
+        catalog_.push(std::move(frame));
+        sender_.kick();
+        ++frames_;
+        next_output_due_ += launch_output_interval_;
+        finish_or_continue();
+      },
+      "simulation.write_frame");
+}
+
+void SimulationProcess::enter_stall(const char* reason) {
+  if (!stalled_) {
+    stalled_ = true;
+    stall_started_ = queue_.now();
+    ADAPTVIZ_LOG_WARN("simulation", "stalled at wall %s: %s",
+                      hh_mm(queue_.now()).c_str(), reason);
+  }
+  queue_.schedule_after(
+      options_.stall_poll, [this] { stall_check(); }, "simulation.stall");
+}
+
+void SimulationProcess::stall_check() {
+  if (!stalled_) return;
+  if (stop_pending()) {
+    stall_time_ += queue_.now() - stall_started_;
+    stalled_ = false;
+    deliver_stop();
+    return;
+  }
+  if (config_.critical || config_.paused) {
+    queue_.schedule_after(
+        options_.stall_poll, [this] { stall_check(); }, "simulation.stall");
+    return;
+  }
+  // Flag cleared: leave the stall and resume where we left off.
+  stall_time_ += queue_.now() - stall_started_;
+  stalled_ = false;
+  ADAPTVIZ_LOG_INFO("simulation", "resuming after %.1f min stall",
+                    (queue_.now() - stall_started_).seconds() / 60.0);
+  if (model_->sim_time() >= next_output_due_ - SimSeconds(1e-6)) {
+    try_write_frame();
+  } else {
+    schedule_step();
+  }
+}
+
+void SimulationProcess::finish_or_continue() {
+  if (model_->sim_time() >= options_.end_time) {
+    finished_ = true;
+    running_ = false;
+    ADAPTVIZ_LOG_INFO("simulation", "finished at wall %s",
+                      hh_mm(queue_.now()).c_str());
+    if (stop_pending()) {
+      // A restart raced completion; honour the stop contract anyway.
+      auto cb = std::move(stop_callback_);
+      stop_callback_ = nullptr;
+      cb(model_->checkpoint());
+      return;
+    }
+    if (callbacks_.on_finished) callbacks_.on_finished();
+    return;
+  }
+  schedule_step();
+}
+
+}  // namespace adaptviz

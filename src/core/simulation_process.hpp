@@ -1,0 +1,124 @@
+// Simulation process: drives the weather model on the cluster.
+//
+// Event-driven counterpart of the paper's WRF run: each simulation step
+// costs ground-truth machine time for the configured processor count; every
+// output_interval of simulated time a frame is written to the disk model
+// (costing TIO at the parallel-I/O rate) and registered with the frame
+// catalog for the sender. The process
+//
+//  * stalls when the CRITICAL flag is set in the shared application
+//    configuration ("the simulation process stalls execution, and
+//    periodically checks the application configuration file"),
+//  * stalls when the disk cannot take the next frame (continuing without
+//    output would leave "gaps" in the visualization — paper Section III-B),
+//  * signals the job handler when the cyclone crosses a Table III pressure
+//    threshold ("whenever WRF finds the values of its certain variables drop
+//    below a certain threshold, it stops and the job handler reschedules
+//    it"), and
+//  * supports stop-with-checkpoint so the job handler can reschedule it
+//    with a new configuration.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/app_config.hpp"
+#include "dataio/frame.hpp"
+#include "resources/cluster.hpp"
+#include "resources/disk.hpp"
+#include "resources/event_queue.hpp"
+#include "transport/sender.hpp"
+#include "weather/model.hpp"
+
+namespace adaptviz {
+
+class SimulationProcess {
+ public:
+  struct Options {
+    /// Simulated time at which the run is complete.
+    SimSeconds end_time = SimSeconds::hours(60.0);
+    /// How often a stalled process re-checks the configuration/disk.
+    WallSeconds stall_poll = WallSeconds::minutes(5.0);
+    /// Attach real field payloads to frames (examples; costs memory).
+    bool keep_payloads = false;
+  };
+
+  struct Callbacks {
+    /// The storm crossed a resolution threshold; argument is the new
+    /// Table III resolution. The process keeps running until stopped.
+    std::function<void(double)> on_resolution_signal;
+    /// The simulation reached end_time.
+    std::function<void()> on_finished;
+  };
+
+  SimulationProcess(EventQueue& queue, GroundTruthMachine& machine,
+                    DiskModel& disk, FrameCatalog& catalog,
+                    FrameSender& sender,
+                    const ApplicationConfiguration& shared_config,
+                    Options options, Callbacks callbacks);
+
+  /// Takes ownership of a model and starts stepping. The model's resolution
+  /// must already match the shared configuration.
+  void start(std::unique_ptr<WeatherModel> model);
+
+  /// Requests a stop at the next step boundary; `stopped` receives the
+  /// checkpoint. No further events fire for this process afterwards.
+  void request_stop(std::function<void(NclFile)> stopped);
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] bool stalled() const { return stalled_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] const WeatherModel* model() const { return model_.get(); }
+  [[nodiscard]] SimSeconds sim_time() const;
+
+  // --- Statistics ---
+  [[nodiscard]] std::int64_t steps_executed() const { return steps_; }
+  [[nodiscard]] std::int64_t frames_written() const { return frames_; }
+  /// Includes a still-open stall up to the current virtual time.
+  [[nodiscard]] WallSeconds total_stall_time() const;
+
+ private:
+  void schedule_step();
+  void complete_step();
+  void try_write_frame();
+  void enter_stall(const char* reason);
+  void stall_check();
+  void finish_or_continue();
+  [[nodiscard]] bool stop_pending() const {
+    return static_cast<bool>(stop_callback_);
+  }
+  void deliver_stop();
+
+  EventQueue& queue_;
+  GroundTruthMachine& machine_;
+  DiskModel& disk_;
+  FrameCatalog& catalog_;
+  FrameSender& sender_;
+  const ApplicationConfiguration& config_;
+  Options options_;
+  Callbacks callbacks_;
+
+  std::unique_ptr<WeatherModel> model_;
+  bool running_ = false;
+  bool stalled_ = false;
+  bool finished_ = false;
+  bool step_in_flight_ = false;
+  std::function<void(NclFile)> stop_callback_;
+
+  /// Knobs snapshotted at start(): processors and output interval only
+  /// change through a job-handler restart (as with a real WRF job); the
+  /// CRITICAL flag, by contrast, is read live from the shared config.
+  int launch_processors_ = 1;
+  SimSeconds launch_output_interval_{180.0};
+
+  SimSeconds next_output_due_{0.0};
+  std::int64_t next_sequence_ = 0;
+  double last_signaled_resolution_ = 0.0;
+
+  std::int64_t steps_ = 0;
+  std::int64_t frames_ = 0;
+  WallSeconds stall_time_{0.0};
+  WallSeconds stall_started_{0.0};
+};
+
+}  // namespace adaptviz

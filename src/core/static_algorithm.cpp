@@ -1,0 +1,25 @@
+#include "core/static_algorithm.hpp"
+
+#include <algorithm>
+
+#include "util/string_util.hpp"
+
+namespace adaptviz {
+
+Decision StaticAlgorithm::decide(const DecisionInput& in) {
+  Decision d;
+  d.processors = processors_ > 0 ? processors_ : in.max_processors;
+  d.processors = std::clamp(d.processors, in.min_processors,
+                            in.max_processors);
+  const SimSeconds oi = output_interval_.seconds() > 0
+                            ? output_interval_
+                            : in.bounds.min_output_interval;
+  d.output_interval =
+      quantize_output_interval(oi, in.integration_step, in.bounds);
+  d.critical = false;  // it never reacts; the manager's safety net may
+  d.note = format("non-adaptive: %d procs, OI %.1f sim-min (fixed)",
+                  d.processors, d.output_interval.as_minutes());
+  return d;
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,30 @@
+// Non-adaptive baseline.
+//
+// The paper argues from its cross-continent result that "a non-adaptive
+// solution would result in stalling of the simulation much earlier than in
+// the greedy algorithm". This algorithm is that solution: pick maximum
+// processors and the most frequent output once, and never react to
+// anything (it does not even set CRITICAL — the framework's safety net has
+// to). It exists to quantify that sentence.
+#pragma once
+
+#include "core/decision.hpp"
+
+namespace adaptviz {
+
+class StaticAlgorithm final : public DecisionAlgorithm {
+ public:
+  /// Fixed configuration; zero values mean "max processors" / "minimum
+  /// output interval" resolved on first invocation.
+  StaticAlgorithm(int processors = 0, SimSeconds output_interval = SimSeconds(0.0))
+      : processors_(processors), output_interval_(output_interval) {}
+
+  [[nodiscard]] Decision decide(const DecisionInput& input) override;
+  [[nodiscard]] std::string name() const override { return "non-adaptive"; }
+
+ private:
+  int processors_;
+  SimSeconds output_interval_;
+};
+
+}  // namespace adaptviz

@@ -1,0 +1,24 @@
+#include "core/storage_estimate.hpp"
+
+#include <stdexcept>
+
+namespace adaptviz {
+
+std::optional<WallSeconds> time_until_storage_full(
+    const StorageEstimateInput& in) {
+  if (in.frame_size <= Bytes(0) || in.step_time.seconds() <= 0 ||
+      in.io_bandwidth.bytes_per_sec() <= 0 || in.disk_capacity <= Bytes(0) ||
+      in.frames_per_step <= 0) {
+    throw std::invalid_argument("time_until_storage_full: bad input");
+  }
+  // One output cycle: solve 1/frames_per_step steps, then write the frame.
+  const double tio =
+      in.frame_size.as_double() / in.io_bandwidth.bytes_per_sec();
+  const double cycle = in.step_time.seconds() / in.frames_per_step + tio;
+  const double inflow = in.frame_size.as_double() / cycle;
+  const double outflow = in.network_bandwidth.bytes_per_sec();
+  if (inflow <= outflow) return std::nullopt;
+  return WallSeconds(in.disk_capacity.as_double() / (inflow - outflow));
+}
+
+}  // namespace adaptviz

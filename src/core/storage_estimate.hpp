@@ -1,0 +1,35 @@
+// Analytic disk-exhaustion estimate (paper Table I).
+//
+// For a simulation producing a frame of size O every (t + TIO) wall seconds
+// while a network drains the disk at bandwidth b, the stable storage of
+// size D is exhausted after
+//
+//   T_full = D / (O / (t + TIO) - b)
+//
+// (infinite when the network keeps up). Table I instantiates this for the
+// paper's projected petascale run: 4486x4486 points at 10 km, ~31 GB per
+// frame, 1.2 s per step on 16,384 cores, 5 GBps parallel I/O.
+#pragma once
+
+#include <optional>
+
+#include "util/units.hpp"
+
+namespace adaptviz {
+
+struct StorageEstimateInput {
+  Bytes frame_size = Bytes::gigabytes(31);
+  WallSeconds step_time{1.2};
+  Bandwidth io_bandwidth = Bandwidth::gigabytes_per_second(5);
+  Bandwidth network_bandwidth = Bandwidth::gbps(1);
+  Bytes disk_capacity = Bytes::terabytes(5);
+  /// Frames produced per simulation step (1 = output every step).
+  double frames_per_step = 1.0;
+};
+
+/// Wall time until the disk is full; nullopt when the inflow never exceeds
+/// the network drain (storage never fills).
+std::optional<WallSeconds> time_until_storage_full(
+    const StorageEstimateInput& input);
+
+}  // namespace adaptviz

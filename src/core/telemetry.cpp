@@ -1,0 +1,31 @@
+#include "core/telemetry.hpp"
+
+#include <stdexcept>
+
+namespace adaptviz {
+
+TelemetryRecorder::TelemetryRecorder(EventQueue& queue, SampleFn fn,
+                                     WallSeconds period)
+    : queue_(queue), fn_(std::move(fn)), period_(period) {
+  if (!fn_) throw std::invalid_argument("TelemetryRecorder: null sampler");
+  if (period_.seconds() <= 0) {
+    throw std::invalid_argument("TelemetryRecorder: period must be > 0");
+  }
+}
+
+void TelemetryRecorder::start() {
+  if (running_) return;
+  running_ = true;
+  tick();
+}
+
+void TelemetryRecorder::stop() { running_ = false; }
+
+void TelemetryRecorder::tick() {
+  if (!running_) return;
+  samples_.push_back(fn_());
+  queue_.schedule_after(
+      period_, [this] { tick(); }, "telemetry.tick");
+}
+
+}  // namespace adaptviz

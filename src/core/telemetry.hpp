@@ -1,0 +1,57 @@
+// Experiment telemetry: the time series behind the paper's figures.
+//
+//  * Fig 5 (simulation progress): (wall_time, sim_time)
+//  * Fig 6 (free disk):           (wall_time, free_disk_percent)
+//  * Fig 7 (visualization):       VisRecord series from the vis process
+//  * Fig 8 (adaptivity):          (wall_time, processors, output_interval)
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "resources/event_queue.hpp"
+#include "util/units.hpp"
+
+namespace adaptviz {
+
+struct TelemetrySample {
+  WallSeconds wall_time{};
+  SimSeconds sim_time{};
+  double free_disk_percent = 100.0;
+  int processors = 0;
+  SimSeconds output_interval{};
+  double resolution_km = 0.0;
+  double min_pressure_hpa = 0.0;
+  bool stalled = false;
+  bool critical = false;
+  bool paused = false;
+  std::int64_t frames_written = 0;
+  std::int64_t frames_sent = 0;
+  std::int64_t frames_visualized = 0;
+};
+
+class TelemetryRecorder {
+ public:
+  using SampleFn = std::function<TelemetrySample()>;
+
+  /// Samples `fn` immediately and then every `period` until stop().
+  TelemetryRecorder(EventQueue& queue, SampleFn fn, WallSeconds period);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const std::vector<TelemetrySample>& samples() const {
+    return samples_;
+  }
+
+ private:
+  void tick();
+
+  EventQueue& queue_;
+  SampleFn fn_;
+  WallSeconds period_;
+  bool running_ = false;
+  std::vector<TelemetrySample> samples_;
+};
+
+}  // namespace adaptviz

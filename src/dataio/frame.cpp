@@ -1,0 +1,31 @@
+#include "dataio/frame.hpp"
+
+#include <stdexcept>
+
+namespace adaptviz {
+
+void FrameCatalog::push(Frame frame) {
+  if (!frames_.empty() && frame.sequence <= frames_.back().sequence) {
+    throw std::invalid_argument("FrameCatalog: non-increasing sequence");
+  }
+  if (frame.size < Bytes(0)) {
+    throw std::invalid_argument("FrameCatalog: negative frame size");
+  }
+  total_ += frame.size;
+  frames_.push_back(std::move(frame));
+}
+
+std::optional<Frame> FrameCatalog::oldest() const {
+  if (frames_.empty()) return std::nullopt;
+  return frames_.front();
+}
+
+Frame FrameCatalog::pop_oldest() {
+  if (frames_.empty()) throw std::logic_error("FrameCatalog: empty");
+  Frame f = std::move(frames_.front());
+  frames_.pop_front();
+  total_ -= f.size;
+  return f;
+}
+
+}  // namespace adaptviz

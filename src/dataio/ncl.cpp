@@ -1,0 +1,274 @@
+#include "dataio/ncl.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace adaptviz {
+namespace {
+
+constexpr char kMagic[4] = {'N', 'C', 'L', '1'};
+constexpr std::uint32_t kMaxNameLen = 1u << 16;
+constexpr std::uint64_t kMaxElements = 1ull << 32;
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.write(b, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.write(b, 8);
+}
+
+void put_f64(std::ostream& out, double v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.write(b, 8);
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  char b[4];
+  in.read(b, 4);
+  if (!in) throw std::runtime_error("ncl: truncated stream (u32)");
+  std::uint32_t v;
+  std::memcpy(&v, b, 4);
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  char b[8];
+  in.read(b, 8);
+  if (!in) throw std::runtime_error("ncl: truncated stream (u64)");
+  std::uint64_t v;
+  std::memcpy(&v, b, 8);
+  return v;
+}
+
+double get_f64(std::istream& in) {
+  char b[8];
+  in.read(b, 8);
+  if (!in) throw std::runtime_error("ncl: truncated stream (f64)");
+  double v;
+  std::memcpy(&v, b, 8);
+  return v;
+}
+
+void put_name(std::ostream& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_name(std::istream& in) {
+  const std::uint32_t len = get_u32(in);
+  if (len > kMaxNameLen) throw std::runtime_error("ncl: name too long");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) throw std::runtime_error("ncl: truncated stream (name)");
+  return s;
+}
+
+std::uint64_t name_size(const std::string& s) { return 4 + s.size(); }
+
+void put_attr(std::ostream& out, const std::string& name,
+              const NclAttribute& a) {
+  put_name(out, name);
+  if (const auto* s = std::get_if<std::string>(&a)) {
+    out.put(0);
+    put_name(out, *s);
+  } else if (const auto* d = std::get_if<double>(&a)) {
+    out.put(1);
+    put_f64(out, *d);
+  } else {
+    out.put(2);
+    put_u64(out, static_cast<std::uint64_t>(std::get<std::int64_t>(a)));
+  }
+}
+
+std::pair<std::string, NclAttribute> get_attr(std::istream& in) {
+  std::string name = get_name(in);
+  const int kind = in.get();
+  if (kind == 0) return {std::move(name), get_name(in)};
+  if (kind == 1) return {std::move(name), get_f64(in)};
+  if (kind == 2) {
+    return {std::move(name), static_cast<std::int64_t>(get_u64(in))};
+  }
+  throw std::runtime_error("ncl: unknown attribute kind");
+}
+
+std::uint64_t attr_size(const std::string& name, const NclAttribute& a) {
+  std::uint64_t s = name_size(name) + 1;
+  if (const auto* str = std::get_if<std::string>(&a)) {
+    s += name_size(*str);
+  } else {
+    s += 8;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::uint64_t NclVariable::element_count(
+    const std::vector<NclDimension>& dims_table) const {
+  std::uint64_t n = 1;
+  for (std::uint32_t d : dims) {
+    n *= dims_table.at(d).size;
+  }
+  return n;
+}
+
+std::uint32_t NclFile::add_dimension(const std::string& name,
+                                     std::uint64_t size) {
+  for (const auto& d : dims_) {
+    if (d.name == name) {
+      throw std::invalid_argument("ncl: duplicate dimension " + name);
+    }
+  }
+  dims_.push_back(NclDimension{name, size});
+  return static_cast<std::uint32_t>(dims_.size()) - 1;
+}
+
+void NclFile::add_variable(NclVariable var) {
+  for (std::uint32_t d : var.dims) {
+    if (d >= dims_.size()) {
+      throw std::invalid_argument("ncl: variable " + var.name +
+                                  " references unknown dimension");
+    }
+  }
+  if (var.data.size() != var.element_count(dims_)) {
+    throw std::invalid_argument("ncl: variable " + var.name +
+                                " data size does not match dimensions");
+  }
+  for (const auto& v : vars_) {
+    if (v.name == var.name) {
+      throw std::invalid_argument("ncl: duplicate variable " + var.name);
+    }
+  }
+  vars_.push_back(std::move(var));
+}
+
+void NclFile::set_attribute(const std::string& name, NclAttribute value) {
+  attrs_[name] = std::move(value);
+}
+
+const NclVariable& NclFile::variable(const std::string& name) const {
+  for (const auto& v : vars_) {
+    if (v.name == name) return v;
+  }
+  throw std::out_of_range("ncl: no variable " + name);
+}
+
+bool NclFile::has_variable(const std::string& name) const {
+  for (const auto& v : vars_) {
+    if (v.name == name) return true;
+  }
+  return false;
+}
+
+const NclDimension& NclFile::dimension(const std::string& name) const {
+  for (const auto& d : dims_) {
+    if (d.name == name) return d;
+  }
+  throw std::out_of_range("ncl: no dimension " + name);
+}
+
+std::uint64_t NclFile::encoded_size() const {
+  std::uint64_t s = 4 + 4;  // magic + ndims
+  for (const auto& d : dims_) s += name_size(d.name) + 8;
+  s += 4;
+  for (const auto& [n, a] : attrs_) s += attr_size(n, a);
+  s += 4;
+  for (const auto& v : vars_) {
+    s += name_size(v.name) + 4 + 4ull * v.dims.size() + 4;
+    for (const auto& [n, a] : v.attributes) s += attr_size(n, a);
+    s += 8 + 8ull * v.data.size();
+  }
+  return s;
+}
+
+void NclFile::encode(std::ostream& out) const {
+  out.write(kMagic, 4);
+  put_u32(out, static_cast<std::uint32_t>(dims_.size()));
+  for (const auto& d : dims_) {
+    put_name(out, d.name);
+    put_u64(out, d.size);
+  }
+  put_u32(out, static_cast<std::uint32_t>(attrs_.size()));
+  for (const auto& [n, a] : attrs_) put_attr(out, n, a);
+  put_u32(out, static_cast<std::uint32_t>(vars_.size()));
+  for (const auto& v : vars_) {
+    put_name(out, v.name);
+    put_u32(out, static_cast<std::uint32_t>(v.dims.size()));
+    for (std::uint32_t d : v.dims) put_u32(out, d);
+    put_u32(out, static_cast<std::uint32_t>(v.attributes.size()));
+    for (const auto& [n, a] : v.attributes) put_attr(out, n, a);
+    put_u64(out, v.data.size());
+    for (double x : v.data) put_f64(out, x);
+  }
+  if (!out) throw std::runtime_error("ncl: write failed");
+}
+
+NclFile NclFile::decode(std::istream& in) {
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("ncl: bad magic");
+  }
+  NclFile f;
+  const std::uint32_t ndims = get_u32(in);
+  for (std::uint32_t i = 0; i < ndims; ++i) {
+    std::string name = get_name(in);
+    const std::uint64_t size = get_u64(in);
+    f.dims_.push_back(NclDimension{std::move(name), size});
+  }
+  const std::uint32_t ngattrs = get_u32(in);
+  for (std::uint32_t i = 0; i < ngattrs; ++i) {
+    auto [n, a] = get_attr(in);
+    f.attrs_[n] = std::move(a);
+  }
+  const std::uint32_t nvars = get_u32(in);
+  for (std::uint32_t i = 0; i < nvars; ++i) {
+    NclVariable v;
+    v.name = get_name(in);
+    const std::uint32_t vd = get_u32(in);
+    for (std::uint32_t k = 0; k < vd; ++k) {
+      const std::uint32_t d = get_u32(in);
+      if (d >= f.dims_.size()) {
+        throw std::runtime_error("ncl: variable references unknown dimension");
+      }
+      v.dims.push_back(d);
+    }
+    const std::uint32_t na = get_u32(in);
+    for (std::uint32_t k = 0; k < na; ++k) {
+      auto [n, a] = get_attr(in);
+      v.attributes[n] = std::move(a);
+    }
+    const std::uint64_t count = get_u64(in);
+    if (count > kMaxElements || count != v.element_count(f.dims_)) {
+      throw std::runtime_error("ncl: variable " + v.name +
+                               " has inconsistent element count");
+    }
+    v.data.resize(count);
+    for (std::uint64_t k = 0; k < count; ++k) v.data[k] = get_f64(in);
+    f.vars_.push_back(std::move(v));
+  }
+  return f;
+}
+
+void NclFile::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("ncl: cannot open " + path);
+  encode(out);
+}
+
+NclFile NclFile::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("ncl: cannot open " + path);
+  return decode(in);
+}
+
+}  // namespace adaptviz

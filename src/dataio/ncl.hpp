@@ -1,0 +1,85 @@
+// "NCL" — a netCDF-lite self-describing container.
+//
+// WRF writes its frames as NetCDF; the real format (and its libraries) is
+// out of scope offline, so NCL reproduces the properties the framework
+// relies on: named dimensions, named multi-dimensional variables with
+// per-variable attributes, global attributes, and a binary encoding whose
+// size scales with the grid. Layout (little-endian):
+//
+//   magic "NCL1" | u32 ndims | dims | u32 ngattrs | attrs | u32 nvars | vars
+//   dim  := name | u64 size
+//   attr := name | u8 kind | payload        (kind: 0=string, 1=f64, 2=i64)
+//   var  := name | u32 ndims | dim indices | u32 nattrs | attrs
+//           | u64 count | f64 * count
+//   name := u32 length | bytes
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace adaptviz {
+
+using NclAttribute = std::variant<std::string, double, std::int64_t>;
+
+struct NclDimension {
+  std::string name;
+  std::uint64_t size = 0;
+};
+
+struct NclVariable {
+  std::string name;
+  std::vector<std::uint32_t> dims;  // indices into the file's dimension table
+  std::map<std::string, NclAttribute> attributes;
+  std::vector<double> data;  // row-major over dims
+
+  /// Product of dimension sizes, for validation against data.size().
+  [[nodiscard]] std::uint64_t element_count(
+      const std::vector<NclDimension>& dims_table) const;
+};
+
+class NclFile {
+ public:
+  /// Registers a dimension and returns its index. Duplicate names throw.
+  std::uint32_t add_dimension(const std::string& name, std::uint64_t size);
+
+  /// Adds a variable over previously registered dimensions; data length must
+  /// equal the product of dimension sizes.
+  void add_variable(NclVariable var);
+
+  void set_attribute(const std::string& name, NclAttribute value);
+
+  [[nodiscard]] const std::vector<NclDimension>& dimensions() const {
+    return dims_;
+  }
+  [[nodiscard]] const std::vector<NclVariable>& variables() const {
+    return vars_;
+  }
+  [[nodiscard]] const std::map<std::string, NclAttribute>& attributes() const {
+    return attrs_;
+  }
+
+  /// Lookup helpers; throw std::out_of_range when missing.
+  [[nodiscard]] const NclVariable& variable(const std::string& name) const;
+  [[nodiscard]] const NclDimension& dimension(const std::string& name) const;
+  [[nodiscard]] bool has_variable(const std::string& name) const;
+
+  /// Serialized size in bytes (what the disk model accounts for).
+  [[nodiscard]] std::uint64_t encoded_size() const;
+
+  void encode(std::ostream& out) const;
+  static NclFile decode(std::istream& in);
+
+  void save(const std::string& path) const;
+  static NclFile load(const std::string& path);
+
+ private:
+  std::vector<NclDimension> dims_;
+  std::vector<NclVariable> vars_;
+  std::map<std::string, NclAttribute> attrs_;
+};
+
+}  // namespace adaptviz

@@ -1,0 +1,87 @@
+#include "lp/problem.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace adaptviz::lp {
+
+int Problem::add_variable(std::string name, double lower, double upper,
+                          double objective) {
+  if (lower > upper) {
+    throw std::invalid_argument("lp: variable '" + name +
+                                "' has lower > upper");
+  }
+  variables_.push_back(
+      Variable{std::move(name), lower, upper, objective});
+  return static_cast<int>(variables_.size()) - 1;
+}
+
+void Problem::add_constraint(std::string name,
+                             std::vector<std::pair<int, double>> terms,
+                             Relation relation, double rhs) {
+  for (const auto& [var, coeff] : terms) {
+    (void)coeff;
+    if (var < 0 || var >= variable_count()) {
+      throw std::invalid_argument("lp: constraint '" + name +
+                                  "' references unknown variable");
+    }
+  }
+  constraints_.push_back(
+      Constraint{std::move(name), std::move(terms), relation, rhs});
+}
+
+void Problem::set_objective(int var, double coefficient) {
+  if (var < 0 || var >= variable_count()) {
+    throw std::invalid_argument("lp: set_objective on unknown variable");
+  }
+  variables_[static_cast<size_t>(var)].objective = coefficient;
+}
+
+const Variable& Problem::variable(int i) const {
+  return variables_.at(static_cast<size_t>(i));
+}
+
+const Constraint& Problem::constraint(int i) const {
+  return constraints_.at(static_cast<size_t>(i));
+}
+
+std::string Problem::str() const {
+  std::ostringstream out;
+  out << "minimize ";
+  bool first = true;
+  for (const auto& v : variables_) {
+    if (v.objective == 0.0) continue;
+    if (!first) out << " + ";
+    out << v.objective << "*" << v.name;
+    first = false;
+  }
+  if (first) out << "0";
+  out << "\nsubject to\n";
+  for (const auto& c : constraints_) {
+    out << "  " << c.name << ": ";
+    for (size_t i = 0; i < c.terms.size(); ++i) {
+      if (i) out << " + ";
+      out << c.terms[i].second << "*"
+          << variables_[static_cast<size_t>(c.terms[i].first)].name;
+    }
+    switch (c.relation) {
+      case Relation::kLessEqual:
+        out << " <= ";
+        break;
+      case Relation::kGreaterEqual:
+        out << " >= ";
+        break;
+      case Relation::kEqual:
+        out << " = ";
+        break;
+    }
+    out << c.rhs << "\n";
+  }
+  out << "bounds\n";
+  for (const auto& v : variables_) {
+    out << "  " << v.lower << " <= " << v.name << " <= " << v.upper << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace adaptviz::lp

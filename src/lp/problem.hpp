@@ -1,0 +1,66 @@
+// Linear-program model builder.
+//
+// Stands in for GLPK (the paper solves its Section IV-B formulation with
+// GLPK, which is not available offline). The interface is deliberately
+// GLPK-shaped: named variables with bounds, named linear constraints with a
+// relation and right-hand side, and a minimization objective.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adaptviz::lp {
+
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// Marker for an unbounded-above variable.
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+struct Variable {
+  std::string name;
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+};
+
+struct Constraint {
+  std::string name;
+  std::vector<std::pair<int, double>> terms;  // (variable index, coefficient)
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+class Problem {
+ public:
+  /// Adds a variable with bounds [lower, upper] and objective coefficient;
+  /// returns its index. Throws std::invalid_argument on lower > upper.
+  int add_variable(std::string name, double lower = 0.0,
+                   double upper = kInfinity, double objective = 0.0);
+
+  /// Adds `sum coeff*var  relation  rhs`. Variable indices must be valid.
+  void add_constraint(std::string name,
+                      std::vector<std::pair<int, double>> terms,
+                      Relation relation, double rhs);
+
+  void set_objective(int var, double coefficient);
+
+  [[nodiscard]] int variable_count() const {
+    return static_cast<int>(variables_.size());
+  }
+  [[nodiscard]] int constraint_count() const {
+    return static_cast<int>(constraints_.size());
+  }
+  [[nodiscard]] const Variable& variable(int i) const;
+  [[nodiscard]] const Constraint& constraint(int i) const;
+
+  /// Human-readable dump of the model, for logging/debugging.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace adaptviz::lp

@@ -1,0 +1,288 @@
+#include "lp/simplex.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace adaptviz::lp {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense (m+1) x (n+1) tableau: rows 0..m-1 are constraints with the rhs in
+// the last column; row m is the reduced-cost row. basis[i] is the column
+// basic in row i.
+struct Tableau {
+  std::vector<std::vector<double>> t;
+  std::vector<int> basis;
+  int m = 0;
+  int n = 0;
+
+  double& at(int r, int c) { return t[static_cast<size_t>(r)][static_cast<size_t>(c)]; }
+  double at(int r, int c) const {
+    return t[static_cast<size_t>(r)][static_cast<size_t>(c)];
+  }
+
+  void pivot(int row, int col) {
+    const double p = at(row, col);
+    auto& prow = t[static_cast<size_t>(row)];
+    for (double& v : prow) v /= p;
+    for (int r = 0; r <= m; ++r) {
+      if (r == row) continue;
+      const double f = at(r, col);
+      if (std::fabs(f) < 1e-14) continue;
+      auto& rr = t[static_cast<size_t>(r)];
+      for (int c = 0; c <= n; ++c) rr[static_cast<size_t>(c)] -= f * prow[static_cast<size_t>(c)];
+    }
+    basis[static_cast<size_t>(row)] = col;
+  }
+
+  // Rebuilds the reduced-cost row for cost vector `cost` (size n) by pricing
+  // out the basic columns.
+  void price(const std::vector<double>& cost) {
+    auto& z = t[static_cast<size_t>(m)];
+    for (int c = 0; c <= n; ++c) {
+      z[static_cast<size_t>(c)] = c < n ? cost[static_cast<size_t>(c)] : 0.0;
+    }
+    for (int r = 0; r < m; ++r) {
+      const double cb = cost[static_cast<size_t>(basis[static_cast<size_t>(r)])];
+      if (cb == 0.0) continue;
+      for (int c = 0; c <= n; ++c) z[static_cast<size_t>(c)] -= cb * at(r, c);
+    }
+  }
+
+  // Runs primal simplex with Bland's rule over columns [0, limit).
+  // Returns false on unboundedness.
+  bool optimize(int limit) {
+    const int kMaxIters = 50000;
+    for (int iter = 0; iter < kMaxIters; ++iter) {
+      // Entering: smallest-index column with negative reduced cost.
+      int col = -1;
+      for (int c = 0; c < limit; ++c) {
+        if (at(m, c) < -kEps) {
+          col = c;
+          break;
+        }
+      }
+      if (col < 0) return true;  // optimal
+      // Leaving: Bland ratio test.
+      int row = -1;
+      double best = 0.0;
+      for (int r = 0; r < m; ++r) {
+        const double a = at(r, col);
+        if (a > kEps) {
+          const double ratio = at(r, n) / a;
+          if (row < 0 || ratio < best - kEps ||
+              (ratio < best + kEps &&
+               basis[static_cast<size_t>(r)] < basis[static_cast<size_t>(row)])) {
+            row = r;
+            best = ratio;
+          }
+        }
+      }
+      if (row < 0) return false;  // unbounded
+      pivot(row, col);
+    }
+    throw std::runtime_error("lp: simplex iteration limit exceeded");
+  }
+};
+
+// Per structural variable: how it maps onto the non-negative tableau
+// columns. value = shift + x[pos] - x[neg].
+struct VarMap {
+  int pos = -1;
+  int neg = -1;
+  double shift = 0.0;
+};
+
+}  // namespace
+
+const char* to_string(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+  }
+  return "?";
+}
+
+Solution solve(const Problem& problem) {
+  const int nvars = problem.variable_count();
+
+  // --- 1. Map structural variables onto shifted non-negative columns. ---
+  std::vector<VarMap> vmap(static_cast<size_t>(nvars));
+  int ncols = 0;
+  for (int v = 0; v < nvars; ++v) {
+    const Variable& var = problem.variable(v);
+    if (std::isinf(var.lower) && var.lower < 0) {
+      vmap[static_cast<size_t>(v)].pos = ncols++;
+      vmap[static_cast<size_t>(v)].neg = ncols++;
+      vmap[static_cast<size_t>(v)].shift = 0.0;
+    } else {
+      vmap[static_cast<size_t>(v)].pos = ncols++;
+      vmap[static_cast<size_t>(v)].shift = var.lower;
+    }
+  }
+  const int nstruct_cols = ncols;
+
+  // --- 2. Collect rows: user constraints plus finite upper bounds. ---
+  struct Row {
+    std::vector<double> a;  // size nstruct_cols
+    Relation rel;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  for (int i = 0; i < problem.constraint_count(); ++i) {
+    const Constraint& c = problem.constraint(i);
+    Row row{std::vector<double>(static_cast<size_t>(nstruct_cols), 0.0),
+            c.relation, c.rhs};
+    for (const auto& [v, coeff] : c.terms) {
+      const VarMap& vm = vmap[static_cast<size_t>(v)];
+      row.a[static_cast<size_t>(vm.pos)] += coeff;
+      if (vm.neg >= 0) row.a[static_cast<size_t>(vm.neg)] -= coeff;
+      row.rhs -= coeff * vm.shift;
+    }
+    rows.push_back(std::move(row));
+  }
+  for (int v = 0; v < nvars; ++v) {
+    const Variable& var = problem.variable(v);
+    if (std::isinf(var.upper)) continue;
+    const VarMap& vm = vmap[static_cast<size_t>(v)];
+    Row row{std::vector<double>(static_cast<size_t>(nstruct_cols), 0.0),
+            Relation::kLessEqual, var.upper - vm.shift};
+    row.a[static_cast<size_t>(vm.pos)] = 1.0;
+    if (vm.neg >= 0) row.a[static_cast<size_t>(vm.neg)] = -1.0;
+    rows.push_back(std::move(row));
+  }
+
+  // Normalize rhs >= 0.
+  for (Row& r : rows) {
+    if (r.rhs < 0.0) {
+      for (double& a : r.a) a = -a;
+      r.rhs = -r.rhs;
+      r.rel = r.rel == Relation::kLessEqual ? Relation::kGreaterEqual
+              : r.rel == Relation::kGreaterEqual ? Relation::kLessEqual
+                                                 : Relation::kEqual;
+    }
+  }
+
+  // --- 3. Assemble the tableau with slack/surplus/artificial columns. ---
+  const int m = static_cast<int>(rows.size());
+  int nslack = 0;
+  int nart = 0;
+  for (const Row& r : rows) {
+    if (r.rel != Relation::kEqual) ++nslack;
+    if (r.rel != Relation::kLessEqual) ++nart;
+  }
+  const int n = nstruct_cols + nslack + nart;
+  const int art_begin = nstruct_cols + nslack;
+
+  Tableau tab;
+  tab.m = m;
+  tab.n = n;
+  tab.t.assign(static_cast<size_t>(m + 1),
+               std::vector<double>(static_cast<size_t>(n + 1), 0.0));
+  tab.basis.assign(static_cast<size_t>(m), -1);
+
+  int slack_col = nstruct_cols;
+  int art_col = art_begin;
+  for (int r = 0; r < m; ++r) {
+    const Row& row = rows[static_cast<size_t>(r)];
+    for (int c = 0; c < nstruct_cols; ++c) {
+      tab.at(r, c) = row.a[static_cast<size_t>(c)];
+    }
+    tab.at(r, n) = row.rhs;
+    switch (row.rel) {
+      case Relation::kLessEqual:
+        tab.at(r, slack_col) = 1.0;
+        tab.basis[static_cast<size_t>(r)] = slack_col++;
+        break;
+      case Relation::kGreaterEqual:
+        tab.at(r, slack_col) = -1.0;
+        ++slack_col;
+        tab.at(r, art_col) = 1.0;
+        tab.basis[static_cast<size_t>(r)] = art_col++;
+        break;
+      case Relation::kEqual:
+        tab.at(r, art_col) = 1.0;
+        tab.basis[static_cast<size_t>(r)] = art_col++;
+        break;
+    }
+  }
+
+  Solution sol;
+
+  // --- 4. Phase 1: minimize the sum of artificials. ---
+  if (nart > 0) {
+    std::vector<double> cost1(static_cast<size_t>(n), 0.0);
+    for (int c = art_begin; c < n; ++c) cost1[static_cast<size_t>(c)] = 1.0;
+    tab.price(cost1);
+    if (!tab.optimize(n)) {
+      // Phase-1 objective is bounded below by zero; unbounded means a bug.
+      throw std::runtime_error("lp: phase-1 reported unbounded");
+    }
+    double art_sum = 0.0;
+    for (int r = 0; r < m; ++r) {
+      if (tab.basis[static_cast<size_t>(r)] >= art_begin) {
+        art_sum += tab.at(r, n);
+      }
+    }
+    if (art_sum > 1e-7) {
+      sol.status = SolveStatus::kInfeasible;
+      return sol;
+    }
+    // Drive any degenerate artificial out of the basis.
+    for (int r = 0; r < m; ++r) {
+      if (tab.basis[static_cast<size_t>(r)] < art_begin) continue;
+      int col = -1;
+      for (int c = 0; c < art_begin; ++c) {
+        if (std::fabs(tab.at(r, c)) > kEps) {
+          col = c;
+          break;
+        }
+      }
+      if (col >= 0) tab.pivot(r, col);
+      // Otherwise the row is redundant; the artificial stays basic at zero
+      // and, with its column never eligible below, stays at zero.
+    }
+  }
+
+  // --- 5. Phase 2 with the real objective over non-artificial columns. ---
+  std::vector<double> cost2(static_cast<size_t>(n), 0.0);
+  double obj_shift = 0.0;
+  for (int v = 0; v < nvars; ++v) {
+    const Variable& var = problem.variable(v);
+    const VarMap& vm = vmap[static_cast<size_t>(v)];
+    cost2[static_cast<size_t>(vm.pos)] += var.objective;
+    if (vm.neg >= 0) cost2[static_cast<size_t>(vm.neg)] -= var.objective;
+    obj_shift += var.objective * vm.shift;
+  }
+  tab.price(cost2);
+  if (!tab.optimize(art_begin)) {
+    sol.status = SolveStatus::kUnbounded;
+    return sol;
+  }
+
+  // --- 6. Extract structural values. ---
+  std::vector<double> colval(static_cast<size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    colval[static_cast<size_t>(tab.basis[static_cast<size_t>(r)])] =
+        tab.at(r, n);
+  }
+  sol.values.resize(static_cast<size_t>(nvars));
+  sol.objective = obj_shift;
+  for (int v = 0; v < nvars; ++v) {
+    const VarMap& vm = vmap[static_cast<size_t>(v)];
+    double x = vm.shift + colval[static_cast<size_t>(vm.pos)];
+    if (vm.neg >= 0) x -= colval[static_cast<size_t>(vm.neg)];
+    sol.values[static_cast<size_t>(v)] = x;
+    sol.objective += problem.variable(v).objective * (x - vm.shift);
+  }
+  sol.status = SolveStatus::kOptimal;
+  return sol;
+}
+
+}  // namespace adaptviz::lp

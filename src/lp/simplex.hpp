@@ -1,0 +1,33 @@
+// Two-phase primal simplex over a dense tableau.
+//
+// Scope: the framework's decision LP has three structural variables and a
+// handful of rows, so a dense tableau with Bland's anti-cycling rule is both
+// simple and exact enough. General variable bounds are handled by shifting
+// (x = lower + x') and by materializing finite upper bounds as rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/problem.hpp"
+
+namespace adaptviz::lp {
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  /// Value per structural variable, indexed as in the Problem.
+  std::vector<double> values;
+
+  [[nodiscard]] bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+const char* to_string(SolveStatus s);
+
+/// Minimizes the problem's objective. Never throws for well-formed models;
+/// infeasibility and unboundedness are reported through the status.
+Solution solve(const Problem& problem);
+
+}  // namespace adaptviz::lp

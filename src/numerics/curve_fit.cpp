@@ -1,0 +1,160 @@
+#include "numerics/curve_fit.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "numerics/linalg.hpp"
+
+namespace adaptviz {
+namespace {
+
+// Fits t = sum_i coeff[i] * basis[i](p) over the samples using the basis
+// functions selected by `mask` (serial, 1/p, log2 p). Unselected
+// coefficients are returned as zero.
+std::array<double, 3> fit_masked(const std::vector<PerfSample>& samples,
+                                 const std::array<bool, 3>& mask) {
+  std::size_t terms = 0;
+  for (bool m : mask) terms += m ? 1 : 0;
+  Matrix a(samples.size(), terms);
+  std::vector<double> b(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double p = static_cast<double>(samples[i].processors);
+    std::size_t col = 0;
+    if (mask[0]) a(i, col++) = 1.0;
+    if (mask[1]) a(i, col++) = 1.0 / p;
+    if (mask[2]) a(i, col++) = std::log2(std::max(p, 1.0));
+    b[i] = samples[i].seconds_per_step;
+  }
+  const std::vector<double> x = least_squares(a, b);
+  std::array<double, 3> out{0.0, 0.0, 0.0};
+  std::size_t col = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (mask[i]) out[i] = x[col++];
+  }
+  return out;
+}
+
+}  // namespace
+
+SpeedupCurve::SpeedupCurve(double serial, double work, double comm)
+    : serial_(serial), work_(work), comm_(comm) {
+  if (serial < 0 || work <= 0 || comm < 0) {
+    throw std::invalid_argument("SpeedupCurve: non-physical coefficients");
+  }
+}
+
+SpeedupCurve SpeedupCurve::fit(const std::vector<PerfSample>& samples) {
+  std::set<int> distinct;
+  for (const auto& s : samples) {
+    if (s.processors < 1 || s.seconds_per_step <= 0.0) {
+      throw std::runtime_error("SpeedupCurve::fit: invalid sample");
+    }
+    distinct.insert(s.processors);
+  }
+  if (distinct.size() < 3) {
+    throw std::runtime_error(
+        "SpeedupCurve::fit: need samples at >=3 distinct processor counts");
+  }
+
+  // Try the full basis first; if a coefficient comes out negative, refit
+  // without that term (NNLS would be overkill for a 3-term basis).
+  std::array<bool, 3> mask{true, true, true};
+  std::array<double, 3> c = fit_masked(samples, mask);
+  for (int pass = 0; pass < 2; ++pass) {
+    bool changed = false;
+    for (int i = 0; i < 3; ++i) {
+      if (i == 1) continue;  // keep the work term: it defines scaling
+      if (mask[i] && c[i] < 0.0) {
+        mask[i] = false;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    c = fit_masked(samples, mask);
+  }
+  SpeedupCurve out;
+  out.serial_ = std::max(0.0, c[0]);
+  out.work_ = std::max(1e-12, c[1]);
+  out.comm_ = std::max(0.0, c[2]);
+  return out;
+}
+
+double SpeedupCurve::seconds_per_step(int processors) const {
+  const double p = static_cast<double>(std::max(1, processors));
+  return serial_ + work_ / p + comm_ * std::log2(p);
+}
+
+int SpeedupCurve::processors_for_time(double target_seconds,
+                                      int max_processors) const {
+  // t(p) is not necessarily monotone (log term eventually dominates), so
+  // scan; processor counts are small integers throughout the framework.
+  for (int p = 1; p <= max_processors; ++p) {
+    if (seconds_per_step(p) <= target_seconds) return p;
+  }
+  return max_processors;
+}
+
+double SpeedupCurve::rms_error(const std::vector<PerfSample>& samples) const {
+  if (samples.empty()) return 0.0;
+  double ss = 0.0;
+  for (const auto& s : samples) {
+    const double e = seconds_per_step(s.processors) - s.seconds_per_step;
+    ss += e * e;
+  }
+  return std::sqrt(ss / static_cast<double>(samples.size()));
+}
+
+double golden_section_minimize(const std::function<double(double)>& f,
+                               double lo, double hi, double tol) {
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo;
+  double b = hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  while (b - a > tol) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+double bisect_root(const std::function<double(double)>& f, double lo,
+                   double hi, double tol) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0) == (fhi > 0)) {
+    throw std::runtime_error("bisect_root: endpoints do not bracket a root");
+  }
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if ((fm > 0) == (flo > 0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace adaptviz

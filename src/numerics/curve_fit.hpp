@@ -1,0 +1,67 @@
+// Curve fitting for the performance model (Section IV of the paper: "using
+// performance modeling or curve fitting tools to interpolate for other
+// number of processors").
+//
+// The execution time of one simulation step on p processors is modeled as
+//
+//     t(p) = a + w/p + c * log2(p)
+//
+// (serial fraction + perfectly parallel work + tree-communication cost).
+// The basis is linear in the coefficients, so the fit is an ordinary linear
+// least-squares problem over samples gathered from profiling runs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace adaptviz {
+
+/// One profiling observation: step time measured on a processor count.
+struct PerfSample {
+  int processors = 0;
+  double seconds_per_step = 0.0;
+};
+
+/// Fitted t(p) curve.
+class SpeedupCurve {
+ public:
+  SpeedupCurve() = default;
+  SpeedupCurve(double serial, double work, double comm);
+
+  /// Fits the three-term basis to >= 3 samples with distinct processor
+  /// counts; throws std::runtime_error otherwise. Coefficients are clamped
+  /// to be non-negative by refitting with offending terms removed, so the
+  /// curve stays physically meaningful (time never negative).
+  static SpeedupCurve fit(const std::vector<PerfSample>& samples);
+
+  /// Predicted seconds per step on p processors (p >= 1).
+  [[nodiscard]] double seconds_per_step(int processors) const;
+
+  /// Smallest processor count in [1, max_processors] whose predicted step
+  /// time is <= target; returns max_processors when even that is too slow.
+  [[nodiscard]] int processors_for_time(double target_seconds,
+                                        int max_processors) const;
+
+  /// Root-mean-square residual of the fit over `samples`.
+  [[nodiscard]] double rms_error(const std::vector<PerfSample>& samples) const;
+
+  [[nodiscard]] double serial() const { return serial_; }
+  [[nodiscard]] double work() const { return work_; }
+  [[nodiscard]] double comm() const { return comm_; }
+
+ private:
+  double serial_ = 0.0;
+  double work_ = 0.0;
+  double comm_ = 0.0;
+};
+
+/// Generic golden-section minimizer on [lo, hi] for unimodal f.
+double golden_section_minimize(const std::function<double(double)>& f,
+                               double lo, double hi, double tol = 1e-8);
+
+/// Bisection root find for monotone f with f(lo), f(hi) of opposite sign;
+/// throws std::runtime_error if the bracket is invalid.
+double bisect_root(const std::function<double(double)>& f, double lo,
+                   double hi, double tol = 1e-10);
+
+}  // namespace adaptviz

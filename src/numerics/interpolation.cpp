@@ -1,0 +1,117 @@
+#include "numerics/interpolation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace adaptviz {
+namespace {
+
+double clampd(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+std::size_t clampi(long v, long lo, long hi) {
+  return static_cast<std::size_t>(std::min(std::max(v, lo), hi));
+}
+
+double cubic_kernel(double p0, double p1, double p2, double p3, double t) {
+  // Catmull-Rom spline through p1..p2.
+  return p1 + 0.5 * t *
+                  (p2 - p0 +
+                   t * (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3 +
+                        t * (3.0 * (p1 - p2) + p3 - p0)));
+}
+
+}  // namespace
+
+double bilinear(const std::vector<double>& field, std::size_t nx,
+                std::size_t ny, double x, double y) {
+  if (field.size() != nx * ny || nx == 0 || ny == 0) {
+    throw std::invalid_argument("bilinear: shape mismatch");
+  }
+  x = clampd(x, 0.0, static_cast<double>(nx - 1));
+  y = clampd(y, 0.0, static_cast<double>(ny - 1));
+  const std::size_t x0 = static_cast<std::size_t>(x);
+  const std::size_t y0 = static_cast<std::size_t>(y);
+  const std::size_t x1 = std::min(x0 + 1, nx - 1);
+  const std::size_t y1 = std::min(y0 + 1, ny - 1);
+  const double fx = x - static_cast<double>(x0);
+  const double fy = y - static_cast<double>(y0);
+  const double v00 = field[y0 * nx + x0];
+  const double v01 = field[y0 * nx + x1];
+  const double v10 = field[y1 * nx + x0];
+  const double v11 = field[y1 * nx + x1];
+  return v00 * (1 - fx) * (1 - fy) + v01 * fx * (1 - fy) +
+         v10 * (1 - fx) * fy + v11 * fx * fy;
+}
+
+double bicubic(const std::vector<double>& field, std::size_t nx,
+               std::size_t ny, double x, double y) {
+  if (field.size() != nx * ny || nx == 0 || ny == 0) {
+    throw std::invalid_argument("bicubic: shape mismatch");
+  }
+  x = clampd(x, 0.0, static_cast<double>(nx - 1));
+  y = clampd(y, 0.0, static_cast<double>(ny - 1));
+  const long ix = static_cast<long>(std::floor(x));
+  const long iy = static_cast<long>(std::floor(y));
+  const double fx = x - static_cast<double>(ix);
+  const double fy = y - static_cast<double>(iy);
+  double col[4];
+  for (long m = -1; m <= 2; ++m) {
+    const std::size_t yy = clampi(iy + m, 0, static_cast<long>(ny) - 1);
+    double row[4];
+    for (long k = -1; k <= 2; ++k) {
+      const std::size_t xx = clampi(ix + k, 0, static_cast<long>(nx) - 1);
+      row[k + 1] = field[yy * nx + xx];
+    }
+    col[m + 1] = cubic_kernel(row[0], row[1], row[2], row[3], fx);
+  }
+  return cubic_kernel(col[0], col[1], col[2], col[3], fy);
+}
+
+std::vector<double> resample_bilinear(const std::vector<double>& src,
+                                      std::size_t src_nx, std::size_t src_ny,
+                                      std::size_t dst_nx, std::size_t dst_ny) {
+  if (dst_nx == 0 || dst_ny == 0) {
+    throw std::invalid_argument("resample_bilinear: empty destination");
+  }
+  std::vector<double> out(dst_nx * dst_ny);
+  const double sx =
+      dst_nx > 1 ? static_cast<double>(src_nx - 1) / (dst_nx - 1) : 0.0;
+  const double sy =
+      dst_ny > 1 ? static_cast<double>(src_ny - 1) / (dst_ny - 1) : 0.0;
+  for (std::size_t j = 0; j < dst_ny; ++j) {
+    for (std::size_t i = 0; i < dst_nx; ++i) {
+      out[j * dst_nx + i] = bilinear(src, src_nx, src_ny, i * sx, j * sy);
+    }
+  }
+  return out;
+}
+
+std::vector<double> restrict_mean(const std::vector<double>& fine,
+                                  std::size_t fine_nx, std::size_t fine_ny,
+                                  int ratio) {
+  if (ratio < 1 || fine_nx % ratio != 0 || fine_ny % ratio != 0 ||
+      fine.size() != fine_nx * fine_ny) {
+    throw std::invalid_argument("restrict_mean: shape mismatch");
+  }
+  const std::size_t cx = fine_nx / ratio;
+  const std::size_t cy = fine_ny / ratio;
+  std::vector<double> out(cx * cy, 0.0);
+  const double inv = 1.0 / (static_cast<double>(ratio) * ratio);
+  for (std::size_t j = 0; j < cy; ++j) {
+    for (std::size_t i = 0; i < cx; ++i) {
+      double s = 0.0;
+      for (int jj = 0; jj < ratio; ++jj) {
+        for (int ii = 0; ii < ratio; ++ii) {
+          s += fine[(j * ratio + jj) * fine_nx + (i * ratio + ii)];
+        }
+      }
+      out[j * cx + i] = s * inv;
+    }
+  }
+  return out;
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,35 @@
+// Grid interpolation kernels used by the weather substrate: the WPS-like
+// preprocessor interpolates the coarse synthetic analysis onto model grids,
+// and the nest manager regrids between parent and nest resolutions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace adaptviz {
+
+/// Bilinear sample of a row-major (ny, nx) field at fractional index
+/// coordinates (x in [0, nx-1], y in [0, ny-1]); coordinates are clamped to
+/// the grid, so extrapolation is constant beyond the boundary.
+double bilinear(const std::vector<double>& field, std::size_t nx,
+                std::size_t ny, double x, double y);
+
+/// Catmull-Rom bicubic sample with clamped boundary handling; smoother than
+/// bilinear for parent->nest downscaling.
+double bicubic(const std::vector<double>& field, std::size_t nx,
+               std::size_t ny, double x, double y);
+
+/// Resamples a (src_ny, src_nx) field to (dst_ny, dst_nx) bilinearly,
+/// mapping corners onto corners.
+std::vector<double> resample_bilinear(const std::vector<double>& src,
+                                      std::size_t src_nx, std::size_t src_ny,
+                                      std::size_t dst_nx, std::size_t dst_ny);
+
+/// Area-mean restriction of a fine field onto a coarse one (fine->coarse
+/// feedback in two-way nesting). `ratio` is the refinement ratio; fine grid
+/// must be exactly (coarse_n? * ratio) cells in each direction.
+std::vector<double> restrict_mean(const std::vector<double>& fine,
+                                  std::size_t fine_nx, std::size_t fine_ny,
+                                  int ratio);
+
+}  // namespace adaptviz

@@ -1,0 +1,165 @@
+#include "numerics/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adaptviz {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("Matrix*: shape");
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) out(i, j) += aik * b(k, j);
+    }
+  }
+  return out;
+}
+
+std::vector<double> operator*(const Matrix& a, const std::vector<double>& x) {
+  if (a.cols() != x.size()) throw std::invalid_argument("Matrix*vec: shape");
+  std::vector<double> out(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out[i] += a(i, j) * x[j];
+  return out;
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("Matrix+: shape");
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) = a(i, j) + b(i, j);
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("Matrix-: shape");
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) = a(i, j) - b(i, j);
+  return out;
+}
+
+std::vector<double> lu_solve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("lu_solve: shape");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(piv, col))) piv = r;
+    }
+    if (std::fabs(a(piv, col)) < 1e-13) {
+      throw std::runtime_error("lu_solve: singular matrix");
+    }
+    if (piv != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(piv, j), a(col, j));
+      std::swap(b[piv], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t j = col; j < n; ++j) a(r, j) -= f * a(col, j);
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= a(i, j) * x[j];
+    x[i] = s / a(i, i);
+  }
+  return x;
+}
+
+std::vector<double> least_squares(const Matrix& a,
+                                  const std::vector<double>& b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m) throw std::invalid_argument("least_squares: shape");
+  if (m < n) throw std::runtime_error("least_squares: underdetermined");
+
+  // Householder QR applied in place to [A | b].
+  Matrix r = a;
+  std::vector<double> rhs = b;
+  for (std::size_t k = 0; k < n; ++k) {
+    double nrm = 0.0;
+    for (std::size_t i = k; i < m; ++i) nrm += r(i, k) * r(i, k);
+    nrm = std::sqrt(nrm);
+    if (nrm < 1e-13) {
+      throw std::runtime_error("least_squares: rank-deficient design matrix");
+    }
+    if (r(k, k) > 0) nrm = -nrm;
+    std::vector<double> v(m - k);
+    for (std::size_t i = k; i < m; ++i) v[i - k] = r(i, k);
+    v[0] -= nrm;
+    double vtv = 0.0;
+    for (double vi : v) vtv += vi * vi;
+    if (vtv < 1e-26) continue;
+    // Apply H = I - 2 v v^T / (v^T v) to remaining columns and rhs.
+    for (std::size_t j = k; j < n; ++j) {
+      double dot = 0.0;
+      for (std::size_t i = k; i < m; ++i) dot += v[i - k] * r(i, j);
+      const double f = 2.0 * dot / vtv;
+      for (std::size_t i = k; i < m; ++i) r(i, j) -= f * v[i - k];
+    }
+    double dot = 0.0;
+    for (std::size_t i = k; i < m; ++i) dot += v[i - k] * rhs[i];
+    const double f = 2.0 * dot / vtv;
+    for (std::size_t i = k; i < m; ++i) rhs[i] -= f * v[i - k];
+  }
+  // Solve R x = rhs (upper-triangular n x n block).
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = rhs[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= r(i, j) * x[j];
+    if (std::fabs(r(i, i)) < 1e-13) {
+      throw std::runtime_error("least_squares: rank-deficient design matrix");
+    }
+    x[i] = s / r(i, i);
+  }
+  return x;
+}
+
+double norm2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+}  // namespace adaptviz

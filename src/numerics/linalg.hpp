@@ -1,0 +1,57 @@
+// Small dense linear algebra: column-major matrix, LU solve, QR least
+// squares. Sized for the framework's needs (performance-model fits and the
+// LP simplex tableau are at most a few dozen rows), not for BLAS-scale work.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace adaptviz {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Row-major brace construction: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] Matrix transpose() const;
+
+  friend Matrix operator*(const Matrix& a, const Matrix& b);
+  friend std::vector<double> operator*(const Matrix& a,
+                                       const std::vector<double>& x);
+  friend Matrix operator+(const Matrix& a, const Matrix& b);
+  friend Matrix operator-(const Matrix& a, const Matrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by LU with partial pivoting. A must be square and
+/// nonsingular; throws std::runtime_error on (near-)singularity.
+std::vector<double> lu_solve(Matrix a, std::vector<double> b);
+
+/// Minimizes ||A x - b||_2 via Householder QR. Requires rows >= cols and
+/// full column rank; throws std::runtime_error otherwise.
+std::vector<double> least_squares(const Matrix& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double norm2(const std::vector<double>& v);
+
+}  // namespace adaptviz

@@ -1,0 +1,82 @@
+#include "perf/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace adaptviz {
+
+BenchmarkProfiler::BenchmarkProfiler(ProfilerConfig config)
+    : config_(std::move(config)) {
+  if (config_.steps_per_sample < 1) {
+    throw std::invalid_argument("BenchmarkProfiler: steps_per_sample >= 1");
+  }
+}
+
+ProfileData BenchmarkProfiler::profile(GroundTruthMachine& machine,
+                                       double work_units) const {
+  if (work_units <= 0) {
+    throw std::invalid_argument("BenchmarkProfiler: work_units must be > 0");
+  }
+  std::vector<int> counts = config_.processor_counts;
+  if (counts.empty()) {
+    // Log-spaced sweep from min_cores to max_cores, ~6 sample points.
+    const int lo = machine.spec().min_cores;
+    const int hi = machine.spec().max_cores;
+    int p = lo;
+    while (p < hi) {
+      counts.push_back(p);
+      p = std::max(p + 1, static_cast<int>(std::lround(p * 1.8)));
+    }
+    counts.push_back(hi);
+  }
+
+  ProfileData data;
+  data.reference_work_units = 1.0;
+  for (int p : counts) {
+    double total = 0.0;
+    for (int s = 0; s < config_.steps_per_sample; ++s) {
+      total += machine.step_time(p, work_units).seconds();
+    }
+    const double avg = total / config_.steps_per_sample;
+    data.samples.push_back(PerfSample{p, avg / work_units});
+  }
+  return data;
+}
+
+PerformanceModel::PerformanceModel(const ProfileData& data, int max_processors)
+    : curve_(SpeedupCurve::fit(data.samples)), max_processors_(max_processors) {
+  if (max_processors < 1) {
+    throw std::invalid_argument("PerformanceModel: max_processors >= 1");
+  }
+}
+
+WallSeconds PerformanceModel::step_time(int processors,
+                                        double work_units) const {
+  const int p = std::clamp(processors, 1, max_processors_);
+  // The fitted curve is per work unit; serial and comm terms scale with the
+  // workload too (bigger grids mean bigger halos and reductions).
+  return WallSeconds(curve_.seconds_per_step(p) * work_units);
+}
+
+WallSeconds PerformanceModel::fastest_step_time(double work_units) const {
+  // t(p) may turn upward at high p (comm term); take the true minimum.
+  double best = curve_.seconds_per_step(1);
+  for (int p = 2; p <= max_processors_; ++p) {
+    best = std::min(best, curve_.seconds_per_step(p));
+  }
+  return WallSeconds(best * work_units);
+}
+
+WallSeconds PerformanceModel::slowest_step_time(double work_units,
+                                                int min_processors) const {
+  return step_time(min_processors, work_units);
+}
+
+int PerformanceModel::processors_for(WallSeconds target,
+                                     double work_units) const {
+  const double per_unit = target.seconds() / work_units;
+  return curve_.processors_for_time(per_unit, max_processors_);
+}
+
+}  // namespace adaptviz

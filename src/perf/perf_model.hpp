@@ -1,0 +1,86 @@
+// Performance model of the simulation on the cluster.
+//
+// Paper, Section IV: "The execution times of a subset of configurations have
+// been experimentally found by running sample WRF runs ... for different
+// discrete number of processors, spanning the available processor space and
+// using performance modeling or curve fitting tools to interpolate for other
+// number of processors."
+//
+// BenchmarkProfiler reproduces those sample runs against the ground-truth
+// machine (resources/cluster.hpp); PerformanceModel wraps the fitted
+// SpeedupCurve and answers the two questions the decision algorithms ask:
+// expected step time on p processors at a given resolution, and the
+// processor count needed to achieve a target step time.
+//
+// Work scaling across resolutions is multiplicative: t(p, w) = w * t1(p)
+// where t1 is the fitted per-work-unit curve, so one profiling campaign at a
+// reference work load covers the whole Table III ladder.
+#pragma once
+
+#include <vector>
+
+#include "numerics/curve_fit.hpp"
+#include "resources/cluster.hpp"
+#include "util/units.hpp"
+
+namespace adaptviz {
+
+struct ProfilerConfig {
+  /// Processor counts to sample; empty = log-spaced sweep of the machine.
+  std::vector<int> processor_counts;
+  /// Steps timed per sample (more steps average out machine noise); the
+  /// paper ran 1-hour sample simulations.
+  int steps_per_sample = 25;
+};
+
+/// Profiling campaign result: samples normalized to work_units == 1.
+struct ProfileData {
+  std::vector<PerfSample> samples;
+  double reference_work_units = 1.0;
+};
+
+class BenchmarkProfiler {
+ public:
+  explicit BenchmarkProfiler(ProfilerConfig config = {});
+
+  /// Runs timed sample batches on the machine at `work_units` of per-step
+  /// work and returns per-work-unit samples.
+  [[nodiscard]] ProfileData profile(GroundTruthMachine& machine,
+                                    double work_units) const;
+
+ private:
+  ProfilerConfig config_;
+};
+
+class PerformanceModel {
+ public:
+  /// Fits the speedup curve to profiling data. `max_processors` bounds all
+  /// queries (machine limit and WRF decomposition limit combined).
+  PerformanceModel(const ProfileData& data, int max_processors);
+
+  /// Expected wall seconds per simulation step on p processors for a step
+  /// costing `work_units`.
+  [[nodiscard]] WallSeconds step_time(int processors, double work_units) const;
+
+  /// Fastest achievable step time (all processors) — the LP's T_LB.
+  [[nodiscard]] WallSeconds fastest_step_time(double work_units) const;
+
+  /// Slowest configured step time (min_processors) — the greedy maxtime.
+  [[nodiscard]] WallSeconds slowest_step_time(double work_units,
+                                              int min_processors) const;
+
+  /// Fewest processors achieving step time <= target at `work_units`
+  /// (clamped to [1, max_processors]; returns max_processors when even the
+  /// full machine is slower than the target).
+  [[nodiscard]] int processors_for(WallSeconds target,
+                                   double work_units) const;
+
+  [[nodiscard]] int max_processors() const { return max_processors_; }
+  [[nodiscard]] const SpeedupCurve& curve() const { return curve_; }
+
+ private:
+  SpeedupCurve curve_;
+  int max_processors_;
+};
+
+}  // namespace adaptviz

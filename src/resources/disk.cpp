@@ -1,0 +1,45 @@
+#include "resources/disk.hpp"
+
+#include <stdexcept>
+
+namespace adaptviz {
+
+DiskModel::DiskModel(Bytes capacity, Bandwidth io_bandwidth)
+    : capacity_(capacity), io_bw_(io_bandwidth) {
+  if (capacity <= Bytes(0)) {
+    throw std::invalid_argument("DiskModel: capacity must be positive");
+  }
+  if (io_bandwidth.bytes_per_sec() <= 0.0) {
+    throw std::invalid_argument("DiskModel: I/O bandwidth must be positive");
+  }
+}
+
+bool DiskModel::allocate(Bytes size) {
+  if (size < Bytes(0)) {
+    throw std::invalid_argument("DiskModel: negative allocation");
+  }
+  if (used_ + size > capacity_) return false;
+  used_ += size;
+  if (used_ > peak_) peak_ = used_;
+  return true;
+}
+
+void DiskModel::release(Bytes size) {
+  if (size < Bytes(0)) {
+    throw std::invalid_argument("DiskModel: negative release");
+  }
+  if (size > used_) {
+    throw std::logic_error("DiskModel: releasing more than used");
+  }
+  used_ -= size;
+}
+
+double DiskModel::free_percent() const {
+  return 100.0 * free_space().as_double() / capacity_.as_double();
+}
+
+WallSeconds DiskModel::write_time(Bytes size) const {
+  return transfer_time(size, io_bw_);
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,49 @@
+// Stable-storage model for the simulation site.
+//
+// Tracks capacity and occupancy; `free_percent()` is the framework's `df`.
+// The application manager polls it, the greedy algorithm thresholds on it,
+// and the LP's disk constraint consumes its free space. A reservation API
+// lets the simulation process check space *before* an I/O burst, mirroring
+// the paper's "simulation ... outputs climate data to disks as long as the
+// available disk space is sufficient".
+#pragma once
+
+#include "util/units.hpp"
+
+namespace adaptviz {
+
+class DiskModel {
+ public:
+  /// `capacity` must be positive; `io_bandwidth` is the parallel-I/O write
+  /// rate that determines the paper's TIO (time to output one frame).
+  DiskModel(Bytes capacity, Bandwidth io_bandwidth);
+
+  /// Attempts to place `size` bytes; returns false (and changes nothing)
+  /// when it would exceed capacity.
+  [[nodiscard]] bool allocate(Bytes size);
+
+  /// Releases bytes (e.g. a frame shipped to the visualization site).
+  /// Throws std::logic_error on releasing more than is used.
+  void release(Bytes size);
+
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes used() const { return used_; }
+  [[nodiscard]] Bytes free_space() const { return capacity_ - used_; }
+  /// Percentage of the disk that is free, 0..100 (the `df` the paper polls).
+  [[nodiscard]] double free_percent() const;
+  /// High-water mark of `used()` over the disk's lifetime.
+  [[nodiscard]] Bytes peak_used() const { return peak_; }
+
+  [[nodiscard]] Bandwidth io_bandwidth() const { return io_bw_; }
+  /// Time to write `size` at the disk's I/O bandwidth (the paper's TIO for a
+  /// frame-sized write).
+  [[nodiscard]] WallSeconds write_time(Bytes size) const;
+
+ private:
+  Bytes capacity_;
+  Bytes used_{};
+  Bytes peak_{};
+  Bandwidth io_bw_;
+};
+
+}  // namespace adaptviz

@@ -1,0 +1,74 @@
+#include "resources/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace adaptviz {
+
+EventId EventQueue::schedule_at(WallSeconds t, EventFn fn, std::string label) {
+  if (!fn) throw std::invalid_argument("EventQueue: null event function");
+  if (t < now_) t = now_;
+  const EventId id = next_id_++;
+  heap_.push(Item{t, next_seq_++, id});
+  records_.emplace(id, Record{std::move(fn), std::move(label)});
+  return id;
+}
+
+EventId EventQueue::schedule_after(WallSeconds dt, EventFn fn,
+                                   std::string label) {
+  if (dt < WallSeconds(0.0)) dt = WallSeconds(0.0);
+  return schedule_at(now_ + dt, std::move(fn), std::move(label));
+}
+
+void EventQueue::cancel(EventId id) {
+  if (records_.contains(id)) cancelled_.insert(id);
+}
+
+bool EventQueue::step() {
+  while (!heap_.empty()) {
+    const Item item = heap_.top();
+    heap_.pop();
+    const auto cit = cancelled_.find(item.id);
+    if (cit != cancelled_.end()) {
+      cancelled_.erase(cit);
+      records_.erase(item.id);
+      continue;
+    }
+    auto rit = records_.find(item.id);
+    // The record must exist: ids leave records_ only via this function.
+    EventFn fn = std::move(rit->second.fn);
+    records_.erase(rit);
+    now_ = item.time;
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::run_until(WallSeconds t) {
+  while (!heap_.empty()) {
+    // Skip over cancelled heads without advancing time.
+    const Item item = heap_.top();
+    if (cancelled_.contains(item.id)) {
+      heap_.pop();
+      cancelled_.erase(item.id);
+      records_.erase(item.id);
+      continue;
+    }
+    if (item.time > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void EventQueue::run_all(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (step()) {
+    if (++n > max_events) {
+      throw std::runtime_error("EventQueue: runaway event loop");
+    }
+  }
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,94 @@
+#include "resources/network.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adaptviz {
+
+NetworkLink::NetworkLink(LinkSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  if (spec_.nominal.bytes_per_sec() <= 0.0) {
+    throw std::invalid_argument("NetworkLink: nominal bandwidth must be > 0");
+  }
+  if (spec_.fluctuation_sigma < 0.0 || spec_.persistence < 0.0 ||
+      spec_.persistence >= 1.0) {
+    throw std::invalid_argument("NetworkLink: bad fluctuation parameters");
+  }
+  if (spec_.efficiency <= 0.0 || spec_.efficiency > 1.0) {
+    throw std::invalid_argument("NetworkLink: efficiency must be in (0, 1]");
+  }
+  for (std::size_t i = 0; i < spec_.outages.size(); ++i) {
+    const LinkOutage& o = spec_.outages[i];
+    if (o.end <= o.start ||
+        (i > 0 && o.start < spec_.outages[i - 1].end)) {
+      throw std::invalid_argument(
+          "NetworkLink: outages must be sorted and non-overlapping");
+    }
+  }
+}
+
+bool NetworkLink::in_outage(WallSeconds t) const {
+  for (const LinkOutage& o : spec_.outages) {
+    if (t >= o.start && t < o.end) return true;
+    if (t < o.start) break;
+  }
+  return false;
+}
+
+void NetworkLink::advance_factor(WallSeconds now) {
+  if (spec_.fluctuation_sigma == 0.0) return;
+  // Step the AR(1) log-factor once per elapsed update period. The
+  // innovation stddev is chosen so the stationary stddev equals sigma.
+  const double period = spec_.update_period.seconds();
+  if (period <= 0.0) return;
+  const double rho = spec_.persistence;
+  const double innov =
+      spec_.fluctuation_sigma * std::sqrt(1.0 - rho * rho);
+  while (last_update_ + spec_.update_period <= now) {
+    log_factor_ = rho * log_factor_ + innov * rng_.normal();
+    last_update_ += spec_.update_period;
+  }
+}
+
+Bandwidth NetworkLink::current_bandwidth(WallSeconds now) {
+  if (in_outage(now)) return Bandwidth(0.0);
+  advance_factor(now);
+  // exp keeps the factor positive; clamp to avoid pathological stalls.
+  const double f = std::exp(std::min(std::max(log_factor_, -1.5), 1.5));
+  return Bandwidth(spec_.nominal.bytes_per_sec() * spec_.efficiency * f);
+}
+
+WallSeconds NetworkLink::transfer_duration(Bytes size, WallSeconds now) {
+  advance_factor(now);
+  const double f = std::exp(std::min(std::max(log_factor_, -1.5), 1.5));
+  const double rate = spec_.nominal.bytes_per_sec() * spec_.efficiency * f;
+
+  // Serve the payload at `rate`, pausing across outage windows.
+  double t = (now + spec_.latency).seconds();
+  double remaining = size.as_double();
+  for (const LinkOutage& o : spec_.outages) {
+    if (o.end.seconds() <= t) continue;
+    if (t >= o.start.seconds()) {
+      t = o.end.seconds();  // started mid-outage: wait it out
+      continue;
+    }
+    const double capacity = rate * (o.start.seconds() - t);
+    if (remaining <= capacity) {
+      return WallSeconds(t + remaining / rate) - now;
+    }
+    remaining -= capacity;
+    t = o.end.seconds();
+  }
+  return WallSeconds(t + remaining / rate) - now;
+}
+
+NetworkLink::ProbeResult NetworkLink::probe(WallSeconds now, Bytes probe_size) {
+  const WallSeconds elapsed = transfer_duration(probe_size, now);
+  // The probe includes latency in its timing, exactly like timing a real
+  // message, so the measured figure is slightly below the true bandwidth.
+  const Bandwidth measured =
+      Bandwidth(probe_size.as_double() / elapsed.seconds());
+  return ProbeResult{measured, elapsed};
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,60 @@
+#include "steering/steering.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace adaptviz {
+
+const char* to_string(SteeringCommand::Kind kind) {
+  switch (kind) {
+    case SteeringCommand::Kind::kSetOutputBounds:
+      return "set-output-bounds";
+    case SteeringCommand::Kind::kSetResolutionFloor:
+      return "set-resolution-floor";
+    case SteeringCommand::Kind::kSetNestExtent:
+      return "set-nest-extent";
+    case SteeringCommand::Kind::kPause:
+      return "pause";
+    case SteeringCommand::Kind::kResume:
+      return "resume";
+  }
+  return "?";
+}
+
+SteeringChannel::SteeringChannel(EventQueue& queue, WallSeconds latency,
+                                 Handler handler)
+    : queue_(queue), latency_(latency), handler_(std::move(handler)) {
+  if (!handler_) throw std::invalid_argument("SteeringChannel: null handler");
+  if (latency_.seconds() < 0) {
+    throw std::invalid_argument("SteeringChannel: negative latency");
+  }
+}
+
+void SteeringChannel::send(SteeringCommand command) {
+  send_after(WallSeconds(0.0), std::move(command));
+}
+
+void SteeringChannel::send_after(WallSeconds extra_delay,
+                                 SteeringCommand command) {
+  if (extra_delay.seconds() < 0) {
+    throw std::invalid_argument("SteeringChannel: negative delay");
+  }
+  ++sent_;
+  WallSeconds deliver_at = queue_.now() + extra_delay + latency_;
+  if (deliver_at < last_delivery_) deliver_at = last_delivery_;  // in order
+  last_delivery_ = deliver_at;
+  ADAPTVIZ_LOG_INFO("steering", "[%s] %s queued (%s)",
+                    hh_mm(queue_.now()).c_str(), to_string(command.kind),
+                    command.reason.c_str());
+  queue_.schedule_at(
+      deliver_at,
+      [this, command = std::move(command)] {
+        ++delivered_;
+        handler_(command);
+      },
+      "steering.deliver");
+}
+
+}  // namespace adaptviz

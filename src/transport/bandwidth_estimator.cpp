@@ -1,0 +1,25 @@
+#include "transport/bandwidth_estimator.hpp"
+
+#include <stdexcept>
+
+namespace adaptviz {
+
+BandwidthEstimator::BandwidthEstimator(double alpha) : ema_(alpha) {}
+
+void BandwidthEstimator::record_transfer(Bytes size, WallSeconds elapsed) {
+  if (elapsed.seconds() <= 0.0) {
+    throw std::invalid_argument("BandwidthEstimator: non-positive duration");
+  }
+  ema_.add(size.as_double() / elapsed.seconds());
+}
+
+void BandwidthEstimator::record_probe(Bandwidth measured) {
+  ema_.add(measured.bytes_per_sec());
+}
+
+std::optional<Bandwidth> BandwidthEstimator::estimate() const {
+  if (ema_.empty()) return std::nullopt;
+  return Bandwidth(ema_.value());
+}
+
+}  // namespace adaptviz

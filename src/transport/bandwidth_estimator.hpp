@@ -1,0 +1,38 @@
+// Observed sim->vis bandwidth estimate.
+//
+// The paper's application manager uses "the average observed bandwidth
+// between the simulation and visualization sites". Timing a dedicated 1 GB
+// probe is untenable on a 60 Kbps cross-continent path (it would take two
+// days), so the estimator prefers passively observed frame-transfer
+// throughput (every shipped frame is a measurement), exponentially averaged;
+// a probe is only the fallback before any frame has moved.
+#pragma once
+
+#include <optional>
+
+#include "numerics/statistics.hpp"
+#include "util/units.hpp"
+
+namespace adaptviz {
+
+class BandwidthEstimator {
+ public:
+  /// `alpha` is the EMA weight of the newest observation.
+  explicit BandwidthEstimator(double alpha = 0.3);
+
+  /// Records a completed transfer of `size` that took `elapsed`.
+  void record_transfer(Bytes size, WallSeconds elapsed);
+
+  /// Records an explicit probe measurement.
+  void record_probe(Bandwidth measured);
+
+  /// Smoothed estimate; nullopt before any observation.
+  [[nodiscard]] std::optional<Bandwidth> estimate() const;
+
+  [[nodiscard]] std::size_t observation_count() const { return ema_.count(); }
+
+ private:
+  ExponentialMovingAverage ema_;
+};
+
+}  // namespace adaptviz

@@ -1,0 +1,41 @@
+#include "transport/receiver.hpp"
+
+#include <stdexcept>
+
+namespace adaptviz {
+
+FrameReceiver::FrameReceiver(EventQueue& queue, VisualizeFn visualize,
+                             int worker_count)
+    : queue_(queue),
+      visualize_(std::move(visualize)),
+      worker_count_(worker_count) {
+  if (!visualize_) throw std::invalid_argument("FrameReceiver: null callback");
+  if (worker_count < 1) {
+    throw std::invalid_argument("FrameReceiver: worker_count must be >= 1");
+  }
+}
+
+void FrameReceiver::on_frame_arrival(const Frame& frame) {
+  ++frames_received_;
+  pending_.push_back(frame);
+  drain();
+}
+
+void FrameReceiver::drain() {
+  while (rendering_ < worker_count_ && !pending_.empty()) {
+    ++rendering_;
+    Frame frame = std::move(pending_.front());
+    pending_.pop_front();
+    const WallSeconds cost = visualize_(frame);
+    queue_.schedule_after(
+        cost,
+        [this] {
+          --rendering_;
+          ++frames_visualized_;
+          drain();
+        },
+        "receiver.render");
+  }
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,59 @@
+// Frame receiver daemon (visualization site).
+//
+// "The frame receiver daemon at the remote visualization site receives the
+// frames and invokes the visualization process for visualization of the
+// frames." The receiver decouples arrival from rendering with a queue: a
+// slow render never blocks the link, and the visualization process consumes
+// frames in arrival order.
+//
+// The paper's future work — "We intend to parallelize the visualization
+// process as well" — is supported through `worker_count`: up to that many
+// frames render concurrently (dispatch stays in arrival order; records are
+// appended at dispatch, so the Fig 7 progress series remains ordered).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "dataio/frame.hpp"
+#include "resources/event_queue.hpp"
+
+namespace adaptviz {
+
+class FrameReceiver {
+ public:
+  /// Invoked once per frame when the visualization process is ready for it.
+  /// Must return the wall-time cost of visualizing the frame.
+  using VisualizeFn = std::function<WallSeconds(const Frame&)>;
+
+  /// `worker_count` parallel render slots (>= 1).
+  FrameReceiver(EventQueue& queue, VisualizeFn visualize,
+                int worker_count = 1);
+
+  /// Entry point wired into the sender's delivery callback.
+  void on_frame_arrival(const Frame& frame);
+
+  [[nodiscard]] std::int64_t frames_received() const {
+    return frames_received_;
+  }
+  [[nodiscard]] std::int64_t frames_visualized() const {
+    return frames_visualized_;
+  }
+  [[nodiscard]] std::size_t backlog() const { return pending_.size(); }
+  [[nodiscard]] int workers_busy() const { return rendering_; }
+  [[nodiscard]] int worker_count() const { return worker_count_; }
+
+ private:
+  void drain();
+
+  EventQueue& queue_;
+  VisualizeFn visualize_;
+  int worker_count_;
+  std::deque<Frame> pending_;
+  int rendering_ = 0;  // busy workers
+  std::int64_t frames_received_ = 0;
+  std::int64_t frames_visualized_ = 0;
+};
+
+}  // namespace adaptviz

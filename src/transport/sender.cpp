@@ -1,0 +1,78 @@
+#include "transport/sender.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace adaptviz {
+
+FrameSender::FrameSender(EventQueue& queue, NetworkLink& link,
+                         FrameCatalog& catalog, DiskModel& disk,
+                         BandwidthEstimator& estimator, DeliveryFn deliver,
+                         WallSeconds poll_interval)
+    : queue_(queue),
+      link_(link),
+      catalog_(catalog),
+      disk_(disk),
+      estimator_(estimator),
+      deliver_(std::move(deliver)),
+      poll_interval_(poll_interval) {
+  if (!deliver_) throw std::invalid_argument("FrameSender: null delivery");
+  if (poll_interval_.seconds() <= 0) {
+    throw std::invalid_argument("FrameSender: poll interval must be > 0");
+  }
+}
+
+void FrameSender::start() {
+  if (running_) return;
+  running_ = true;
+  try_send();
+}
+
+void FrameSender::stop() { running_ = false; }
+
+void FrameSender::kick() { try_send(); }
+
+void FrameSender::poll_event() {
+  poll_scheduled_ = false;
+  try_send();
+}
+
+void FrameSender::try_send() {
+  if (!running_ || in_flight_) return;
+  if (catalog_.empty()) {
+    if (!poll_scheduled_) {
+      poll_scheduled_ = true;
+      queue_.schedule_after(
+          poll_interval_, [this] { poll_event(); }, "sender.poll");
+    }
+    return;
+  }
+  begin_transfer();
+}
+
+void FrameSender::begin_transfer() {
+  Frame frame = catalog_.pop_oldest();
+  in_flight_ = true;
+  const WallSeconds start = queue_.now();
+  const WallSeconds duration = link_.transfer_duration(frame.size, start);
+  ADAPTVIZ_LOG_DEBUG("sender", "frame #%lld (%s) in flight, eta %.1fs",
+                     static_cast<long long>(frame.sequence),
+                     to_string(frame.size).c_str(), duration.seconds());
+  queue_.schedule_after(
+      duration,
+      [this, frame = std::move(frame), start, duration] {
+        in_flight_ = false;
+        // Transferred data is removed from the simulation site (paper,
+        // Section I), freeing disk for new frames.
+        disk_.release(frame.size);
+        estimator_.record_transfer(frame.size, duration);
+        ++frames_sent_;
+        bytes_sent_ += frame.size;
+        deliver_(frame);
+        try_send();
+      },
+      "sender.complete");
+}
+
+}  // namespace adaptviz

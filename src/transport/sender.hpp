@@ -1,0 +1,64 @@
+// Frame sender daemon (simulation site).
+//
+// "The frame sender daemon continuously checks for the availability of
+// climate data output frames and sends the available frames over the
+// network to the remote visualization site." Transferred frames are removed
+// from the simulation site's disk, freeing space (the paper's core
+// assumption). One frame is in flight at a time (the WAN path is the
+// bottleneck; pipelining frames would not add throughput on a single link).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dataio/frame.hpp"
+#include "resources/disk.hpp"
+#include "resources/event_queue.hpp"
+#include "resources/network.hpp"
+#include "transport/bandwidth_estimator.hpp"
+
+namespace adaptviz {
+
+class FrameSender {
+ public:
+  /// Called at the receiver side when a frame's last byte arrives.
+  using DeliveryFn = std::function<void(const Frame&)>;
+
+  FrameSender(EventQueue& queue, NetworkLink& link, FrameCatalog& catalog,
+              DiskModel& disk, BandwidthEstimator& estimator,
+              DeliveryFn deliver,
+              WallSeconds poll_interval = WallSeconds(10.0));
+
+  /// Starts the daemon loop (idempotent).
+  void start();
+  /// Stops polling; an in-flight transfer still completes.
+  void stop();
+  /// Hint that a frame may be available (e.g. the simulation just wrote
+  /// one); cheaper than waiting out the poll interval.
+  void kick();
+
+  [[nodiscard]] std::int64_t frames_sent() const { return frames_sent_; }
+  [[nodiscard]] Bytes bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] bool transfer_in_flight() const { return in_flight_; }
+
+ private:
+  void poll_event();
+  void try_send();
+  void begin_transfer();
+
+  EventQueue& queue_;
+  NetworkLink& link_;
+  FrameCatalog& catalog_;
+  DiskModel& disk_;
+  BandwidthEstimator& estimator_;
+  DeliveryFn deliver_;
+  WallSeconds poll_interval_;
+
+  bool running_ = false;
+  bool in_flight_ = false;
+  bool poll_scheduled_ = false;
+  std::int64_t frames_sent_ = 0;
+  Bytes bytes_sent_{};
+};
+
+}  // namespace adaptviz

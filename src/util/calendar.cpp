@@ -1,0 +1,44 @@
+#include "util/calendar.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace adaptviz {
+
+CalendarEpoch::CalendarEpoch(int day_of_may, int hour, int minute) {
+  if (day_of_may < 1 || day_of_may > 31 || hour < 0 || hour > 23 ||
+      minute < 0 || minute > 59) {
+    throw std::invalid_argument("CalendarEpoch: out-of-range date");
+  }
+  epoch_minutes_ = (static_cast<long>(day_of_may) - 1) * 24 * 60 +
+                   static_cast<long>(hour) * 60 + minute;
+}
+
+std::string CalendarEpoch::label(SimSeconds t) const {
+  long total = epoch_minutes_ + std::lround(t.seconds() / 60.0);
+  // The Aila window never leaves May, but clamp gracefully if it does.
+  long day = total / (24 * 60) + 1;
+  long rem = total % (24 * 60);
+  if (rem < 0) {
+    rem += 24 * 60;
+    --day;
+  }
+  char buf[48];
+  if (day >= 1 && day <= 31) {
+    std::snprintf(buf, sizeof buf, "%02ld-May %02ld:%02ld", day, rem / 60,
+                  rem % 60);
+  } else {
+    std::snprintf(buf, sizeof buf, "May%+ldd %02ld:%02ld", day - 1, rem / 60,
+                  rem % 60);
+  }
+  return buf;
+}
+
+SimSeconds CalendarEpoch::at(int day_of_may, int hour, int minute) const {
+  const long abs_min = (static_cast<long>(day_of_may) - 1) * 24 * 60 +
+                       static_cast<long>(hour) * 60 + minute;
+  return SimSeconds(static_cast<double>(abs_min - epoch_minutes_) * 60.0);
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,34 @@
+// Conversion between the model's SimSeconds axis and calendar labels.
+//
+// The paper's Aila experiment simulates 22-May-2009 18:00 UTC through
+// 25-May-2009 06:00 UTC; its figures label the simulation axis with strings
+// like "23-May 09:00". CalendarEpoch reproduces those labels so bench output
+// can be compared line-for-line with the paper's plots.
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace adaptviz {
+
+/// A fixed calendar anchor for SimSeconds==0, e.g. 22-May 18:00.
+class CalendarEpoch {
+ public:
+  /// `day_of_may` is the May-2009 day of month; hours/minutes are UTC.
+  CalendarEpoch(int day_of_may, int hour, int minute = 0);
+
+  /// Default epoch used by the Aila scenario: 22-May 18:00.
+  static CalendarEpoch aila_start() { return {22, 18, 0}; }
+
+  /// Renders `t` past the epoch as "23-May 09:00".
+  [[nodiscard]] std::string label(SimSeconds t) const;
+
+  /// Inverse of label() for (day, hour, minute) triples in May 2009.
+  [[nodiscard]] SimSeconds at(int day_of_may, int hour, int minute = 0) const;
+
+ private:
+  long epoch_minutes_ = 0;  // minutes since 01-May 00:00
+};
+
+}  // namespace adaptviz

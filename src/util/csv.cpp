@@ -1,0 +1,78 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace adaptviz {
+namespace {
+
+void write_cell(std::ostream& out, const CsvTable::Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) {
+    const bool needs_quote = s->find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote) {
+      out << *s;
+      return;
+    }
+    out << '"';
+    for (char c : *s) {
+      if (c == '"') out << '"';
+      out << c;
+    }
+    out << '"';
+  } else if (const auto* d = std::get_if<double>(&cell)) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", *d);
+    out << buf;
+  } else {
+    out << std::get<long>(cell);
+  }
+}
+
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("csv: table needs at least one column");
+  }
+}
+
+void CsvTable::add_row(std::vector<Cell> row) {
+  if (row.size() != columns_.size()) {
+    throw std::invalid_argument("csv: row width " + std::to_string(row.size()) +
+                                " != header width " +
+                                std::to_string(columns_.size()));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void CsvTable::write(std::ostream& out) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out << ',';
+    out << columns_[i];
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      write_cell(out, row[i]);
+    }
+    out << '\n';
+  }
+}
+
+void CsvTable::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("csv: cannot write " + path);
+  write(out);
+}
+
+std::string CsvTable::str() const {
+  std::ostringstream out;
+  write(out);
+  return out.str();
+}
+
+}  // namespace adaptviz

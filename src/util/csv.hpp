@@ -1,0 +1,38 @@
+// CSV table writer for bench/experiment output.
+//
+// Every figure-reproduction bench emits its series through CsvTable so the
+// numbers the paper plots can be diffed or re-plotted directly.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace adaptviz {
+
+class CsvTable {
+ public:
+  using Cell = std::variant<std::string, double, long>;
+
+  explicit CsvTable(std::vector<std::string> columns);
+
+  /// Appends a row; throws std::invalid_argument on width mismatch.
+  void add_row(std::vector<Cell> row);
+
+  [[nodiscard]] size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+
+  /// Writes header + rows. Strings containing separators are quoted.
+  void write(std::ostream& out) const;
+  void save(const std::string& path) const;
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace adaptviz

@@ -1,0 +1,35 @@
+// Minimal leveled logger.
+//
+// The framework's daemons (application manager, job handler, sender,
+// receiver) narrate their actions through this logger; experiments lower the
+// level to Warn so bench output stays machine-parsable.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace adaptviz {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. `component` names the emitting daemon/module.
+void log(LogLevel level, const char* component, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+
+#define ADAPTVIZ_LOG_DEBUG(component, ...) \
+  ::adaptviz::log(::adaptviz::LogLevel::kDebug, component, __VA_ARGS__)
+#define ADAPTVIZ_LOG_INFO(component, ...) \
+  ::adaptviz::log(::adaptviz::LogLevel::kInfo, component, __VA_ARGS__)
+#define ADAPTVIZ_LOG_WARN(component, ...) \
+  ::adaptviz::log(::adaptviz::LogLevel::kWarn, component, __VA_ARGS__)
+#define ADAPTVIZ_LOG_ERROR(component, ...) \
+  ::adaptviz::log(::adaptviz::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace adaptviz

@@ -1,0 +1,34 @@
+#include "util/parallel_for.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace adaptviz {
+
+void parallel_for_rows(
+    std::size_t begin, std::size_t end, int threads,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers =
+      std::min<std::size_t>(std::max(threads, 1), n);
+  if (workers <= 1) {
+    body(begin, end);
+    return;
+  }
+  const std::size_t band = (n + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) {
+    const std::size_t b = begin + w * band;
+    const std::size_t e = std::min(end, b + band);
+    if (b >= e) break;
+    pool.emplace_back([&body, b, e] { body(b, e); });
+  }
+  // The calling thread takes the first band.
+  body(begin, std::min(end, begin + band));
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,19 @@
+// Fork-join row parallelism (OpenMP `parallel for`-style, in std::thread).
+//
+// Used by the dynamical core to split grid rows across workers. The
+// partition is deterministic and each worker writes only its own rows, so
+// results are bitwise identical to the serial loop for any worker count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace adaptviz {
+
+/// Runs body(row_begin, row_end) over a static partition of [begin, end)
+/// across `threads` workers (the calling thread is one of them).
+/// threads <= 1 or a tiny range degenerates to a direct call.
+void parallel_for_rows(std::size_t begin, std::size_t end, int threads,
+                       const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace adaptviz

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Experiments must be bit-reproducible across runs, so every stochastic
+// component (bandwidth fluctuation, machine-time noise, synthetic analysis
+// perturbations) owns its own seeded Rng rather than sharing global state.
+#pragma once
+
+#include <cstdint>
+
+namespace adaptviz {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (polar form).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n). n must be positive.
+  std::uint64_t bounded(std::uint64_t n);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace adaptviz

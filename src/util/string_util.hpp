@@ -1,0 +1,28 @@
+// Small string helpers shared by parsers and report writers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adaptviz {
+
+/// Copy of `s` with leading/trailing ASCII whitespace removed.
+std::string trim(const std::string& s);
+
+/// Splits on `sep`; empty fields are preserved ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(const std::string& s, char sep);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Joins `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// printf into a std::string.
+std::string format(const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+    ;
+
+}  // namespace adaptviz

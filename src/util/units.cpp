@@ -1,0 +1,46 @@
+#include "util/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace adaptviz {
+
+std::string to_string(Bytes b) {
+  const double v = b.as_double();
+  char buf[64];
+  if (std::fabs(v) >= 1e12) {
+    std::snprintf(buf, sizeof buf, "%.2f TB", v / 1e12);
+  } else if (std::fabs(v) >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f GB", v / 1e9);
+  } else if (std::fabs(v) >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f MB", v / 1e6);
+  } else if (std::fabs(v) >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2f KB", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld B", static_cast<long long>(b.count()));
+  }
+  return buf;
+}
+
+std::string to_string(Bandwidth b) {
+  const double mbps = b.megabits_per_sec();
+  char buf[64];
+  if (mbps >= 1000.0) {
+    std::snprintf(buf, sizeof buf, "%.2f Gbps", mbps / 1000.0);
+  } else if (mbps >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.2f Mbps", mbps);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f Kbps", mbps * 1000.0);
+  }
+  return buf;
+}
+
+std::string hh_mm(WallSeconds t) {
+  const long total_min = std::lround(t.seconds() / 60.0);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%02ld:%02ld", total_min / 60,
+                total_min % 60);
+  return buf;
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,189 @@
+// Strong unit types used throughout the framework.
+//
+// The system lives on two independent time axes, which the paper is careful
+// to distinguish (its footnote 1: "Simulated time units denote the time that
+// is simulated and does not represent the execution time"):
+//
+//  * WallSeconds — execution ("wall clock") time. In this repository wall
+//    time is *virtual*: it is advanced by the discrete-event kernel in
+//    resources/event_queue.hpp, so a 26-hour experiment replays in seconds.
+//  * SimSeconds — simulated weather time, i.e. the time axis of the cyclone.
+//
+// Mixing the two axes is a unit error; making them distinct types turns that
+// error into a compile failure.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace adaptviz {
+
+/// Byte counts and storage sizes. Signed so that deltas are representable.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t n) : n_(n) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return n_; }
+  [[nodiscard]] constexpr double as_double() const {
+    return static_cast<double>(n_);
+  }
+
+  static constexpr Bytes kilobytes(double k) {
+    return Bytes(static_cast<std::int64_t>(k * 1000.0));
+  }
+  static constexpr Bytes megabytes(double m) {
+    return Bytes(static_cast<std::int64_t>(m * 1000.0 * 1000.0));
+  }
+  static constexpr Bytes gigabytes(double g) {
+    return Bytes(static_cast<std::int64_t>(g * 1000.0 * 1000.0 * 1000.0));
+  }
+  static constexpr Bytes terabytes(double t) {
+    return Bytes(static_cast<std::int64_t>(t * 1e12));
+  }
+
+  [[nodiscard]] constexpr double gb() const { return as_double() / 1e9; }
+  [[nodiscard]] constexpr double mb() const { return as_double() / 1e6; }
+
+  constexpr Bytes& operator+=(Bytes o) {
+    n_ += o.n_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes o) {
+    n_ -= o.n_;
+    return *this;
+  }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes(a.n_ + b.n_);
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes(a.n_ - b.n_);
+  }
+  friend constexpr Bytes operator*(Bytes a, double s) {
+    return Bytes(static_cast<std::int64_t>(static_cast<double>(a.n_) * s));
+  }
+  friend constexpr Bytes operator*(double s, Bytes a) { return a * s; }
+  friend constexpr double operator/(Bytes a, Bytes b) {
+    return a.as_double() / b.as_double();
+  }
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+ private:
+  std::int64_t n_ = 0;
+};
+
+/// Network / disk bandwidth in bytes per second (decimal units).
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  constexpr explicit Bandwidth(double bytes_per_second)
+      : bps_(bytes_per_second) {}
+
+  /// Constructors mirroring how the paper quotes link speeds (bits/s).
+  static constexpr Bandwidth bits_per_second(double b) {
+    return Bandwidth(b / 8.0);
+  }
+  static constexpr Bandwidth kbps(double k) {
+    return bits_per_second(k * 1000.0);
+  }
+  static constexpr Bandwidth mbps(double m) {
+    return bits_per_second(m * 1000.0 * 1000.0);
+  }
+  static constexpr Bandwidth gbps(double g) { return bits_per_second(g * 1e9); }
+  static constexpr Bandwidth bytes_per_second(double b) {
+    return Bandwidth(b);
+  }
+  static constexpr Bandwidth megabytes_per_second(double m) {
+    return Bandwidth(m * 1e6);
+  }
+  static constexpr Bandwidth gigabytes_per_second(double g) {
+    return Bandwidth(g * 1e9);
+  }
+
+  [[nodiscard]] constexpr double bytes_per_sec() const { return bps_; }
+  [[nodiscard]] constexpr double megabits_per_sec() const {
+    return bps_ * 8.0 / 1e6;
+  }
+  friend constexpr auto operator<=>(Bandwidth, Bandwidth) = default;
+  friend constexpr Bandwidth operator*(Bandwidth b, double s) {
+    return Bandwidth(b.bps_ * s);
+  }
+
+ private:
+  double bps_ = 0.0;
+};
+
+namespace detail {
+
+/// Shared implementation of a double-backed duration with a phantom tag.
+template <class Tag>
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double s) : s_(s) {}
+
+  static constexpr Seconds minutes(double m) { return Seconds(m * 60.0); }
+  static constexpr Seconds hours(double h) { return Seconds(h * 3600.0); }
+  static constexpr Seconds days(double d) { return Seconds(d * 86400.0); }
+
+  [[nodiscard]] constexpr double seconds() const { return s_; }
+  [[nodiscard]] constexpr double as_minutes() const { return s_ / 60.0; }
+  [[nodiscard]] constexpr double as_hours() const { return s_ / 3600.0; }
+
+  constexpr Seconds& operator+=(Seconds o) {
+    s_ += o.s_;
+    return *this;
+  }
+  constexpr Seconds& operator-=(Seconds o) {
+    s_ -= o.s_;
+    return *this;
+  }
+  friend constexpr Seconds operator+(Seconds a, Seconds b) {
+    return Seconds(a.s_ + b.s_);
+  }
+  friend constexpr Seconds operator-(Seconds a, Seconds b) {
+    return Seconds(a.s_ - b.s_);
+  }
+  friend constexpr Seconds operator*(Seconds a, double k) {
+    return Seconds(a.s_ * k);
+  }
+  friend constexpr Seconds operator*(double k, Seconds a) { return a * k; }
+  friend constexpr double operator/(Seconds a, Seconds b) {
+    return a.s_ / b.s_;
+  }
+  friend constexpr Seconds operator/(Seconds a, double k) {
+    return Seconds(a.s_ / k);
+  }
+  friend constexpr auto operator<=>(Seconds, Seconds) = default;
+
+ private:
+  double s_ = 0.0;
+};
+
+struct WallTag {};
+struct SimTag {};
+
+}  // namespace detail
+
+/// Execution (virtual wall-clock) duration / instant since experiment start.
+using WallSeconds = detail::Seconds<detail::WallTag>;
+/// Simulated weather-time duration / instant since the model's start epoch.
+using SimSeconds = detail::Seconds<detail::SimTag>;
+
+/// Amount of data moved by `bw` over `dt` of wall time.
+constexpr Bytes transferable(Bandwidth bw, WallSeconds dt) {
+  return Bytes(static_cast<std::int64_t>(bw.bytes_per_sec() * dt.seconds()));
+}
+
+/// Wall time needed to move `size` at `bw`. `bw` must be positive.
+constexpr WallSeconds transfer_time(Bytes size, Bandwidth bw) {
+  return WallSeconds(size.as_double() / bw.bytes_per_sec());
+}
+
+/// Human-readable renderings, e.g. "1.5 GB", "56.0 Mbps", "02:36".
+std::string to_string(Bytes b);
+std::string to_string(Bandwidth b);
+std::string hh_mm(WallSeconds t);
+
+}  // namespace adaptviz

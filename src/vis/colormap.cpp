@@ -1,0 +1,58 @@
+#include "vis/colormap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace adaptviz {
+
+Colormap::Colormap(std::vector<Rgb> stops) : stops_(std::move(stops)) {
+  if (stops_.size() < 2) {
+    throw std::invalid_argument("Colormap: need >= 2 stops");
+  }
+}
+
+Colormap Colormap::viridis() {
+  return Colormap({{68, 1, 84},
+                   {59, 82, 139},
+                   {33, 145, 140},
+                   {94, 201, 98},
+                   {253, 231, 37}});
+}
+
+Colormap Colormap::diverging_blue_red() {
+  return Colormap({{33, 102, 172},
+                   {146, 197, 222},
+                   {247, 247, 247},
+                   {244, 165, 130},
+                   {178, 24, 43}});
+}
+
+Colormap Colormap::terrain() {
+  return Colormap({{22, 58, 112},    // deep ocean
+                   {66, 122, 170},   // shallow ocean
+                   {171, 203, 180},  // coast
+                   {120, 152, 96},   // lowland
+                   {150, 132, 100}});  // hills
+}
+
+Rgb Colormap::sample(double t) const {
+  t = std::clamp(t, 0.0, 1.0);
+  const double pos = t * static_cast<double>(stops_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, stops_.size() - 1);
+  const double f = pos - static_cast<double>(lo);
+  const Rgb a = stops_[lo];
+  const Rgb b = stops_[hi];
+  return Rgb{
+      static_cast<std::uint8_t>(std::lround(a.r + f * (b.r - a.r))),
+      static_cast<std::uint8_t>(std::lround(a.g + f * (b.g - a.g))),
+      static_cast<std::uint8_t>(std::lround(a.b + f * (b.b - a.b)))};
+}
+
+Rgb Colormap::map(double v, double lo, double hi) const {
+  if (hi <= lo) return sample(0.5);
+  return sample((v - lo) / (hi - lo));
+}
+
+}  // namespace adaptviz

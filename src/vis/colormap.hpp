@@ -1,0 +1,35 @@
+// Scalar-to-color mapping.
+//
+// Three maps cover the paper's plots: a perceptually ordered viridis-like
+// map for pseudocolor fields, a blue-white-red diverging map for
+// perturbation pressure (Fig. 4), and a terrain map used for land/ocean
+// backgrounds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vis/image.hpp"
+
+namespace adaptviz {
+
+class Colormap {
+ public:
+  /// Control points evenly spaced over [0, 1], interpolated linearly.
+  explicit Colormap(std::vector<Rgb> stops);
+
+  static Colormap viridis();
+  static Colormap diverging_blue_red();
+  static Colormap terrain();
+
+  /// t is clamped to [0, 1].
+  [[nodiscard]] Rgb sample(double t) const;
+
+  /// Maps v in [lo, hi] onto the ramp (degenerate ranges map to the middle).
+  [[nodiscard]] Rgb map(double v, double lo, double hi) const;
+
+ private:
+  std::vector<Rgb> stops_;
+};
+
+}  // namespace adaptviz

@@ -1,0 +1,114 @@
+#include "vis/contour.hpp"
+
+#include <cmath>
+
+namespace adaptviz {
+namespace {
+
+// Linear interpolation of the crossing position between two corner values.
+double crossing(double a, double b, double iso) {
+  const double d = b - a;
+  if (std::fabs(d) < 1e-30) return 0.5;
+  double t = (iso - a) / d;
+  if (t < 0.0) t = 0.0;
+  if (t > 1.0) t = 1.0;
+  return t;
+}
+
+}  // namespace
+
+std::vector<ContourSegment> marching_squares(const Field2D& f, double iso) {
+  std::vector<ContourSegment> out;
+  if (f.nx() < 2 || f.ny() < 2) return out;
+
+  for (std::size_t j = 0; j + 1 < f.ny(); ++j) {
+    for (std::size_t i = 0; i + 1 < f.nx(); ++i) {
+      // Corners: 0=(i,j) 1=(i+1,j) 2=(i+1,j+1) 3=(i,j+1).
+      const double v0 = f(i, j);
+      const double v1 = f(i + 1, j);
+      const double v2 = f(i + 1, j + 1);
+      const double v3 = f(i, j + 1);
+      if (std::isnan(v0) || std::isnan(v1) || std::isnan(v2) ||
+          std::isnan(v3)) {
+        continue;
+      }
+      int mask = 0;
+      if (v0 >= iso) mask |= 1;
+      if (v1 >= iso) mask |= 2;
+      if (v2 >= iso) mask |= 4;
+      if (v3 >= iso) mask |= 8;
+      if (mask == 0 || mask == 15) continue;
+
+      const double x = static_cast<double>(i);
+      const double y = static_cast<double>(j);
+      // Edge midpoints with interpolation:
+      // bottom (0-1), right (1-2), top (3-2), left (0-3).
+      const double bx = x + crossing(v0, v1, iso);
+      const double rx = x + 1.0;
+      const double ry = y + crossing(v1, v2, iso);
+      const double tx = x + crossing(v3, v2, iso);
+      const double ty = y + 1.0;
+      const double ly = y + crossing(v0, v3, iso);
+
+      auto seg = [&out](double ax, double ay, double bx2, double by2) {
+        out.push_back(ContourSegment{ax, ay, bx2, by2});
+      };
+
+      switch (mask) {
+        case 1:
+        case 14:
+          seg(bx, y, x, ly);
+          break;
+        case 2:
+        case 13:
+          seg(bx, y, rx, ry);
+          break;
+        case 3:
+        case 12:
+          seg(x, ly, rx, ry);
+          break;
+        case 4:
+        case 11:
+          seg(rx, ry, tx, ty);
+          break;
+        case 6:
+        case 9:
+          seg(bx, y, tx, ty);
+          break;
+        case 7:
+        case 8:
+          seg(x, ly, tx, ty);
+          break;
+        case 5:
+        case 10: {
+          // Saddle: disambiguate with the cell average.
+          const double avg = 0.25 * (v0 + v1 + v2 + v3);
+          const bool center_high = avg >= iso;
+          if ((mask == 5) == center_high) {
+            seg(bx, y, rx, ry);
+            seg(x, ly, tx, ty);
+          } else {
+            seg(bx, y, x, ly);
+            seg(rx, ry, tx, ty);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ContourSegment> marching_squares(const Field2D& field,
+                                             const std::vector<double>& isos) {
+  std::vector<ContourSegment> out;
+  for (double iso : isos) {
+    auto segs = marching_squares(field, iso);
+    out.insert(out.end(), segs.begin(), segs.end());
+  }
+  return out;
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,26 @@
+// Iso-contour extraction by marching squares.
+//
+// Produces line segments in fractional grid coordinates for a given iso
+// value; the renderer rasterizes them over the pseudocolor base layer (the
+// paper visualizes WRF output with VisIt contour plots).
+#pragma once
+
+#include <vector>
+
+#include "weather/grid.hpp"
+
+namespace adaptviz {
+
+struct ContourSegment {
+  double x0, y0, x1, y1;  // fractional grid coordinates
+};
+
+/// Extracts all segments of the `iso` level. Cells containing NaN are
+/// skipped. Saddle cells are resolved by the cell-average rule.
+std::vector<ContourSegment> marching_squares(const Field2D& field, double iso);
+
+/// Convenience: segments for several levels concatenated.
+std::vector<ContourSegment> marching_squares(const Field2D& field,
+                                             const std::vector<double>& isos);
+
+}  // namespace adaptviz

@@ -1,0 +1,85 @@
+#include "vis/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace adaptviz {
+
+Image::Image(std::size_t width, std::size_t height, Rgb fill)
+    : w_(width), h_(height), px_(width * height, fill) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("Image: zero dimension");
+  }
+}
+
+void Image::set(long x, long y, Rgb c) {
+  if (x < 0 || y < 0 || x >= static_cast<long>(w_) ||
+      y >= static_cast<long>(h_)) {
+    return;
+  }
+  px_[static_cast<std::size_t>(y) * w_ + static_cast<std::size_t>(x)] = c;
+}
+
+void Image::blend(long x, long y, Rgb c, double alpha) {
+  if (x < 0 || y < 0 || x >= static_cast<long>(w_) ||
+      y >= static_cast<long>(h_)) {
+    return;
+  }
+  alpha = std::clamp(alpha, 0.0, 1.0);
+  Rgb& p = px_[static_cast<std::size_t>(y) * w_ + static_cast<std::size_t>(x)];
+  p.r = static_cast<std::uint8_t>(std::lround(p.r + alpha * (c.r - p.r)));
+  p.g = static_cast<std::uint8_t>(std::lround(p.g + alpha * (c.g - p.g)));
+  p.b = static_cast<std::uint8_t>(std::lround(p.b + alpha * (c.b - p.b)));
+}
+
+void Image::draw_line(long x0, long y0, long x1, long y1, Rgb c) {
+  const long dx = std::abs(x1 - x0);
+  const long dy = -std::abs(y1 - y0);
+  const long sx = x0 < x1 ? 1 : -1;
+  const long sy = y0 < y1 ? 1 : -1;
+  long err = dx + dy;
+  while (true) {
+    set(x0, y0, c);
+    if (x0 == x1 && y0 == y1) break;
+    const long e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void Image::draw_disc(long cx, long cy, long radius, Rgb c) {
+  for (long y = -radius; y <= radius; ++y) {
+    for (long x = -radius; x <= radius; ++x) {
+      if (x * x + y * y <= radius * radius) set(cx + x, cy + y, c);
+    }
+  }
+}
+
+std::string Image::encode_ppm() const {
+  std::ostringstream out;
+  out << "P6\n" << w_ << " " << h_ << "\n255\n";
+  for (const Rgb& p : px_) {
+    out.put(static_cast<char>(p.r));
+    out.put(static_cast<char>(p.g));
+    out.put(static_cast<char>(p.b));
+  }
+  return out.str();
+}
+
+void Image::save_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("Image: cannot open " + path);
+  const std::string data = encode_ppm();
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+}  // namespace adaptviz

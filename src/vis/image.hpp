@@ -1,0 +1,54 @@
+// RGB raster image with PPM output.
+//
+// Stands in for the VisIt rendering backend: everything the examples draw
+// (pseudocolor, contours, wind glyphs, cyclone tracks) rasterizes into this
+// buffer and is written as binary PPM (P6) — viewable everywhere, zero
+// dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaptviz {
+
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+  friend bool operator==(Rgb, Rgb) = default;
+};
+
+class Image {
+ public:
+  Image(std::size_t width, std::size_t height, Rgb fill = {0, 0, 0});
+
+  [[nodiscard]] std::size_t width() const { return w_; }
+  [[nodiscard]] std::size_t height() const { return h_; }
+
+  /// (0,0) is the top-left pixel.
+  Rgb& at(std::size_t x, std::size_t y) { return px_[y * w_ + x]; }
+  [[nodiscard]] Rgb at(std::size_t x, std::size_t y) const {
+    return px_[y * w_ + x];
+  }
+
+  /// Ignores out-of-bounds coordinates (handy for overlays).
+  void set(long x, long y, Rgb c);
+
+  /// Alpha-blends `c` over the current pixel (alpha in [0,1]).
+  void blend(long x, long y, Rgb c, double alpha);
+
+  /// Bresenham line segment.
+  void draw_line(long x0, long y0, long x1, long y1, Rgb c);
+
+  /// Filled disc of the given radius.
+  void draw_disc(long cx, long cy, long radius, Rgb c);
+
+  /// Binary PPM (P6).
+  void save_ppm(const std::string& path) const;
+  [[nodiscard]] std::string encode_ppm() const;
+
+ private:
+  std::size_t w_, h_;
+  std::vector<Rgb> px_;
+};
+
+}  // namespace adaptviz

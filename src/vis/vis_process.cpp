@@ -1,0 +1,36 @@
+#include "vis/vis_process.hpp"
+
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace adaptviz {
+
+VisualizationProcess::VisualizationProcess(EventQueue& queue, Options options)
+    : queue_(queue), options_(std::move(options)) {}
+
+WallSeconds VisualizationProcess::visualize(const Frame& frame) {
+  records_.push_back(VisRecord{queue_.now(), frame.sim_time, frame.sequence,
+                               frame.size});
+  if (options_.render_images && frame.payload != nullptr &&
+      !options_.output_dir.empty()) {
+    const FrameRenderer renderer(options_.render_options);
+    const Image img = renderer.render(*frame.payload, nullptr);
+    char name[64];
+    std::snprintf(name, sizeof name, "/frame_%06lld.ppm",
+                  static_cast<long long>(frame.sequence));
+    img.save_ppm(options_.output_dir + name);
+  }
+  ADAPTVIZ_LOG_DEBUG("vis", "frame #%lld visualized at wall %s",
+                     static_cast<long long>(frame.sequence),
+                     hh_mm(queue_.now()).c_str());
+  if (options_.on_frame) options_.on_frame(frame, records_.back());
+  return WallSeconds(options_.fixed_seconds +
+                     options_.seconds_per_gb * frame.size.gb());
+}
+
+SimSeconds VisualizationProcess::latest_visualized_sim_time() const {
+  return records_.empty() ? SimSeconds(0.0) : records_.back().sim_time;
+}
+
+}  // namespace adaptviz

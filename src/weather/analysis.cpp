@@ -1,0 +1,86 @@
+#include "weather/analysis.hpp"
+
+#include <cmath>
+
+#include "numerics/interpolation.hpp"
+#include "util/rng.hpp"
+
+namespace adaptviz {
+
+double SteeringProfile::u(SimSeconds t) const {
+  const double h = t.as_hours();
+  const double w =
+      1.0 / (1.0 + std::exp(-(h - transition_hour) / transition_width_hours));
+  return u_early + w * (u_late - u_early);
+}
+
+double SteeringProfile::v(SimSeconds t) const {
+  const double h = t.as_hours();
+  const double w =
+      1.0 / (1.0 + std::exp(-(h - transition_hour) / transition_width_hours));
+  return v_early + w * (v_late - v_early);
+}
+
+SyntheticAnalysis SyntheticAnalysis::generate(double lon0, double lat0,
+                                              double extent_lon_deg,
+                                              double extent_lat_deg,
+                                              const AnalysisConfig& config) {
+  SyntheticAnalysis a;
+  a.config_ = config;
+  // 1-degree analysis grid, like FNL.
+  a.coarse_ = DomainState(
+      GridSpec(lon0, lat0, extent_lon_deg, extent_lat_deg, kKmPerDegree));
+
+  // Correlated "analysis uncertainty": sum of a few long-wavelength sine
+  // modes with random phases (smooth by construction, cheap to evaluate).
+  Rng rng(config.seed);
+  struct Mode {
+    double kx, ky, phase, amp;
+  };
+  Mode modes[5];
+  for (auto& m : modes) {
+    m.kx = rng.uniform(0.5, 2.5);
+    m.ky = rng.uniform(0.5, 2.5);
+    m.phase = rng.uniform(0.0, 6.28318);
+    m.amp = config.perturbation_m * rng.uniform(0.3, 1.0);
+  }
+
+  const GridSpec& g = a.coarse_.grid;
+  for (std::size_t j = 0; j < g.ny(); ++j) {
+    for (std::size_t i = 0; i < g.nx(); ++i) {
+      const double fx =
+          static_cast<double>(i) / static_cast<double>(g.nx() - 1);
+      const double fy =
+          static_cast<double>(j) / static_cast<double>(g.ny() - 1);
+      double dh = 0.0;
+      for (const auto& m : modes) {
+        dh += m.amp * std::sin(6.28318 * (m.kx * fx + m.ky * fy) + m.phase);
+      }
+      a.coarse_.h(i, j) = dh;
+    }
+  }
+
+  // Bogus the initial depression into the analysis.
+  config.initial_vortex.deposit(a.coarse_);
+  return a;
+}
+
+DomainState preprocess(const SyntheticAnalysis& analysis,
+                       const GridSpec& target) {
+  const DomainState& src = analysis.coarse_state();
+  const GridSpec& sg = src.grid;
+  DomainState out(target);
+  for (std::size_t j = 0; j < target.ny(); ++j) {
+    for (std::size_t i = 0; i < target.nx(); ++i) {
+      const LatLon p = target.at(i, j);
+      const double x = sg.x_of_lon(p.lon);
+      const double y = sg.y_of_lat(p.lat);
+      out.h(i, j) = bicubic(src.h.data(), sg.nx(), sg.ny(), x, y);
+      out.u(i, j) = bilinear(src.u.data(), sg.nx(), sg.ny(), x, y);
+      out.v(i, j) = bilinear(src.v.data(), sg.nx(), sg.ny(), x, y);
+    }
+  }
+  return out;
+}
+
+}  // namespace adaptviz

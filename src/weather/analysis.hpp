@@ -1,0 +1,80 @@
+// Synthetic meteorological analysis ("FNL") and WPS-like preprocessing.
+//
+// The paper initializes WRF from 6-hourly 1-degree FNL GRIB analyses pulled
+// from the CISL Research Data Archive and runs the WRF Preprocessing System
+// (WPS) to interpolate them onto the model domain. Offline we cannot fetch
+// FNL, so SyntheticAnalysis builds the equivalent: coarse 1-degree fields
+// containing (a) the large-scale monsoon steering flow over the Bay of
+// Bengal, (b) the initial Aila depression as a Holland bogus vortex, and
+// (c) small correlated perturbations standing in for analysis uncertainty.
+// `preprocess` is the WPS stand-in: it interpolates the coarse analysis onto
+// an arbitrary model grid. The substitution preserves the code path the
+// framework exercises — coarse input -> interpolation -> model-grid initial
+// state (finer nests re-interpolate, as the paper notes WRF "needs input
+// data at a finer resolution" per refinement level).
+#pragma once
+
+#include <cstdint>
+
+#include "weather/grid.hpp"
+#include "weather/state.hpp"
+#include "weather/vortex.hpp"
+
+namespace adaptviz {
+
+/// Time-varying large-scale steering current (m/s) advecting the storm.
+/// Aila tracked almost due north along ~88E: weak south-southeasterly
+/// steering early, strengthening and veering slightly east of north late
+/// (towards the Darjeeling hills).
+struct SteeringProfile {
+  /// Components at simulated time t since the analysis epoch.
+  [[nodiscard]] double u(SimSeconds t) const;
+  [[nodiscard]] double v(SimSeconds t) const;
+
+  double u_early = -0.4;
+  double v_early = 3.2;
+  double u_late = 0.6;
+  double v_late = 5.2;
+  /// Centre and width (hours) of the early->late transition.
+  double transition_hour = 30.0;
+  double transition_width_hours = 8.0;
+};
+
+struct AnalysisConfig {
+  /// Initial depression as analyzed at the epoch (22-May-2009 18:00 UTC:
+  /// a ~998 hPa low over the central Bay of Bengal near 14N 88.5E).
+  HollandVortex initial_vortex{
+      .center = LatLon{14.0, 88.5},
+      .deficit_hpa = 9.0,  // ~1001 hPa depression at the analysis epoch
+      .r_max_km = 90.0,
+      .b = 1.4,
+  };
+  SteeringProfile steering;
+  /// Amplitude (m) of correlated height perturbations ("analysis noise").
+  double perturbation_m = 1.5;
+  std::uint64_t seed = 20090522;
+};
+
+class SyntheticAnalysis {
+ public:
+  /// Builds the 1-degree analysis over the given geographic box.
+  static SyntheticAnalysis generate(double lon0, double lat0,
+                                    double extent_lon_deg,
+                                    double extent_lat_deg,
+                                    const AnalysisConfig& config);
+
+  [[nodiscard]] const GridSpec& grid() const { return coarse_.grid; }
+  [[nodiscard]] const DomainState& coarse_state() const { return coarse_; }
+  [[nodiscard]] const AnalysisConfig& config() const { return config_; }
+
+ private:
+  DomainState coarse_;
+  AnalysisConfig config_;
+};
+
+/// WPS stand-in: interpolates the coarse analysis onto `target` (bicubic for
+/// height, bilinear for winds) producing the model's initial state.
+DomainState preprocess(const SyntheticAnalysis& analysis,
+                       const GridSpec& target);
+
+}  // namespace adaptviz

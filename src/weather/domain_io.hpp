@@ -1,0 +1,30 @@
+// Serialization of DomainState to/from NCL files.
+//
+// Shared by the model's frame/checkpoint writer and by any consumer of
+// frames (the visualization pipeline decodes the same layout at the remote
+// site). Fields are stored as "<prefix>_h/u/v" with the grid geometry in
+// "<prefix>_*" attributes.
+#pragma once
+
+#include <string>
+
+#include "dataio/ncl.hpp"
+#include "weather/state.hpp"
+
+namespace adaptviz {
+
+/// Appends one domain's fields and grid attributes under `prefix`.
+void encode_domain(NclFile& file, const std::string& prefix,
+                   const DomainState& state);
+
+/// Reconstructs a domain; throws std::runtime_error on missing/ill-formed
+/// content.
+DomainState decode_domain(const NclFile& file, const std::string& prefix);
+
+/// True when the file carries a domain under `prefix`.
+bool has_domain(const NclFile& file, const std::string& prefix);
+
+/// Reads a numeric global attribute (double or int64) or throws.
+double attr_double(const NclFile& file, const std::string& name);
+
+}  // namespace adaptviz

@@ -1,0 +1,159 @@
+#include "weather/dynamics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/parallel_for.hpp"
+
+namespace adaptviz {
+
+SwSolver::SwSolver(SwParams params) : params_(params) {
+  if (params_.mean_depth <= 0 || params_.gravity <= 0 ||
+      params_.diffusion_alpha < 0 || params_.sponge_width < 0) {
+    throw std::invalid_argument("SwSolver: bad parameters");
+  }
+}
+
+void SwSolver::compute_tendency(const DomainState& s, const SwForcing& f,
+                                double dt, Tendency& out) const {
+  const GridSpec& g = s.grid;
+  const std::size_t nx = g.nx();
+  const std::size_t ny = g.ny();
+  const double dx = g.dx_m();
+  const double inv2dx = 1.0 / (2.0 * dx);
+  const double nu = params_.diffusion_alpha * dx * dx / dt;
+  const double nu_invdx2 = nu / (dx * dx);
+  const double grav = params_.gravity;
+  const double hbar = params_.mean_depth;
+
+  if (out.dh.nx() != nx || out.dh.ny() != ny) {
+    out.dh = Field2D(nx, ny);
+    out.du = Field2D(nx, ny);
+    out.dv = Field2D(nx, ny);
+  } else {
+    out.dh.fill(0.0);
+    out.du.fill(0.0);
+    out.dv.fill(0.0);
+  }
+
+  // Coriolis per row (varies with latitude: the beta effect is what makes
+  // cyclones drift poleward-westward even in quiescent environments).
+  std::vector<double> frow(ny);
+  for (std::size_t j = 0; j < ny; ++j) frow[j] = coriolis(g.at(0, j).lat);
+
+  auto tendency_rows = [&](std::size_t j_begin, std::size_t j_end) {
+  for (std::size_t j = j_begin; j < j_end; ++j) {
+    const double fcor = frow[j];
+    for (std::size_t i = 1; i + 1 < nx; ++i) {
+      const double ua = s.u(i, j) + f.steering_u;
+      const double va = s.v(i, j) + f.steering_v;
+
+      const double h_x = (s.h(i + 1, j) - s.h(i - 1, j)) * inv2dx;
+      const double h_y = (s.h(i, j + 1) - s.h(i, j - 1)) * inv2dx;
+      const double u_x = (s.u(i + 1, j) - s.u(i - 1, j)) * inv2dx;
+      const double u_y = (s.u(i, j + 1) - s.u(i, j - 1)) * inv2dx;
+      const double v_x = (s.v(i + 1, j) - s.v(i - 1, j)) * inv2dx;
+      const double v_y = (s.v(i, j + 1) - s.v(i, j - 1)) * inv2dx;
+
+      const double lap_u = (s.u(i + 1, j) + s.u(i - 1, j) + s.u(i, j + 1) +
+                            s.u(i, j - 1) - 4.0 * s.u(i, j)) *
+                           nu_invdx2;
+      const double lap_v = (s.v(i + 1, j) + s.v(i - 1, j) + s.v(i, j + 1) +
+                            s.v(i, j - 1) - 4.0 * s.v(i, j)) *
+                           nu_invdx2;
+      const double lap_h = (s.h(i + 1, j) + s.h(i - 1, j) + s.h(i, j + 1) +
+                            s.h(i, j - 1) - 4.0 * s.h(i, j)) *
+                           nu_invdx2;
+
+      double du = -ua * u_x - va * u_y + fcor * s.v(i, j) - grav * h_x + lap_u;
+      double dv = -ua * v_x - va * v_y - fcor * s.u(i, j) - grav * h_y + lap_v;
+
+      // Flux-form mass continuity: -div((H+h) * (u_total)).
+      const double depth_e = hbar + 0.5 * (s.h(i + 1, j) + s.h(i, j));
+      const double depth_w = hbar + 0.5 * (s.h(i - 1, j) + s.h(i, j));
+      const double depth_n = hbar + 0.5 * (s.h(i, j + 1) + s.h(i, j));
+      const double depth_s = hbar + 0.5 * (s.h(i, j - 1) + s.h(i, j));
+      const double flux_e =
+          depth_e * 0.5 * (s.u(i + 1, j) + s.u(i, j) + 2.0 * f.steering_u);
+      const double flux_w =
+          depth_w * 0.5 * (s.u(i - 1, j) + s.u(i, j) + 2.0 * f.steering_u);
+      const double flux_n =
+          depth_n * 0.5 * (s.v(i, j + 1) + s.v(i, j) + 2.0 * f.steering_v);
+      const double flux_s =
+          depth_s * 0.5 * (s.v(i, j - 1) + s.v(i, j) + 2.0 * f.steering_v);
+      double dh = -((flux_e - flux_w) + (flux_n - flux_s)) / dx + lap_h;
+
+      if (f.mass_tendency != nullptr) dh += (*f.mass_tendency)(i, j);
+      if (f.u_tendency != nullptr) du += (*f.u_tendency)(i, j);
+      if (f.v_tendency != nullptr) dv += (*f.v_tendency)(i, j);
+      if (f.relaxation != nullptr) {
+        const double r = (*f.relaxation)(i, j);
+        du -= r * s.u(i, j);
+        dv -= r * s.v(i, j);
+        dh -= r * s.h(i, j);
+      }
+      out.du(i, j) = du;
+      out.dv(i, j) = dv;
+      out.dh(i, j) = dh;
+    }
+
+    // Sponge: relax the outer rows toward rest, strongest at the boundary.
+    const int w = params_.sponge_width;
+    if (w > 0 && params_.sponge_tau_seconds > 0) {
+      const double r0 = 1.0 / params_.sponge_tau_seconds;
+      for (std::size_t i = 1; i + 1 < nx; ++i) {
+        const std::size_t d = std::min(std::min(i, nx - 1 - i),
+                                       std::min(j, ny - 1 - j));
+        if (d >= static_cast<std::size_t>(w)) continue;
+        const double wgt =
+            1.0 - static_cast<double>(d) / static_cast<double>(w);
+        const double r = r0 * wgt * wgt;
+        out.du(i, j) -= r * s.u(i, j);
+        out.dv(i, j) -= r * s.v(i, j);
+        out.dh(i, j) -= r * s.h(i, j);
+      }
+    }
+  }
+  };  // tendency_rows
+  parallel_for_rows(1, ny - 1, params_.threads, tendency_rows);
+}
+
+void SwSolver::step(DomainState& state, double dt, const SwForcing& forcing) const {
+  if (dt <= 0) throw std::invalid_argument("SwSolver::step: dt must be > 0");
+  const std::size_t n = state.h.size();
+
+  // WRF ARW RK3: phi* = phi + dt/3 F(phi); phi** = phi + dt/2 F(phi*);
+  // phi^{n+1} = phi + dt F(phi**).
+  static thread_local Tendency tend;
+  DomainState stage = state;
+
+  const double frac[3] = {dt / 3.0, dt / 2.0, dt};
+  for (int k = 0; k < 3; ++k) {
+    compute_tendency(stage, forcing, dt, tend);
+    const double a = frac[k];
+    // Write into `stage` for the first two stages, into `state` on the last.
+    // Hoist raw pointers: `tend` is thread_local, and inside the worker
+    // lambda it would name the *worker's* (empty) instance, not this one.
+    DomainState& dst = (k == 2) ? state : stage;
+    double* dh = dst.h.data().data();
+    double* du = dst.u.data().data();
+    double* dv = dst.v.data().data();
+    const double* h0 = state.h.data().data();
+    const double* u0 = state.u.data().data();
+    const double* v0 = state.v.data().data();
+    const double* th = tend.dh.data().data();
+    const double* tu = tend.du.data().data();
+    const double* tv = tend.dv.data().data();
+    parallel_for_rows(0, n, params_.threads,
+                      [=](std::size_t lo, std::size_t hi) {
+                        for (std::size_t idx = lo; idx < hi; ++idx) {
+                          dh[idx] = h0[idx] + a * th[idx];
+                          du[idx] = u0[idx] + a * tu[idx];
+                          dv[idx] = v0[idx] + a * tv[idx];
+                        }
+                      });
+  }
+}
+
+}  // namespace adaptviz

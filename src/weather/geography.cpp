@@ -1,0 +1,76 @@
+#include "weather/geography.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaptviz {
+namespace {
+
+// Smooth 0->1 ramp over ~0.4 degrees; positive argument means "inside".
+double ramp(double deg_inside) {
+  return 1.0 / (1.0 + std::exp(-deg_inside / 0.2));
+}
+
+// Piecewise-linear longitude of a coastline as a function of latitude.
+double lerp_coast(double lat, const double (*pts)[2], int n) {
+  if (lat <= pts[0][0]) return pts[0][1];
+  for (int i = 1; i < n; ++i) {
+    if (lat <= pts[i][0]) {
+      const double f = (lat - pts[i - 1][0]) / (pts[i][0] - pts[i - 1][0]);
+      return pts[i - 1][1] + f * (pts[i][1] - pts[i - 1][1]);
+    }
+  }
+  return pts[n - 1][1];
+}
+
+// Indian east coast (Coromandel up to the head of the Bay of Bengal).
+constexpr double kEastCoast[][2] = {
+    {6.0, 77.5}, {12.0, 80.0}, {16.0, 82.2}, {20.0, 86.8}, {21.7, 88.2}};
+// Indian west coast (Malabar up through Gujarat).
+constexpr double kWestCoast[][2] = {
+    {6.0, 77.0}, {15.0, 73.8}, {20.0, 70.8}, {23.5, 68.3}};
+// Myanmar / Thai coast on the eastern rim of the Bay.
+constexpr double kSeCoast[][2] = {
+    {6.0, 99.5}, {10.0, 98.2}, {16.0, 94.3}, {20.0, 92.9}, {21.8, 92.0}};
+
+}  // namespace
+
+double land_fraction(LatLon p) {
+  double score = 0.0;
+
+  // Indian subcontinent: between the west and east coasts, south of ~24N.
+  if (p.lat < 26.0) {
+    const double east = lerp_coast(p.lat, kEastCoast, 5);
+    const double west = lerp_coast(p.lat, kWestCoast, 4);
+    score = std::max(score, std::min(ramp(east - p.lon), ramp(p.lon - west)));
+  }
+  // Gangetic plain / Bengal north of the head of the Bay.
+  score = std::max(
+      score, std::min(ramp(p.lat - 21.8), ramp(92.5 - p.lon)) * ramp(p.lon - 60.0));
+  // Central/High Asia across the top of the domain.
+  score = std::max(score, ramp(p.lat - 24.5));
+  // Myanmar and the Malay peninsula east of the Bay.
+  if (p.lat < 24.0) {
+    const double se = lerp_coast(p.lat, kSeCoast, 5);
+    score = std::max(score, ramp(p.lon - se));
+  }
+  return std::clamp(score, 0.0, 1.0);
+}
+
+double sea_surface_temp(LatLon p) {
+  // Warm pool ~31C centred near 10N, cooling poleward.
+  const double d = p.lat - 10.0;
+  return 31.0 - 0.035 * d * d;
+}
+
+Field2D land_mask(const GridSpec& grid) {
+  Field2D mask(grid.nx(), grid.ny());
+  for (std::size_t j = 0; j < grid.ny(); ++j) {
+    for (std::size_t i = 0; i < grid.nx(); ++i) {
+      mask(i, j) = land_fraction(grid.at(i, j));
+    }
+  }
+  return mask;
+}
+
+}  // namespace adaptviz

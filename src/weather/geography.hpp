@@ -1,0 +1,29 @@
+// Coarse geography of the Bay of Bengal region.
+//
+// The physics needs to know ocean from land: tropical cyclones intensify
+// over warm ocean and decay after landfall (Aila formed over the central Bay
+// of Bengal, made landfall near Kolkata and dissipated in the Darjeeling
+// hills). A polygonal coastline at this fidelity is enough — the framework
+// never needs shoreline detail, only an over-land fraction for the decay
+// term and rendering.
+#pragma once
+
+#include "weather/grid.hpp"
+
+namespace adaptviz {
+
+/// Fraction of land at a point, in [0, 1]; smooth ramp across the coast so
+/// the decay forcing has no step discontinuity.
+double land_fraction(LatLon p);
+
+/// True when the point is (mostly) land.
+inline bool is_land(LatLon p) { return land_fraction(p) > 0.5; }
+
+/// Sea-surface temperature proxy (degrees C) driving intensification: warm
+/// (30-31 C) in the central Bay, cooling toward higher latitudes.
+double sea_surface_temp(LatLon p);
+
+/// Rasterizes land_fraction onto a grid (used by the model and renderer).
+Field2D land_mask(const GridSpec& grid);
+
+}  // namespace adaptviz

@@ -1,0 +1,69 @@
+// Moving two-way nest.
+//
+// WRF nests are finer-resolution domains embedded in the parent; the paper
+// uses a 1:3 nesting ratio, spawns the nest at the location of lowest
+// pressure and moves it with the eye. This implementation reproduces that:
+// the nest integrates its own shallow-water dynamics at parent_resolution/3
+// with three substeps per parent step, receives boundary conditions
+// interpolated from the parent every substep, and feeds its interior back
+// into the parent (two-way coupling by restriction) after each parent step.
+// When the eye drifts too far from the nest centre the nest is re-centred,
+// reusing overlapping fine data and falling back to parent interpolation
+// elsewhere.
+#pragma once
+
+#include <optional>
+
+#include "weather/grid.hpp"
+#include "weather/state.hpp"
+
+namespace adaptviz {
+
+/// Time (and space) refinement ratio between parent and nest (paper: 1:3).
+inline constexpr int kNestRatio = 3;
+
+class NestDomain {
+ public:
+  /// Creates a nest of `extent_deg` x `extent_deg` centred as close to
+  /// `center` as fits inside the parent (with a 2-parent-cell margin), at
+  /// parent resolution / kNestRatio, initialized by interpolation from the
+  /// parent.
+  NestDomain(const DomainState& parent, LatLon center, double extent_deg);
+
+  [[nodiscard]] const DomainState& state() const { return state_; }
+  [[nodiscard]] DomainState& state() { return state_; }
+  [[nodiscard]] const GridSpec& grid() const { return state_.grid; }
+  [[nodiscard]] LatLon center() const;
+  [[nodiscard]] double extent_deg() const { return extent_deg_; }
+
+  /// Overwrites the nest's boundary band (outer `width` points) with values
+  /// interpolated from the parent.
+  void apply_boundary(const DomainState& parent, int width = 3);
+
+  /// Restricts the nest interior onto overlapping parent points (two-way
+  /// feedback). The boundary band is excluded.
+  void feedback(DomainState& parent, int exclude_width = 4) const;
+
+  /// True when `eye` is farther than `threshold_deg` from the nest centre.
+  [[nodiscard]] bool needs_recenter(LatLon eye,
+                                    double threshold_deg = 1.25) const;
+
+  /// Rebuilds the nest around `eye`: overlapping area keeps fine data,
+  /// the rest comes from the parent.
+  void recenter(const DomainState& parent, LatLon eye);
+
+  /// Replaces the nest state wholesale (checkpoint restore). The grid in
+  /// `s` must have this nest's resolution.
+  void restore_state(DomainState s);
+
+ private:
+  [[nodiscard]] static GridSpec make_grid(const GridSpec& parent_grid,
+                                          LatLon center, double extent_deg,
+                                          double resolution_km);
+  void fill_from(const DomainState& src);
+
+  DomainState state_;
+  double extent_deg_;
+};
+
+}  // namespace adaptviz

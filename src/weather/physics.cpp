@@ -1,0 +1,126 @@
+#include "weather/physics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace adaptviz {
+
+CyclonePhysics::CyclonePhysics(PhysicsConfig config, double initial_deficit_hpa,
+                               LatLon initial_center)
+    : config_(config), deficit_(initial_deficit_hpa), center_(initial_center) {
+  if (initial_deficit_hpa <= 0 ||
+      initial_deficit_hpa >= config.deficit_max_hpa) {
+    throw std::invalid_argument("CyclonePhysics: bad initial deficit");
+  }
+}
+
+void CyclonePhysics::advance(double dt_seconds, double steering_u,
+                             double steering_v, LatLon diagnosed_eye) {
+  const double dt_h = dt_seconds / 3600.0;
+
+  // --- Motion: advect the centre with the steering current, nudged toward
+  // --- the field-diagnosed eye (tau ~ 6 h) so dynamics-driven displacement
+  // --- (e.g. beta drift resolved by the grid) feeds back.
+  const double m_per_deg_lat = kKmPerDegree * 1000.0;
+  const double coslat = std::cos(center_.lat * 3.14159265 / 180.0);
+  center_.lat += steering_v * dt_seconds / m_per_deg_lat;
+  center_.lon += steering_u * dt_seconds / (m_per_deg_lat * coslat);
+  const double pull = dt_h / 6.0;
+  if (distance_km(center_, diagnosed_eye) < 400.0) {
+    center_.lat += pull * (diagnosed_eye.lat - center_.lat);
+    center_.lon += pull * (diagnosed_eye.lon - center_.lon);
+  }
+
+  // --- Intensity ODE.
+  const double land = land_fraction(center_);
+  const double ocean = 1.0 - land;
+  const double sst = sea_surface_temp(center_);
+  const double s = std::clamp((sst - config_.sst_min_c) / 3.0, 0.0, 1.0);
+
+  const double growth = config_.k_intensify_per_hour * s * ocean * deficit_ *
+                        (1.0 - deficit_ / config_.deficit_max_hpa);
+  const double decay = land * deficit_ / config_.land_decay_tau_hours;
+  deficit_ += dt_h * (growth - decay);
+  deficit_ = std::clamp(deficit_, 0.5, config_.deficit_max_hpa);
+}
+
+HollandVortex CyclonePhysics::target_vortex(double resolution_km) const {
+  const double r_phys =
+      std::max(config_.r_floor_km,
+               config_.r_max0_km - config_.r_shrink_km_per_hpa * deficit_);
+  const double r_resolvable = 2.2 * resolution_km;
+  return HollandVortex{
+      .center = center_,
+      .deficit_hpa = deficit_,
+      .r_max_km = std::max(r_phys, r_resolvable),
+      .b = config_.holland_b,
+  };
+}
+
+void CyclonePhysics::build_forcing(const DomainState& state,
+                                   const Field2D& land,
+                                   Field2D& mass_tendency,
+                                   Field2D& u_tendency, Field2D& v_tendency,
+                                   Field2D& relaxation) const {
+  const GridSpec& g = state.grid;
+  if (land.nx() != g.nx() || land.ny() != g.ny()) {
+    throw std::invalid_argument("build_forcing: land mask shape mismatch");
+  }
+  if (mass_tendency.nx() != g.nx() || mass_tendency.ny() != g.ny()) {
+    mass_tendency = Field2D(g.nx(), g.ny());
+    u_tendency = Field2D(g.nx(), g.ny());
+    v_tendency = Field2D(g.nx(), g.ny());
+    relaxation = Field2D(g.nx(), g.ny());
+  }
+
+  const HollandVortex target = target_vortex(g.resolution_km());
+  const double inv_tau = 1.0 / (config_.mass_relax_tau_hours * 3600.0);
+  const double inv_tau_fric = 1.0 / (config_.land_friction_tau_hours * 3600.0);
+  const double inv_tau_nudge = 1.0 / (config_.nudge_tau_hours * 3600.0);
+  const double storm_radius = 5.0 * target.r_max_km;  // nudge-free zone
+  const double sigma2 = 2.0 * 9.0 * target.r_max_km * target.r_max_km;
+  const double fcor = coriolis(center_.lat);
+  const double deg2rad = 3.14159265358979 / 180.0;
+
+  for (std::size_t j = 0; j < g.ny(); ++j) {
+    for (std::size_t i = 0; i < g.nx(); ++i) {
+      const LatLon p = g.at(i, j);
+      const double r = distance_km(p, center_);
+
+      // Relaxation toward the balanced Holland target (height and winds
+      // together), confined near the storm.
+      const double w = std::exp(-(r * r) / sigma2);
+      double q = 0.0;
+      double fu = 0.0;
+      double fv = 0.0;
+      if (w > 1e-4) {
+        const double h_target = target.height_anomaly_m(r);
+        q = w * (h_target - state.h(i, j)) * inv_tau;
+        double ut = 0.0;
+        double vt = 0.0;
+        if (r > 1.0) {
+          const double vt_mag = target.balanced_tangential_wind(r, fcor);
+          const double coslat = std::cos(0.5 * (p.lat + center_.lat) * deg2rad);
+          const double dx = (p.lon - center_.lon) * kKmPerDegree * coslat;
+          const double dy = (p.lat - center_.lat) * kKmPerDegree;
+          ut = vt_mag * (-dy / r);
+          vt = vt_mag * (dx / r);
+        }
+        fu = w * (ut - state.u(i, j)) * inv_tau;
+        fv = w * (vt - state.v(i, j)) * inv_tau;
+      }
+      mass_tendency(i, j) = q;
+      u_tendency(i, j) = fu;
+      v_tendency(i, j) = fv;
+
+      // Land friction plus far-field analysis nudging.
+      const double w_storm =
+          std::exp(-(r * r) / (2.0 * storm_radius * storm_radius));
+      relaxation(i, j) =
+          land(i, j) * inv_tau_fric + (1.0 - w_storm) * inv_tau_nudge;
+    }
+  }
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,48 @@
+#include "weather/state.hpp"
+
+#include <cmath>
+
+namespace adaptviz {
+
+namespace {
+constexpr double kOmega = 7.2921e-5;  // Earth's rotation rate (rad/s)
+constexpr double kPi = 3.14159265358979323846;
+}  // namespace
+
+double coriolis(double lat_deg) {
+  return 2.0 * kOmega * std::sin(lat_deg * kPi / 180.0);
+}
+
+Field2D DomainState::pressure_field() const {
+  Field2D p(grid.nx(), grid.ny());
+  for (std::size_t j = 0; j < grid.ny(); ++j) {
+    for (std::size_t i = 0; i < grid.nx(); ++i) {
+      p(i, j) = pressure_hpa(i, j);
+    }
+  }
+  return p;
+}
+
+Field2D DomainState::wind_speed() const {
+  Field2D s(grid.nx(), grid.ny());
+  for (std::size_t j = 0; j < grid.ny(); ++j) {
+    for (std::size_t i = 0; i < grid.nx(); ++i) {
+      s(i, j) = std::hypot(u(i, j), v(i, j));
+    }
+  }
+  return s;
+}
+
+Field2D DomainState::vorticity() const {
+  Field2D z(grid.nx(), grid.ny(), 0.0);
+  const double inv2dx = 1.0 / (2.0 * grid.dx_m());
+  for (std::size_t j = 1; j + 1 < grid.ny(); ++j) {
+    for (std::size_t i = 1; i + 1 < grid.nx(); ++i) {
+      z(i, j) = (v(i + 1, j) - v(i - 1, j)) * inv2dx -
+                (u(i, j + 1) - u(i, j - 1)) * inv2dx;
+    }
+  }
+  return z;
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,56 @@
+// Prognostic state of one model domain (parent or nest).
+//
+// The dynamical core is a single-layer shallow-water system on a beta
+// plane — the classic reduced model of large-scale atmospheric flow. `h` is
+// the height *anomaly* (m) about the mean equivalent depth; (u, v) are the
+// horizontal wind components (m/s). Surface pressure is diagnosed linearly
+// from h (see kHpaPerMetre), which is how the tracker, the nest trigger and
+// the Table III resolution ladder read storm intensity off the fields.
+#pragma once
+
+#include "util/units.hpp"
+#include "weather/grid.hpp"
+
+namespace adaptviz {
+
+/// Mean equivalent depth of the shallow-water layer (m). Gravity-wave speed
+/// is sqrt(g*H) ~ 63 m/s, comfortably stable at dt = 6*dx (WRF's rule).
+inline constexpr double kMeanDepthM = 400.0;
+
+/// Diagnostic mapping from height anomaly to surface-pressure anomaly.
+/// -220 m of layer depression corresponds to a 44 hPa deficit — a severe
+/// cyclonic storm like Aila at peak.
+inline constexpr double kHpaPerMetre = 0.2;
+
+/// Undisturbed environmental surface pressure (hPa).
+inline constexpr double kEnvPressureHpa = 1010.0;
+
+struct DomainState {
+  GridSpec grid;
+  Field2D h;  // height anomaly (m)
+  Field2D u;  // zonal wind (m/s)
+  Field2D v;  // meridional wind (m/s)
+
+  DomainState() = default;
+  explicit DomainState(const GridSpec& g)
+      : grid(g), h(g.nx(), g.ny()), u(g.nx(), g.ny()), v(g.nx(), g.ny()) {}
+
+  /// Surface pressure (hPa) at a grid point.
+  [[nodiscard]] double pressure_hpa(std::size_t i, std::size_t j) const {
+    return kEnvPressureHpa + kHpaPerMetre * h(i, j);
+  }
+
+  /// Full diagnostic pressure field (hPa).
+  [[nodiscard]] Field2D pressure_field() const;
+
+  /// Wind speed magnitude field (m/s).
+  [[nodiscard]] Field2D wind_speed() const;
+
+  /// Relative vorticity (1/s) by centered differences.
+  [[nodiscard]] Field2D vorticity() const;
+};
+
+/// Coriolis parameter f = 2*Omega*sin(lat) (1/s).
+double coriolis(double lat_deg);
+
+}  // namespace adaptviz

@@ -1,0 +1,77 @@
+#include "weather/track_metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/calendar.hpp"
+#include "weather/vortex.hpp"
+
+namespace adaptviz {
+
+TrackPoint interpolate_track(const std::vector<TrackPoint>& track,
+                             SimSeconds t) {
+  if (track.empty()) {
+    throw std::invalid_argument("interpolate_track: empty track");
+  }
+  if (t <= track.front().time) return track.front();
+  if (t >= track.back().time) return track.back();
+  const auto it = std::lower_bound(
+      track.begin(), track.end(), t,
+      [](const TrackPoint& p, SimSeconds when) { return p.time < when; });
+  const TrackPoint& hi = *it;
+  const TrackPoint& lo = *(it - 1);
+  const double span = (hi.time - lo.time).seconds();
+  const double f = span > 0 ? (t - lo.time).seconds() / span : 0.0;
+  TrackPoint out;
+  out.time = t;
+  out.eye.lat = lo.eye.lat + f * (hi.eye.lat - lo.eye.lat);
+  out.eye.lon = lo.eye.lon + f * (hi.eye.lon - lo.eye.lon);
+  out.min_pressure_hpa =
+      lo.min_pressure_hpa + f * (hi.min_pressure_hpa - lo.min_pressure_hpa);
+  out.max_wind_ms = lo.max_wind_ms + f * (hi.max_wind_ms - lo.max_wind_ms);
+  return out;
+}
+
+std::vector<TrackError> verify_track(
+    const std::vector<TrackPoint>& simulated,
+    const std::vector<TrackPoint>& reference) {
+  std::vector<TrackError> out;
+  if (simulated.empty()) return out;
+  const SimSeconds begin = simulated.front().time;
+  const SimSeconds end = simulated.back().time;
+  for (const TrackPoint& ref : reference) {
+    if (ref.time < begin || ref.time > end) continue;
+    const TrackPoint sim = interpolate_track(simulated, ref.time);
+    out.push_back(TrackError{
+        ref.time, distance_km(sim.eye, ref.eye),
+        sim.min_pressure_hpa - ref.min_pressure_hpa});
+  }
+  return out;
+}
+
+double mean_position_error_km(const std::vector<TrackError>& errors) {
+  if (errors.empty()) {
+    throw std::invalid_argument("mean_position_error_km: no matched points");
+  }
+  double s = 0.0;
+  for (const TrackError& e : errors) s += e.position_error_km;
+  return s / static_cast<double>(errors.size());
+}
+
+std::vector<TrackPoint> aila_reference_track() {
+  const CalendarEpoch epoch = CalendarEpoch::aila_start();
+  // (time, lat, lon, central pressure): genesis in the central Bay, steady
+  // northward motion along ~88.5E, deepening into a severe cyclonic storm,
+  // landfall near the head of the Bay late on 24/25 May, then inland toward
+  // the Darjeeling hills.
+  return {
+      TrackPoint{epoch.at(22, 18), LatLon{13.8, 88.5}, 1002.0, 12.0},
+      TrackPoint{epoch.at(23, 6), LatLon{14.8, 88.4}, 996.0, 16.0},
+      TrackPoint{epoch.at(23, 18), LatLon{16.2, 88.3}, 990.0, 20.0},
+      TrackPoint{epoch.at(24, 6), LatLon{17.8, 88.3}, 986.0, 24.0},
+      TrackPoint{epoch.at(24, 18), LatLon{19.8, 88.4}, 982.0, 28.0},
+      TrackPoint{epoch.at(25, 6), LatLon{21.9, 88.5}, 984.0, 25.0},
+  };
+}
+
+}  // namespace adaptviz

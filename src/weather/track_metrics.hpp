@@ -1,0 +1,45 @@
+// Track verification metrics.
+//
+// The paper validates its simulation qualitatively: "the depression was
+// formed in the central Bay of Bengal region (around 14N) and traversed
+// north-east upto Darjeeling (27N)". These utilities quantify that kind of
+// statement: given a reference track (best-track points from the cyclone
+// report) and a simulated track, compute position errors at matched times —
+// the standard verification of tropical-cyclone forecasts.
+#pragma once
+
+#include <vector>
+
+#include "weather/tracker.hpp"
+
+namespace adaptviz {
+
+struct TrackError {
+  SimSeconds time{};
+  /// Great-circle-free planar distance between simulated and reference eye.
+  double position_error_km = 0.0;
+  /// Central-pressure difference (simulated - reference), hPa.
+  double pressure_error_hpa = 0.0;
+};
+
+/// Linear interpolation of a track at time `t`. The track must be non-empty
+/// and time-ordered; `t` is clamped to its span.
+TrackPoint interpolate_track(const std::vector<TrackPoint>& track,
+                             SimSeconds t);
+
+/// Position/pressure error of `simulated` against each reference point
+/// whose time lies within the simulated track's span.
+std::vector<TrackError> verify_track(const std::vector<TrackPoint>& simulated,
+                                     const std::vector<TrackPoint>& reference);
+
+/// Mean position error (km) over the matched points; throws on empty input.
+double mean_position_error_km(const std::vector<TrackError>& errors);
+
+/// Coarse Aila reference track assembled from the facts the paper cites
+/// (formation in the central Bay near 14N on 23 May, landfall near the head
+/// of the Bay, dissipation toward Darjeeling ~27N / 88.3E) — for
+/// qualitative verification of the simulated storm, not an official
+/// best-track dataset.
+std::vector<TrackPoint> aila_reference_track();
+
+}  // namespace adaptviz

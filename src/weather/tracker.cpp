@@ -1,0 +1,104 @@
+#include "weather/tracker.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace adaptviz {
+
+CycloneTracker::CycloneTracker(SimSeconds record_interval)
+    : record_interval_(record_interval) {}
+
+void CycloneTracker::update(const DomainState& state, SimSeconds now) {
+  const GridSpec& g = state.grid;
+  // One smoothing pass knocks down grid-scale noise without displacing the
+  // minimum of a resolved vortex.
+  const Field2D h = smooth(state.h, 1);
+  std::size_t bi = 0;
+  std::size_t bj = 0;
+  double best = 1e300;
+  for (std::size_t j = 0; j < g.ny(); ++j) {
+    for (std::size_t i = 0; i < g.nx(); ++i) {
+      if (h(i, j) < best) {
+        best = h(i, j);
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  eye_ = g.at(bi, bj);
+  min_pressure_ = kEnvPressureHpa + kHpaPerMetre * best;
+  if (min_pressure_ < lowest_ever_) lowest_ever_ = min_pressure_;
+
+  max_wind_ = 0.0;
+  for (std::size_t k = 0; k < state.u.size(); ++k) {
+    const double s = state.u.data()[k] * state.u.data()[k] +
+                     state.v.data()[k] * state.v.data()[k];
+    if (s > max_wind_) max_wind_ = s;
+  }
+  max_wind_ = std::sqrt(max_wind_);
+
+  if (track_.empty() || now - last_record_ >= record_interval_) {
+    track_.push_back(TrackPoint{now, eye_, min_pressure_, max_wind_});
+    last_record_ = now;
+  }
+}
+
+void CycloneTracker::restore(LatLon eye, double min_pressure,
+                             double lowest_ever) {
+  eye_ = eye;
+  min_pressure_ = min_pressure;
+  lowest_ever_ = lowest_ever;
+}
+
+void CycloneTracker::restore_track(std::vector<TrackPoint> points) {
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].time < points[i - 1].time) {
+      throw std::invalid_argument("restore_track: points out of order");
+    }
+  }
+  track_ = std::move(points);
+  if (!track_.empty()) last_record_ = track_.back().time;
+}
+
+ResolutionLadder ResolutionLadder::table3() {
+  return ResolutionLadder({{995.0, 24.0},
+                           {994.0, 21.0},
+                           {992.0, 18.0},
+                           {990.0, 15.0},
+                           {988.0, 12.0},
+                           {986.0, 10.0}});
+}
+
+ResolutionLadder::ResolutionLadder(std::vector<Rung> rungs)
+    : rungs_(std::move(rungs)) {
+  if (rungs_.empty()) {
+    throw std::invalid_argument("ResolutionLadder: no rungs");
+  }
+  for (std::size_t i = 1; i < rungs_.size(); ++i) {
+    if (rungs_[i].pressure_hpa >= rungs_[i - 1].pressure_hpa ||
+        rungs_[i].resolution_km >= rungs_[i - 1].resolution_km) {
+      throw std::invalid_argument(
+          "ResolutionLadder: rungs must strictly decrease");
+    }
+  }
+  for (const Rung& r : rungs_) {
+    if (r.resolution_km <= 0) {
+      throw std::invalid_argument("ResolutionLadder: non-positive resolution");
+    }
+  }
+}
+
+double ResolutionLadder::resolution_for(double lowest_pressure_hpa,
+                                        double base_resolution_km) const {
+  double res = base_resolution_km;
+  for (const Rung& r : rungs_) {
+    if (lowest_pressure_hpa < r.pressure_hpa) res = r.resolution_km;
+  }
+  return res;
+}
+
+double ResolutionLadder::spawn_pressure_hpa() const {
+  return rungs_.front().pressure_hpa;
+}
+
+}  // namespace adaptviz

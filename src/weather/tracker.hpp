@@ -1,0 +1,94 @@
+// Cyclone detection, track recording, and the Table III resolution ladder.
+//
+// The paper: "Our framework spawns a nest when the pressure drops below
+// 995 hPa. The nest is centered at the location of lowest pressure in the
+// parent domain. ... As and when the cyclone intensifies i.e. the pressure
+// decreases further, our framework changes the resolution of the nest
+// multiple times" (Table III: 995->24 km ... 986->10 km, with a 1:3 nest).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/units.hpp"
+#include "weather/state.hpp"
+
+namespace adaptviz {
+
+struct TrackPoint {
+  SimSeconds time{};
+  LatLon eye;
+  double min_pressure_hpa = kEnvPressureHpa;
+  double max_wind_ms = 0.0;
+};
+
+class CycloneTracker {
+ public:
+  /// `record_interval` limits how often points are appended to the track
+  /// history (the eye/pressure observation itself is refreshed every call).
+  explicit CycloneTracker(
+      SimSeconds record_interval = SimSeconds::minutes(30.0));
+
+  /// Scans a (lightly smoothed) pressure field for the storm centre.
+  void update(const DomainState& state, SimSeconds now);
+
+  [[nodiscard]] LatLon eye() const { return eye_; }
+  [[nodiscard]] double min_pressure_hpa() const { return min_pressure_; }
+  [[nodiscard]] double max_wind_ms() const { return max_wind_; }
+  /// Deepest pressure observed over the whole run.
+  [[nodiscard]] double lowest_pressure_ever_hpa() const {
+    return lowest_ever_;
+  }
+  [[nodiscard]] const std::vector<TrackPoint>& track() const { return track_; }
+
+  /// Restores tracker state after a checkpoint restart.
+  void restore(LatLon eye, double min_pressure, double lowest_ever);
+
+  /// Restores the recorded track history (checkpoints carry it so the track
+  /// survives job-handler restarts). Points must be time-ordered.
+  void restore_track(std::vector<TrackPoint> points);
+
+ private:
+  SimSeconds record_interval_;
+  SimSeconds last_record_{-1e18};
+  LatLon eye_{};
+  double min_pressure_ = kEnvPressureHpa;
+  double max_wind_ = 0.0;
+  double lowest_ever_ = kEnvPressureHpa;
+  std::vector<TrackPoint> track_;
+};
+
+/// Pressure-to-resolution schedule (paper Table III). Resolution switches are
+/// one-way: once the storm has deepened past a threshold the finer resolution
+/// is kept even if the pressure later rises (the framework refines as the
+/// cyclone intensifies; it does not coarsen during decay).
+class ResolutionLadder {
+ public:
+  struct Rung {
+    double pressure_hpa;    // switch when min pressure drops below this
+    double resolution_km;   // parent-domain resolution to use
+  };
+
+  /// Table III defaults: {995,24} {994,21} {992,18} {990,15} {988,12}
+  /// {986,10}, nest ratio 1:3 (finest nest 10/3 = 3.33 km).
+  static ResolutionLadder table3();
+
+  /// Custom schedule; rungs must be strictly decreasing in both pressure and
+  /// resolution. Throws std::invalid_argument otherwise.
+  explicit ResolutionLadder(std::vector<Rung> rungs);
+
+  /// Resolution for the deepest pressure seen so far; `base_resolution` is
+  /// returned while the storm is weaker than the first rung.
+  [[nodiscard]] double resolution_for(double lowest_pressure_hpa,
+                                      double base_resolution_km) const;
+
+  /// Pressure below which a nest exists (the first rung's threshold).
+  [[nodiscard]] double spawn_pressure_hpa() const;
+
+  [[nodiscard]] const std::vector<Rung>& rungs() const { return rungs_; }
+
+ private:
+  std::vector<Rung> rungs_;
+};
+
+}  // namespace adaptviz

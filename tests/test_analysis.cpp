@@ -1,0 +1,98 @@
+#include "weather/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "weather/vortex.hpp"
+
+namespace adaptviz {
+namespace {
+
+TEST(Steering, TransitionsEarlyToLate) {
+  SteeringProfile s;  // defaults
+  EXPECT_NEAR(s.v(SimSeconds::hours(0)), s.v_early, 0.1);
+  EXPECT_NEAR(s.v(SimSeconds::hours(60)), s.v_late, 0.1);
+  EXPECT_NEAR(s.u(SimSeconds::hours(0)), s.u_early, 0.1);
+  // Midpoint of the sigmoid.
+  EXPECT_NEAR(s.v(SimSeconds::hours(s.transition_hour)),
+              0.5 * (s.v_early + s.v_late), 1e-9);
+  // Monotone northward strengthening.
+  double prev = s.v(SimSeconds::hours(0));
+  for (int h = 4; h <= 60; h += 4) {
+    const double cur = s.v(SimSeconds::hours(h));
+    EXPECT_GE(cur, prev - 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(Analysis, OneDegreeGrid) {
+  const AnalysisConfig cfg;
+  const auto a = SyntheticAnalysis::generate(60, -10, 60, 50, cfg);
+  EXPECT_EQ(a.grid().nx(), 61u);
+  EXPECT_EQ(a.grid().ny(), 51u);
+  EXPECT_DOUBLE_EQ(a.grid().resolution_km(), kKmPerDegree);
+}
+
+TEST(Analysis, ContainsBogusDepression) {
+  const AnalysisConfig cfg;
+  const auto a = SyntheticAnalysis::generate(60, -10, 60, 50, cfg);
+  const DomainState& s = a.coarse_state();
+  // Minimum height near the configured vortex centre.
+  double hmin = 1e300;
+  std::size_t bi = 0, bj = 0;
+  for (std::size_t j = 0; j < s.grid.ny(); ++j)
+    for (std::size_t i = 0; i < s.grid.nx(); ++i)
+      if (s.h(i, j) < hmin) {
+        hmin = s.h(i, j);
+        bi = i;
+        bj = j;
+      }
+  EXPECT_LT(distance_km(s.grid.at(bi, bj), cfg.initial_vortex.center), 250.0);
+  EXPECT_LT(hmin, -0.3 * cfg.initial_vortex.deficit_hpa / kHpaPerMetre);
+}
+
+TEST(Analysis, PerturbationsAreBounded) {
+  AnalysisConfig cfg;
+  cfg.perturbation_m = 2.0;
+  const auto a = SyntheticAnalysis::generate(60, -10, 60, 50, cfg);
+  // Far from the vortex the field is pure perturbation: within ~5 modes
+  // of the configured amplitude.
+  const DomainState& s = a.coarse_state();
+  EXPECT_LT(std::abs(s.h(0, 0)), 5 * cfg.perturbation_m + 1e-9);
+}
+
+TEST(Analysis, DeterministicPerSeed) {
+  AnalysisConfig cfg;
+  const auto a = SyntheticAnalysis::generate(60, -10, 60, 50, cfg);
+  const auto b = SyntheticAnalysis::generate(60, -10, 60, 50, cfg);
+  EXPECT_EQ(a.coarse_state().h, b.coarse_state().h);
+  cfg.seed += 1;
+  const auto c = SyntheticAnalysis::generate(60, -10, 60, 50, cfg);
+  EXPECT_NE(a.coarse_state().h, c.coarse_state().h);
+}
+
+TEST(Preprocess, InterpolatesOntoFinerGrid) {
+  const AnalysisConfig cfg;
+  const auto a = SyntheticAnalysis::generate(60, -10, 60, 50, cfg);
+  const GridSpec fine(80.0, 5.0, 20.0, 20.0, 50.0);
+  const DomainState s = preprocess(a, fine);
+  EXPECT_EQ(s.grid, fine);
+  // Values at shared locations agree closely with the coarse analysis.
+  const GridSpec& cg = a.grid();
+  const LatLon p{12.0, 86.0};
+  const double coarse_val =
+      a.coarse_state().h.sample(cg.x_of_lon(p.lon), cg.y_of_lat(p.lat));
+  const double fine_val =
+      s.h.sample(fine.x_of_lon(p.lon), fine.y_of_lat(p.lat));
+  EXPECT_NEAR(fine_val, coarse_val, 1.5);
+}
+
+TEST(Preprocess, DepressionSurvivesInterpolation) {
+  const AnalysisConfig cfg;
+  const auto a = SyntheticAnalysis::generate(60, -10, 60, 50, cfg);
+  const GridSpec fine(82.0, 8.0, 14.0, 14.0, 40.0);
+  const DomainState s = preprocess(a, fine);
+  EXPECT_LT(s.h.min(), -0.25 * cfg.initial_vortex.deficit_hpa / kHpaPerMetre);
+}
+
+}  // namespace
+}  // namespace adaptviz

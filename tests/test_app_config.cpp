@@ -1,0 +1,78 @@
+#include "core/app_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace adaptviz {
+namespace {
+
+ApplicationConfiguration sample() {
+  ApplicationConfiguration c;
+  c.processors = 48;
+  c.output_interval = SimSeconds::minutes(3.0);
+  c.resolution_km = 24.0;
+  c.critical = false;
+  c.version = 5;
+  return c;
+}
+
+TEST(AppConfig, IniRoundTrip) {
+  const ApplicationConfiguration c = sample();
+  const ApplicationConfiguration d =
+      ApplicationConfiguration::from_ini(c.to_ini());
+  EXPECT_EQ(c, d);
+}
+
+TEST(AppConfig, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/adaptviz_app.cfg";
+  ApplicationConfiguration c = sample();
+  c.critical = true;
+  c.save(path);
+  const ApplicationConfiguration d = ApplicationConfiguration::load(path);
+  EXPECT_EQ(c, d);
+  EXPECT_TRUE(d.critical);
+  std::remove(path.c_str());
+}
+
+TEST(AppConfig, MissingKeysRejected) {
+  IniDocument doc;
+  doc.set_int("application", "processors", 4);
+  EXPECT_THROW(ApplicationConfiguration::from_ini(doc), std::runtime_error);
+}
+
+TEST(AppConfig, InvalidValuesRejected) {
+  ApplicationConfiguration c = sample();
+  c.processors = 0;
+  EXPECT_THROW(ApplicationConfiguration::from_ini(c.to_ini()),
+               std::runtime_error);
+  c = sample();
+  c.output_interval = SimSeconds(0.0);
+  EXPECT_THROW(ApplicationConfiguration::from_ini(c.to_ini()),
+               std::runtime_error);
+}
+
+TEST(AppConfig, RequiresRestartSemantics) {
+  const ApplicationConfiguration base = sample();
+  ApplicationConfiguration other = base;
+  EXPECT_FALSE(base.requires_restart(other));
+
+  other.critical = true;  // CRITICAL toggles pause in place, no restart
+  other.version = 99;
+  EXPECT_FALSE(base.requires_restart(other));
+
+  other = base;
+  other.processors = 24;
+  EXPECT_TRUE(base.requires_restart(other));
+
+  other = base;
+  other.output_interval = SimSeconds::minutes(25.0);
+  EXPECT_TRUE(base.requires_restart(other));
+
+  other = base;
+  other.resolution_km = 10.0;
+  EXPECT_TRUE(base.requires_restart(other));
+}
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,195 @@
+#include "core/application_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/greedy_threshold.hpp"
+#include "test_helpers.hpp"
+
+namespace adaptviz {
+namespace {
+
+using testing_helpers::make_perf_model;
+
+// A scripted algorithm whose next decision the test controls.
+class ScriptedAlgorithm final : public DecisionAlgorithm {
+ public:
+  Decision next;
+  std::vector<DecisionInput> seen;
+
+  Decision decide(const DecisionInput& in) override {
+    seen.push_back(in);
+    return next;
+  }
+  std::string name() const override { return "scripted"; }
+};
+
+class ManagerTest : public testing::Test {
+ protected:
+  ManagerTest() {
+    opts_.period = WallSeconds::hours(1.5);
+    status_.work_units = 0.6;
+    status_.frame_bytes = Bytes::megabytes(900);
+    status_.integration_step = SimSeconds(60.0);
+    status_.remaining_sim_time = SimSeconds::hours(40.0);
+    status_.resolution_km = 10.0;
+    status_.max_usable_processors = 64;
+    algo_.next.processors = 64;
+    algo_.next.output_interval = SimSeconds::minutes(3.0);
+    manager_ = std::make_unique<ApplicationManager>(
+        queue_, algo_, *perf_, disk_, link_, estimator_, config_,
+        [this] { return status_; }, [this] { ++notifications_; }, opts_);
+  }
+
+  EventQueue queue_;
+  std::shared_ptr<PerformanceModel> perf_ = make_perf_model();
+  DiskModel disk_{Bytes::gigabytes(182), Bandwidth::megabytes_per_second(150)};
+  NetworkLink link_{LinkSpec{.nominal = Bandwidth::mbps(56),
+                             .latency = WallSeconds(0.0)},
+                    1};
+  BandwidthEstimator estimator_{0.3};
+  ApplicationConfiguration config_;
+  ApplicationStatus status_;
+  ScriptedAlgorithm algo_;
+  ApplicationManager::Options opts_;
+  int notifications_ = 0;
+  std::unique_ptr<ApplicationManager> manager_;
+};
+
+TEST_F(ManagerTest, InvokesPeriodically) {
+  manager_->start();
+  EXPECT_EQ(manager_->decisions().size(), 1u);  // immediate first call
+  queue_.run_until(WallSeconds::hours(6.1));
+  // t=0, 1.5, 3.0, 4.5, 6.0.
+  EXPECT_EQ(manager_->decisions().size(), 5u);
+  manager_->stop();
+  queue_.run_until(WallSeconds::hours(12.0));
+  EXPECT_EQ(manager_->decisions().size(), 5u);
+}
+
+TEST_F(ManagerTest, AssemblesObservationsCorrectly) {
+  (void)disk_.allocate(Bytes::gigabytes(91));
+  manager_->invoke();
+  ASSERT_EQ(algo_.seen.size(), 1u);
+  const DecisionInput& in = algo_.seen[0];
+  EXPECT_NEAR(in.free_disk_percent, 50.0, 1e-9);
+  EXPECT_EQ(in.disk_capacity, Bytes::gigabytes(182));
+  EXPECT_DOUBLE_EQ(in.work_units, 0.6);
+  EXPECT_EQ(in.frame_bytes, Bytes::megabytes(900));
+  EXPECT_EQ(in.max_processors, 64);
+  EXPECT_EQ(in.perf, perf_.get());
+}
+
+TEST_F(ManagerTest, ProbesWhenNoTransfersObserved) {
+  manager_->invoke();
+  // The estimator was empty: a probe seeded it.
+  EXPECT_GE(estimator_.observation_count(), 1u);
+  ASSERT_EQ(algo_.seen.size(), 1u);
+  EXPECT_NEAR(algo_.seen[0].observed_bandwidth.bytes_per_sec(),
+              Bandwidth::mbps(56).bytes_per_sec(),
+              0.1 * Bandwidth::mbps(56).bytes_per_sec());
+}
+
+TEST_F(ManagerTest, PrefersObservedTransfers) {
+  estimator_.record_transfer(Bytes::megabytes(100), WallSeconds(50.0));
+  manager_->invoke();
+  EXPECT_NEAR(algo_.seen[0].observed_bandwidth.bytes_per_sec(), 2e6, 1.0);
+}
+
+TEST_F(ManagerTest, WritesConfigAndBumpsVersion) {
+  algo_.next.processors = 32;
+  algo_.next.output_interval = SimSeconds::minutes(10.0);
+  const long v0 = config_.version;
+  manager_->invoke();
+  EXPECT_EQ(config_.processors, 32);
+  EXPECT_NEAR(config_.output_interval.as_minutes(), 10.0, 1e-9);
+  EXPECT_EQ(config_.version, v0 + 1);
+  EXPECT_EQ(notifications_, 1);
+  // Unchanged decision: no version bump, no notification.
+  manager_->invoke();
+  EXPECT_EQ(config_.version, v0 + 1);
+  EXPECT_EQ(notifications_, 1);
+}
+
+TEST_F(ManagerTest, PersistsConfigFileOnChange) {
+  const std::string path = testing::TempDir() + "/adaptviz_mgr_cfg.ini";
+  std::remove(path.c_str());
+  opts_.config_file_path = path;
+  manager_ = std::make_unique<ApplicationManager>(
+      queue_, algo_, *perf_, disk_, link_, estimator_, config_,
+      [this] { return status_; }, [this] { ++notifications_; }, opts_);
+  algo_.next.processors = 24;
+  algo_.next.output_interval = SimSeconds::minutes(12.0);
+  manager_->invoke();
+  const ApplicationConfiguration on_disk =
+      ApplicationConfiguration::load(path);
+  EXPECT_EQ(on_disk, config_);
+  EXPECT_EQ(on_disk.processors, 24);
+  std::remove(path.c_str());
+}
+
+TEST_F(ManagerTest, SafetyNetSetsCritical) {
+  (void)disk_.allocate(Bytes::gigabytes(178));  // ~2% free
+  algo_.next.critical = false;                  // algorithm is oblivious
+  manager_->invoke();
+  EXPECT_TRUE(config_.critical);
+}
+
+TEST_F(ManagerTest, CriticalClearsWithHysteresis) {
+  // Set critical at 2% free.
+  (void)disk_.allocate(Bytes::gigabytes(178));
+  manager_->invoke();
+  ASSERT_TRUE(config_.critical);
+  // Recover to 8% free: still below the 12% clear threshold -> hold.
+  disk_.release(Bytes::gigabytes(11));
+  manager_->invoke();
+  EXPECT_TRUE(config_.critical);
+  // Recover to 20% free: clears.
+  disk_.release(Bytes::gigabytes(22));
+  manager_->invoke();
+  EXPECT_FALSE(config_.critical);
+}
+
+TEST_F(ManagerTest, AlgorithmCriticalIsRespected) {
+  algo_.next.critical = true;
+  manager_->invoke();
+  EXPECT_TRUE(config_.critical);
+}
+
+TEST_F(ManagerTest, SkipsWhenFinished) {
+  status_.finished = true;
+  manager_->invoke();
+  EXPECT_TRUE(manager_->decisions().empty());
+  EXPECT_TRUE(algo_.seen.empty());
+}
+
+TEST_F(ManagerTest, RecordsDecisions) {
+  manager_->invoke();
+  manager_->invoke();
+  ASSERT_EQ(manager_->decisions().size(), 2u);
+  EXPECT_EQ(manager_->decisions()[0].decision.processors, 64);
+}
+
+TEST(ManagerValidation, RejectsBadArguments) {
+  EventQueue queue;
+  auto perf = make_perf_model();
+  DiskModel disk(Bytes::gigabytes(1), Bandwidth::mbps(1));
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::mbps(1)}, 1);
+  BandwidthEstimator est(0.3);
+  ApplicationConfiguration cfg;
+  GreedyThresholdAlgorithm algo;
+  EXPECT_THROW(ApplicationManager(queue, algo, *perf, disk, link, est, cfg,
+                                  nullptr, nullptr,
+                                  ApplicationManager::Options{}),
+               std::invalid_argument);
+  ApplicationManager::Options bad;
+  bad.period = WallSeconds(0.0);
+  EXPECT_THROW(ApplicationManager(
+                   queue, algo, *perf, disk, link, est, cfg,
+                   [] { return ApplicationStatus{}; }, nullptr, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adaptviz

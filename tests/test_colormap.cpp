@@ -1,0 +1,56 @@
+#include "vis/colormap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaptviz {
+namespace {
+
+TEST(Colormap, EndpointsAreStops) {
+  Colormap cm({{0, 0, 0}, {255, 255, 255}});
+  EXPECT_EQ(cm.sample(0.0), (Rgb{0, 0, 0}));
+  EXPECT_EQ(cm.sample(1.0), (Rgb{255, 255, 255}));
+  EXPECT_EQ(cm.sample(0.5), (Rgb{128, 128, 128}));
+}
+
+TEST(Colormap, ClampsOutOfRange) {
+  Colormap cm({{10, 0, 0}, {0, 0, 10}});
+  EXPECT_EQ(cm.sample(-2.0), cm.sample(0.0));
+  EXPECT_EQ(cm.sample(5.0), cm.sample(1.0));
+}
+
+TEST(Colormap, MapScalesRange) {
+  Colormap cm({{0, 0, 0}, {100, 100, 100}});
+  EXPECT_EQ(cm.map(950.0, 950.0, 1050.0), cm.sample(0.0));
+  EXPECT_EQ(cm.map(1050.0, 950.0, 1050.0), cm.sample(1.0));
+  EXPECT_EQ(cm.map(1000.0, 950.0, 1050.0), cm.sample(0.5));
+  // Degenerate range maps to the middle rather than dividing by zero.
+  EXPECT_EQ(cm.map(5.0, 5.0, 5.0), cm.sample(0.5));
+}
+
+TEST(Colormap, MultiStopInterpolation) {
+  Colormap cm({{0, 0, 0}, {100, 0, 0}, {200, 0, 0}});
+  EXPECT_EQ(cm.sample(0.25).r, 50);
+  EXPECT_EQ(cm.sample(0.75).r, 150);
+}
+
+TEST(Colormap, NeedsTwoStops) {
+  EXPECT_THROW(Colormap({{1, 2, 3}}), std::invalid_argument);
+}
+
+TEST(Colormap, BuiltinsAreDistinctAndOrdered) {
+  const Colormap v = Colormap::viridis();
+  const Colormap d = Colormap::diverging_blue_red();
+  const Colormap t = Colormap::terrain();
+  // Viridis runs dark-to-bright.
+  const auto lum = [](Rgb c) { return c.r + c.g + c.b; };
+  EXPECT_LT(lum(v.sample(0.0)), lum(v.sample(1.0)));
+  // Diverging map is blue at 0, red at 1, near-white in the middle.
+  EXPECT_GT(d.sample(0.0).b, d.sample(0.0).r);
+  EXPECT_GT(d.sample(1.0).r, d.sample(1.0).b);
+  EXPECT_GT(lum(d.sample(0.5)), lum(d.sample(0.0)));
+  // Terrain begins as ocean blue.
+  EXPECT_GT(t.sample(0.0).b, t.sample(0.0).g);
+}
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,102 @@
+#include "vis/contour.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adaptviz {
+namespace {
+
+TEST(Contour, EmptyWhenLevelOutsideRange) {
+  Field2D f(5, 5, 1.0);
+  EXPECT_TRUE(marching_squares(f, 2.0).empty());
+  EXPECT_TRUE(marching_squares(f, 0.0).empty());
+}
+
+TEST(Contour, VerticalFrontProducesStraightLine) {
+  // f = x: the iso line f = 1.5 is the vertical line x = 1.5.
+  Field2D f(4, 4);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 4; ++i) f(i, j) = static_cast<double>(i);
+  const auto segs = marching_squares(f, 1.5);
+  ASSERT_EQ(segs.size(), 3u);  // one per cell row
+  for (const auto& s : segs) {
+    EXPECT_NEAR(s.x0, 1.5, 1e-12);
+    EXPECT_NEAR(s.x1, 1.5, 1e-12);
+  }
+}
+
+TEST(Contour, InterpolatesCrossingPosition) {
+  // Crossing at 1/4 of the way between values 0 and 4 for iso=1.
+  Field2D f(2, 2);
+  f(0, 0) = 0.0;
+  f(1, 0) = 4.0;
+  f(0, 1) = 0.0;
+  f(1, 1) = 4.0;
+  const auto segs = marching_squares(f, 1.0);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_NEAR(segs[0].x0, 0.25, 1e-12);
+  EXPECT_NEAR(segs[0].x1, 0.25, 1e-12);
+}
+
+TEST(Contour, CircleHasRightRadius) {
+  // f = distance from grid centre; iso = 8 -> segments near radius 8.
+  const std::size_t n = 32;
+  Field2D f(n, n);
+  const double c = (n - 1) / 2.0;
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i)
+      f(i, j) = std::hypot(static_cast<double>(i) - c,
+                           static_cast<double>(j) - c);
+  const auto segs = marching_squares(f, 8.0);
+  EXPECT_GT(segs.size(), 20u);
+  for (const auto& s : segs) {
+    const double r0 = std::hypot(s.x0 - c, s.y0 - c);
+    const double r1 = std::hypot(s.x1 - c, s.y1 - c);
+    EXPECT_NEAR(r0, 8.0, 0.35);
+    EXPECT_NEAR(r1, 8.0, 0.35);
+  }
+  // Total contour length approximates the circumference 2*pi*8.
+  double len = 0.0;
+  for (const auto& s : segs) len += std::hypot(s.x1 - s.x0, s.y1 - s.y0);
+  EXPECT_NEAR(len, 2.0 * 3.14159265 * 8.0, 3.0);
+}
+
+TEST(Contour, SaddleProducesTwoSegments) {
+  // Checkerboard corners force the ambiguous case.
+  Field2D f(2, 2);
+  f(0, 0) = 1.0;
+  f(1, 0) = 0.0;
+  f(0, 1) = 0.0;
+  f(1, 1) = 1.0;
+  const auto segs = marching_squares(f, 0.5);
+  EXPECT_EQ(segs.size(), 2u);
+}
+
+TEST(Contour, SkipsNanCells) {
+  Field2D f(3, 2);
+  for (std::size_t j = 0; j < 2; ++j)
+    for (std::size_t i = 0; i < 3; ++i) f(i, j) = static_cast<double>(i);
+  f(1, 0) = std::nan("");
+  // Both cells touch the NaN corner: no segments at all.
+  EXPECT_TRUE(marching_squares(f, 0.5).empty());
+}
+
+TEST(Contour, MultiLevelConcatenates) {
+  Field2D f(4, 4);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 4; ++i) f(i, j) = static_cast<double>(i);
+  const auto one = marching_squares(f, 0.5);
+  const auto both = marching_squares(f, std::vector<double>{0.5, 1.5});
+  EXPECT_EQ(both.size(), 2 * one.size());
+}
+
+TEST(Contour, DegenerateGrids) {
+  Field2D tiny(1, 1, 0.0);
+  EXPECT_TRUE(marching_squares(tiny, 0.5).empty());
+  Field2D row(5, 1, 0.0);
+  EXPECT_TRUE(marching_squares(row, 0.5).empty());
+}
+
+}  // namespace
+}  // namespace adaptviz

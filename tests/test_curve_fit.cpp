@@ -1,0 +1,129 @@
+#include "numerics/curve_fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace adaptviz {
+namespace {
+
+std::vector<PerfSample> sample_curve(double serial, double work, double comm,
+                                     std::initializer_list<int> procs,
+                                     Rng* noise = nullptr,
+                                     double sigma = 0.0) {
+  std::vector<PerfSample> out;
+  for (int p : procs) {
+    double t = serial + work / p + comm * std::log2(static_cast<double>(p));
+    if (noise != nullptr) t *= 1.0 + noise->normal(0.0, sigma);
+    out.push_back(PerfSample{p, t});
+  }
+  return out;
+}
+
+TEST(SpeedupCurve, ExactRecovery) {
+  const auto samples = sample_curve(2.0, 1200.0, 0.5, {4, 8, 16, 32, 48});
+  const SpeedupCurve c = SpeedupCurve::fit(samples);
+  EXPECT_NEAR(c.serial(), 2.0, 1e-6);
+  EXPECT_NEAR(c.work(), 1200.0, 1e-6);
+  EXPECT_NEAR(c.comm(), 0.5, 1e-6);
+  EXPECT_NEAR(c.rms_error(samples), 0.0, 1e-9);
+}
+
+TEST(SpeedupCurve, NoisyFitIsClose) {
+  Rng rng(42);
+  const auto samples = sample_curve(2.0, 1200.0, 0.5,
+                                    {4, 4, 8, 8, 12, 16, 24, 32, 40, 48, 48},
+                                    &rng, 0.03);
+  const SpeedupCurve c = SpeedupCurve::fit(samples);
+  // Predictions within a few percent across the range.
+  for (int p : {4, 16, 48}) {
+    const double truth = 2.0 + 1200.0 / p + 0.5 * std::log2(p);
+    EXPECT_NEAR(c.seconds_per_step(p), truth, 0.12 * truth);
+  }
+}
+
+TEST(SpeedupCurve, InterpolatesUnsampledCounts) {
+  const auto samples = sample_curve(1.0, 800.0, 0.3, {4, 16, 64});
+  const SpeedupCurve c = SpeedupCurve::fit(samples);
+  const double truth = 1.0 + 800.0 / 20 + 0.3 * std::log2(20.0);
+  EXPECT_NEAR(c.seconds_per_step(20), truth, 1e-6);
+}
+
+TEST(SpeedupCurve, RequiresThreeDistinctCounts) {
+  EXPECT_THROW(SpeedupCurve::fit({{4, 10.0}, {4, 11.0}, {8, 6.0}}),
+               std::runtime_error);
+  EXPECT_THROW(SpeedupCurve::fit({{4, -1.0}, {8, 6.0}, {16, 3.0}}),
+               std::runtime_error);
+}
+
+TEST(SpeedupCurve, NegativeCoefficientsClamped) {
+  // Pure 1/p data: serial and comm should come out ~0, never negative.
+  std::vector<PerfSample> samples;
+  for (int p : {2, 4, 8, 16, 32}) {
+    samples.push_back(PerfSample{p, 100.0 / p});
+  }
+  const SpeedupCurve c = SpeedupCurve::fit(samples);
+  EXPECT_GE(c.serial(), 0.0);
+  EXPECT_GE(c.comm(), 0.0);
+  EXPECT_NEAR(c.seconds_per_step(10), 10.0, 0.5);
+}
+
+TEST(SpeedupCurve, ProcessorsForTime) {
+  const SpeedupCurve c(2.0, 1200.0, 0.5);
+  // Walks up to the first count meeting the target.
+  const int p = c.processors_for_time(100.0, 64);
+  EXPECT_GT(p, 1);
+  EXPECT_LE(c.seconds_per_step(p), 100.0);
+  EXPECT_GT(c.seconds_per_step(p - 1), 100.0);
+  // Unreachable target: the whole machine.
+  EXPECT_EQ(c.processors_for_time(0.001, 64), 64);
+  // Trivial target: one processor suffices.
+  EXPECT_EQ(c.processors_for_time(1e9, 64), 1);
+}
+
+TEST(SpeedupCurve, ConstructorValidates) {
+  EXPECT_THROW(SpeedupCurve(-1.0, 10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(SpeedupCurve(0.0, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const double x =
+      golden_section_minimize([](double v) { return (v - 3.2) * (v - 3.2); },
+                              0.0, 10.0, 1e-10);
+  EXPECT_NEAR(x, 3.2, 1e-7);
+}
+
+TEST(BisectRoot, FindsRoot) {
+  const double x = bisect_root([](double v) { return v * v - 2.0; }, 0.0,
+                               2.0, 1e-12);
+  EXPECT_NEAR(x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(BisectRoot, RejectsBadBracket) {
+  EXPECT_THROW(bisect_root([](double v) { return v + 10.0; }, 0.0, 1.0),
+               std::runtime_error);
+}
+
+// Property: fitted curve is monotone decreasing in p until the comm term
+// takes over, and always positive.
+class CurvePositivity : public testing::TestWithParam<int> {};
+
+TEST_P(CurvePositivity, PredictionsArePositive) {
+  Rng rng(77 + static_cast<std::uint64_t>(GetParam()));
+  const double serial = rng.uniform(0.0, 5.0);
+  const double work = rng.uniform(100.0, 5000.0);
+  const double comm = rng.uniform(0.0, 2.0);
+  const auto samples =
+      sample_curve(serial, work, comm, {4, 8, 16, 32, 64, 128}, &rng, 0.02);
+  const SpeedupCurve c = SpeedupCurve::fit(samples);
+  for (int p = 1; p <= 256; p *= 2) {
+    EXPECT_GT(c.seconds_per_step(p), 0.0) << "p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCurves, CurvePositivity, testing::Range(0, 20));
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,58 @@
+#include "core/decision.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adaptviz {
+namespace {
+
+const DecisionBounds kBounds{};  // 3..25 simulated minutes
+
+TEST(Quantize, RoundsToMultipleOfStep) {
+  const SimSeconds ts = SimSeconds(144.0);  // 24 km step
+  const SimSeconds q =
+      quantize_output_interval(SimSeconds::minutes(10.0), ts, kBounds);
+  EXPECT_NEAR(std::fmod(q.seconds(), ts.seconds()), 0.0, 1e-9);
+  EXPECT_NEAR(q.seconds(), 576.0, 1e-9);  // 4 steps = 9.6 min (nearest)
+}
+
+TEST(Quantize, ClampsToBounds) {
+  const SimSeconds ts = SimSeconds(60.0);
+  EXPECT_NEAR(
+      quantize_output_interval(SimSeconds::minutes(1.0), ts, kBounds)
+          .as_minutes(),
+      3.0, 1e-9);
+  EXPECT_NEAR(
+      quantize_output_interval(SimSeconds::minutes(90.0), ts, kBounds)
+          .as_minutes(),
+      25.0, 1e-9);
+}
+
+TEST(Quantize, StepLargerThanMinBound) {
+  // ts = 5 min > min bound 3 min: interval is at least one step.
+  const SimSeconds ts = SimSeconds::minutes(5.0);
+  const SimSeconds q =
+      quantize_output_interval(SimSeconds::minutes(1.0), ts, kBounds);
+  EXPECT_NEAR(q.as_minutes(), 5.0, 1e-9);
+}
+
+TEST(Quantize, RoundingRespectsCeiling) {
+  // 25 min ceiling with a 2.4-min step: 10 steps = 24 min fits; 11 = 26.4
+  // does not.
+  const SimSeconds ts = SimSeconds(144.0);
+  const SimSeconds q =
+      quantize_output_interval(SimSeconds::minutes(25.0), ts, kBounds);
+  EXPECT_LE(q.as_minutes(), 25.0 + 1e-9);
+  EXPECT_NEAR(q.seconds(), 10 * 144.0, 1e-9);
+}
+
+TEST(Quantize, OneStepMinimum) {
+  const SimSeconds ts = SimSeconds::minutes(30.0);  // step above the ceiling
+  const SimSeconds q =
+      quantize_output_interval(SimSeconds::minutes(10.0), ts, kBounds);
+  EXPECT_NEAR(q.as_minutes(), 30.0, 1e-9);  // can't output mid-step
+}
+
+}  // namespace
+}  // namespace adaptviz

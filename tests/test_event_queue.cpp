@@ -1,0 +1,182 @@
+#include "resources/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace adaptviz {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(WallSeconds(3.0), [&] { order.push_back(3); });
+  q.schedule_at(WallSeconds(1.0), [&] { order.push_back(1); });
+  q.schedule_at(WallSeconds(2.0), [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 3.0);
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(WallSeconds(5.0), [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(WallSeconds(10.0), [&] {
+    q.schedule_after(WallSeconds(5.0), [&] { fired_at = q.now().seconds(); });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(EventQueue, PastTimesClampToNow) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule_at(WallSeconds(10.0), [&] {
+    q.schedule_at(WallSeconds(2.0), [&] { fired_at = q.now().seconds(); });
+  });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+  // Negative delays likewise.
+  EventQueue q2;
+  q2.schedule_after(WallSeconds(-3.0), [] {});
+  q2.run_all();
+  EXPECT_DOUBLE_EQ(q2.now().seconds(), 0.0);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule_at(WallSeconds(1.0), [&] { ran = true; });
+  q.cancel(id);
+  q.run_all();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(q.executed(), 0u);
+  q.cancel(id);      // double-cancel is a no-op
+  q.cancel(999999);  // unknown id is a no-op
+}
+
+TEST(EventQueue, CancelOneOfMany) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(WallSeconds(1.0), [&] { order.push_back(1); });
+  const EventId id = q.schedule_at(WallSeconds(2.0), [&] { order.push_back(2); });
+  q.schedule_at(WallSeconds(3.0), [&] { order.push_back(3); });
+  q.cancel(id);
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, RunUntilAdvancesClockExactly) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(WallSeconds(1.0), [&] { ++count; });
+  q.schedule_at(WallSeconds(5.0), [&] { ++count; });
+  q.run_until(WallSeconds(3.0));
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 3.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_until(WallSeconds(10.0));
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 10.0);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule_at(WallSeconds(1.0), [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunawayGuardThrows) {
+  EventQueue q;
+  std::function<void()> self = [&] { q.schedule_after(WallSeconds(1.0), self); };
+  q.schedule_after(WallSeconds(1.0), self);
+  EXPECT_THROW(q.run_all(1000), std::runtime_error);
+}
+
+TEST(EventQueue, NullFunctionRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule_at(WallSeconds(1.0), EventFn{}),
+               std::invalid_argument);
+}
+
+// Stress sweep: random schedules + cancellations must execute exactly the
+// surviving events, in (time, insertion) order.
+class EventQueueStress : public testing::TestWithParam<int> {};
+
+TEST_P(EventQueueStress, MatchesReferenceOrdering) {
+  Rng rng(31000 + static_cast<std::uint64_t>(GetParam()));
+  EventQueue q;
+  struct Expected {
+    double time;
+    std::uint64_t seq;
+    int tag;
+  };
+  std::vector<Expected> expected;
+  std::vector<EventId> ids;
+  std::vector<int> executed;
+
+  const int n = 50 + static_cast<int>(rng.bounded(100));
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.uniform(0.0, 1000.0);
+    ids.push_back(q.schedule_at(WallSeconds(t),
+                                [&executed, i] { executed.push_back(i); }));
+    expected.push_back({t, static_cast<std::uint64_t>(i), i});
+  }
+  // Cancel a random subset.
+  std::vector<bool> cancelled(static_cast<std::size_t>(n), false);
+  for (int c = 0; c < n / 4; ++c) {
+    const std::size_t k = rng.bounded(static_cast<std::uint64_t>(n));
+    q.cancel(ids[k]);
+    cancelled[k] = true;
+  }
+  q.run_all();
+
+  std::vector<Expected> survivors;
+  for (const auto& e : expected) {
+    if (!cancelled[static_cast<std::size_t>(e.tag)]) survivors.push_back(e);
+  }
+  std::stable_sort(survivors.begin(), survivors.end(),
+                   [](const Expected& a, const Expected& b) {
+                     return a.time < b.time;
+                   });
+  ASSERT_EQ(executed.size(), survivors.size());
+  for (std::size_t k = 0; k < survivors.size(); ++k) {
+    EXPECT_EQ(executed[k], survivors[k].tag) << "position " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EventQueueStress, testing::Range(0, 15));
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void(int)> recurse = [&](int d) {
+    depth = d;
+    if (d < 5) {
+      q.schedule_after(WallSeconds(1.0), [&, d] { recurse(d + 1); });
+    }
+  };
+  q.schedule_at(WallSeconds(0.0), [&] { recurse(1); });
+  q.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now().seconds(), 4.0);
+}
+
+}  // namespace
+}  // namespace adaptviz

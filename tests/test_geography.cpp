@@ -1,0 +1,71 @@
+#include "weather/geography.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaptviz {
+namespace {
+
+TEST(Geography, BayOfBengalIsOcean) {
+  // Aila's genesis region and track points over water.
+  EXPECT_LT(land_fraction(LatLon{14.0, 88.5}), 0.2);  // central Bay
+  EXPECT_LT(land_fraction(LatLon{18.0, 88.0}), 0.2);
+  EXPECT_LT(land_fraction(LatLon{10.0, 85.0}), 0.2);
+  EXPECT_FALSE(is_land(LatLon{14.0, 88.5}));
+}
+
+TEST(Geography, ArabianSeaIsOcean) {
+  EXPECT_LT(land_fraction(LatLon{15.0, 68.0}), 0.2);
+  EXPECT_LT(land_fraction(LatLon{10.0, 65.0}), 0.2);
+}
+
+TEST(Geography, IndianSubcontinentIsLand) {
+  EXPECT_GT(land_fraction(LatLon{17.0, 78.5}), 0.8);  // Hyderabad
+  EXPECT_GT(land_fraction(LatLon{13.0, 77.6}), 0.8);  // Bangalore
+  EXPECT_GT(land_fraction(LatLon{21.0, 79.0}), 0.8);  // Nagpur
+  EXPECT_TRUE(is_land(LatLon{17.0, 78.5}));
+}
+
+TEST(Geography, NorthernLandmass) {
+  EXPECT_GT(land_fraction(LatLon{27.0, 88.3}), 0.8);  // Darjeeling hills
+  EXPECT_GT(land_fraction(LatLon{23.0, 90.0}), 0.8);  // Bangladesh
+  EXPECT_GT(land_fraction(LatLon{30.0, 100.0}), 0.8);
+}
+
+TEST(Geography, EasternRim) {
+  EXPECT_GT(land_fraction(LatLon{18.0, 96.0}), 0.8);  // Myanmar
+  EXPECT_LT(land_fraction(LatLon{12.0, 92.0}), 0.3);  // Andaman Sea (approx)
+}
+
+TEST(Geography, CoastIsSmooth) {
+  // Crossing the east coast near 16N: the fraction ramps, no step.
+  double prev = land_fraction(LatLon{16.0, 84.5});
+  for (double lon = 84.4; lon >= 80.0; lon -= 0.1) {
+    const double cur = land_fraction(LatLon{16.0, lon});
+    EXPECT_LE(std::abs(cur - prev), 0.45) << "jump at lon " << lon;
+    prev = cur;
+  }
+  // And it actually transitions ocean -> land.
+  EXPECT_LT(land_fraction(LatLon{16.0, 84.5}), 0.3);
+  EXPECT_GT(land_fraction(LatLon{16.0, 80.5}), 0.7);
+}
+
+TEST(Geography, SstWarmPool) {
+  EXPECT_NEAR(sea_surface_temp(LatLon{10.0, 88.0}), 31.0, 0.01);
+  EXPECT_GT(sea_surface_temp(LatLon{14.0, 88.0}), 29.0);
+  EXPECT_LT(sea_surface_temp(LatLon{35.0, 88.0}), sea_surface_temp(LatLon{14.0, 88.0}));
+}
+
+TEST(Geography, LandMaskMatchesPointwise) {
+  GridSpec g(80.0, 10.0, 15.0, 15.0, 150.0);
+  const Field2D mask = land_mask(g);
+  ASSERT_EQ(mask.nx(), g.nx());
+  ASSERT_EQ(mask.ny(), g.ny());
+  for (std::size_t j = 0; j < g.ny(); j += 5) {
+    for (std::size_t i = 0; i < g.nx(); i += 5) {
+      EXPECT_DOUBLE_EQ(mask(i, j), land_fraction(g.at(i, j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adaptviz

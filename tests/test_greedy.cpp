@@ -1,0 +1,186 @@
+// Greedy-Threshold algorithm: every branch of the paper's Algorithm 1.
+#include "core/greedy_threshold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace adaptviz {
+namespace {
+
+using testing_helpers::make_input;
+using testing_helpers::make_perf_model;
+
+class GreedyTest : public testing::Test {
+ protected:
+  std::shared_ptr<PerformanceModel> perf_ = make_perf_model();
+  GreedyThresholdAlgorithm algo_;
+};
+
+TEST_F(GreedyTest, CriticalBelowTenPercent) {
+  DecisionInput in = make_input(*perf_);
+  in.free_disk_percent = 8.0;
+  const Decision d = algo_.decide(in);
+  EXPECT_TRUE(d.critical);
+  // Knobs untouched while critical.
+  EXPECT_EQ(d.processors, in.current_processors);
+}
+
+TEST_F(GreedyTest, StretchesIntervalBetween25And50) {
+  DecisionInput in = make_input(*perf_);
+  in.free_disk_percent = 40.0;
+  in.current_output_interval = SimSeconds::minutes(3.0);
+  const Decision d = algo_.decide(in);
+  EXPECT_FALSE(d.critical);
+  // newOI = 3 + (50-40)/25 * (25-3) = 11.8 min, quantized to the step.
+  EXPECT_NEAR(d.output_interval.as_minutes(), 11.8, 1.0);
+  EXPECT_EQ(d.processors, in.current_processors);
+}
+
+TEST_F(GreedyTest, StretchReachesMaxAtLowerThreshold) {
+  DecisionInput in = make_input(*perf_);
+  in.free_disk_percent = 25.0;
+  in.current_output_interval = SimSeconds::minutes(3.0);
+  const Decision d = algo_.decide(in);
+  EXPECT_NEAR(d.output_interval.as_minutes(), 25.0, 1.0);
+}
+
+TEST_F(GreedyTest, ShedsProcessorsWhenIntervalMaxed) {
+  DecisionInput in = make_input(*perf_);
+  in.free_disk_percent = 18.0;
+  in.current_output_interval = SimSeconds::minutes(25.0);
+  const Decision d = algo_.decide(in);
+  EXPECT_FALSE(d.critical);
+  EXPECT_LT(d.processors, in.current_processors);
+  EXPECT_GE(d.processors, in.min_processors);
+}
+
+TEST_F(GreedyTest, JumpsToMaxIntervalWhenDiveSkipsTheBand) {
+  // D < 25 with the interval not yet maxed (a fast dive skipped the
+  // [25, 50] band between invocations): the stretch saturates at maxOI —
+  // the value its own formula yields at D == 25 — instead of idling into
+  // CRITICAL.
+  DecisionInput in = make_input(*perf_);
+  in.free_disk_percent = 18.0;
+  in.current_output_interval = SimSeconds::minutes(10.0);
+  const Decision d = algo_.decide(in);
+  EXPECT_EQ(d.processors, in.current_processors);
+  EXPECT_NEAR(d.output_interval.as_minutes(), 25.0, 1.0);
+}
+
+TEST_F(GreedyTest, ShedsProcessorsNearMaxIntervalDespiteQuantization) {
+  // OI quantized one step below the bound still counts as "at max" for the
+  // line-7 slowdown branch.
+  DecisionInput in = make_input(*perf_);
+  in.free_disk_percent = 18.0;
+  in.integration_step = SimSeconds(144.0);       // 24-km step: 2.4 min
+  in.current_output_interval = SimSeconds(1440.0);  // 10 steps = 24 min
+  const Decision d = algo_.decide(in);
+  EXPECT_LT(d.processors, in.current_processors);
+}
+
+TEST_F(GreedyTest, HoldsBetween50And60) {
+  DecisionInput in = make_input(*perf_);
+  in.free_disk_percent = 55.0;
+  in.current_output_interval = SimSeconds::minutes(12.0);
+  const Decision d = algo_.decide(in);
+  EXPECT_EQ(d.processors, in.current_processors);
+  EXPECT_NEAR(d.output_interval.as_minutes(), 12.0, 0.5);
+}
+
+TEST_F(GreedyTest, SpeedsUpFirstWhenDiskRecovers) {
+  DecisionInput in = make_input(*perf_);
+  in.free_disk_percent = 80.0;
+  in.current_processors = 16;  // previously slowed down
+  in.current_output_interval = SimSeconds::minutes(25.0);
+  const Decision d = algo_.decide(in);
+  EXPECT_GT(d.processors, 16);
+  // Interval untouched on this branch: rate recovery has priority.
+  EXPECT_NEAR(d.output_interval.as_minutes(), 25.0, 1.0);
+}
+
+TEST_F(GreedyTest, ShrinksIntervalOnceRateIsMax) {
+  DecisionInput in = make_input(*perf_);
+  in.free_disk_percent = 80.0;
+  in.current_processors = 64;  // already fastest
+  in.current_output_interval = SimSeconds::minutes(25.0);
+  const Decision d = algo_.decide(in);
+  EXPECT_EQ(d.processors, 64);
+  EXPECT_LT(d.output_interval.as_minutes(), 25.0);
+}
+
+TEST_F(GreedyTest, SteadyStateAtMaxRateAndFrequency) {
+  DecisionInput in = make_input(*perf_);
+  in.free_disk_percent = 95.0;
+  in.current_processors = 64;
+  in.current_output_interval = SimSeconds::minutes(3.0);
+  const Decision d = algo_.decide(in);
+  EXPECT_EQ(d.processors, 64);
+  EXPECT_NEAR(d.output_interval.as_minutes(), 3.0, 0.5);
+  EXPECT_FALSE(d.critical);
+}
+
+TEST_F(GreedyTest, FullRecoveryCycleConverges) {
+  // Simulate recovery invocations from a degraded state with a full disk
+  // slowly clearing: greedy must walk back to max procs and min interval.
+  DecisionInput in = make_input(*perf_);
+  in.current_processors = 8;
+  in.current_output_interval = SimSeconds::minutes(25.0);
+  for (int i = 0; i < 20; ++i) {
+    in.free_disk_percent = 90.0;
+    const Decision d = algo_.decide(in);
+    in.current_processors = d.processors;
+    in.current_output_interval = d.output_interval;
+  }
+  EXPECT_EQ(in.current_processors, 64);
+  EXPECT_NEAR(in.current_output_interval.as_minutes(), 3.0, 0.5);
+}
+
+TEST_F(GreedyTest, ProcessorsRespectUsableLimit) {
+  DecisionInput in = make_input(*perf_);
+  in.free_disk_percent = 90.0;
+  in.max_processors = 20;  // WRF decomposition limit
+  in.current_processors = 20;
+  in.current_output_interval = SimSeconds::minutes(25.0);
+  const Decision d = algo_.decide(in);
+  EXPECT_LE(d.processors, 20);
+}
+
+TEST(GreedyThresholds, ValidationAndCustomSets) {
+  EXPECT_THROW(GreedyThresholdAlgorithm({.low_upper = 20.0,
+                                         .low_lower = 25.0,
+                                         .critical = 10.0,
+                                         .high = 60.0}),
+               std::invalid_argument);
+  // The paper's sets: {50, 25}, {60}, critical 10.
+  GreedyThresholdAlgorithm algo;
+  EXPECT_DOUBLE_EQ(algo.thresholds().low_upper, 50.0);
+  EXPECT_DOUBLE_EQ(algo.thresholds().low_lower, 25.0);
+  EXPECT_DOUBLE_EQ(algo.thresholds().high, 60.0);
+  EXPECT_DOUBLE_EQ(algo.thresholds().critical, 10.0);
+  EXPECT_EQ(algo.name(), "greedy-threshold");
+}
+
+// Property sweep: for any disk level the decision is always within bounds.
+class GreedySweep : public testing::TestWithParam<int> {};
+
+TEST_P(GreedySweep, DecisionAlwaysWithinBounds) {
+  auto perf = make_perf_model();
+  GreedyThresholdAlgorithm algo;
+  DecisionInput in = make_input(*perf);
+  in.free_disk_percent = static_cast<double>(GetParam());
+  in.current_processors = 4 + (GetParam() * 7) % 61;
+  in.current_output_interval =
+      SimSeconds::minutes(3.0 + (GetParam() % 23));
+  const Decision d = algo.decide(in);
+  EXPECT_GE(d.processors, in.min_processors);
+  EXPECT_LE(d.processors, in.max_processors);
+  EXPECT_GE(d.output_interval.as_minutes(), 3.0 - 1e-9);
+  EXPECT_LE(d.output_interval.as_minutes(), 25.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(DiskLevels, GreedySweep,
+                         testing::Range(0, 101, 5));
+
+}  // namespace
+}  // namespace adaptviz

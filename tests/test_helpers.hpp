@@ -1,0 +1,51 @@
+// Shared fixtures for the core decision/framework tests.
+#pragma once
+
+#include <memory>
+
+#include "core/decision.hpp"
+#include "perf/perf_model.hpp"
+
+namespace adaptviz::testing_helpers {
+
+/// A 64-core machine with a clean (noise-free) speedup curve.
+inline MachineSpec test_machine_spec() {
+  return MachineSpec{.name = "testbox",
+                     .max_cores = 64,
+                     .min_cores = 4,
+                     .serial_seconds = 2.0,
+                     .work_seconds = 1500.0,
+                     .comm_seconds = 0.4,
+                     .noise_sigma = 0.0};
+}
+
+inline std::shared_ptr<PerformanceModel> make_perf_model() {
+  GroundTruthMachine machine(test_machine_spec(), 1);
+  BenchmarkProfiler profiler;
+  return std::make_shared<PerformanceModel>(profiler.profile(machine, 1.0),
+                                            64);
+}
+
+/// A baseline decision input: healthy disk, decent network, fine-resolution
+/// workload. Tests perturb individual fields.
+inline DecisionInput make_input(const PerformanceModel& perf) {
+  DecisionInput in;
+  in.free_disk_percent = 80.0;
+  in.disk_capacity = Bytes::gigabytes(182);
+  in.free_disk_bytes = in.disk_capacity * 0.8;
+  in.observed_bandwidth = Bandwidth::megabytes_per_second(2.0);
+  in.io_bandwidth = Bandwidth::megabytes_per_second(150.0);
+  in.work_units = 0.6;
+  in.frame_bytes = Bytes::megabytes(900);
+  in.integration_step = SimSeconds(60.0);  // 10-km step
+  in.remaining_sim_time = SimSeconds::hours(40.0);
+  in.resolution_km = 10.0;
+  in.current_processors = 64;
+  in.current_output_interval = SimSeconds::minutes(3.0);
+  in.perf = &perf;
+  in.min_processors = 4;
+  in.max_processors = 64;
+  return in;
+}
+
+}  // namespace adaptviz::testing_helpers

@@ -1,0 +1,93 @@
+#include "vis/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace adaptviz {
+namespace {
+
+TEST(Image, ConstructionAndFill) {
+  Image img(4, 3, Rgb{10, 20, 30});
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  EXPECT_EQ(img.at(0, 0), (Rgb{10, 20, 30}));
+  EXPECT_EQ(img.at(3, 2), (Rgb{10, 20, 30}));
+  EXPECT_THROW(Image(0, 5), std::invalid_argument);
+}
+
+TEST(Image, SetIgnoresOutOfBounds) {
+  Image img(4, 4);
+  img.set(-1, 0, Rgb{255, 0, 0});
+  img.set(0, 100, Rgb{255, 0, 0});
+  img.set(2, 2, Rgb{255, 0, 0});
+  EXPECT_EQ(img.at(2, 2), (Rgb{255, 0, 0}));
+  EXPECT_EQ(img.at(0, 0), (Rgb{0, 0, 0}));
+}
+
+TEST(Image, BlendInterpolates) {
+  Image img(2, 2, Rgb{0, 0, 0});
+  img.blend(0, 0, Rgb{200, 100, 50}, 0.5);
+  EXPECT_EQ(img.at(0, 0), (Rgb{100, 50, 25}));
+  img.blend(1, 1, Rgb{200, 0, 0}, 0.0);
+  EXPECT_EQ(img.at(1, 1), (Rgb{0, 0, 0}));
+  img.blend(1, 0, Rgb{200, 0, 0}, 1.0);
+  EXPECT_EQ(img.at(1, 0), (Rgb{200, 0, 0}));
+}
+
+TEST(Image, LineDrawsEndpoints) {
+  Image img(10, 10);
+  const Rgb c{255, 255, 255};
+  img.draw_line(1, 1, 8, 8, c);
+  EXPECT_EQ(img.at(1, 1), c);
+  EXPECT_EQ(img.at(8, 8), c);
+  EXPECT_EQ(img.at(4, 4), c);  // diagonal passes through
+  // Horizontal and vertical lines.
+  img.draw_line(0, 9, 9, 9, c);
+  for (std::size_t x = 0; x < 10; ++x) EXPECT_EQ(img.at(x, 9), c);
+  img.draw_line(9, 0, 9, 9, c);
+  for (std::size_t y = 0; y < 10; ++y) EXPECT_EQ(img.at(9, y), c);
+}
+
+TEST(Image, LineClipsOffscreen) {
+  Image img(5, 5);
+  img.draw_line(-10, 2, 20, 2, Rgb{9, 9, 9});
+  for (std::size_t x = 0; x < 5; ++x) EXPECT_EQ(img.at(x, 2), (Rgb{9, 9, 9}));
+}
+
+TEST(Image, DiscIsFilled) {
+  Image img(11, 11);
+  img.draw_disc(5, 5, 3, Rgb{1, 2, 3});
+  EXPECT_EQ(img.at(5, 5), (Rgb{1, 2, 3}));
+  EXPECT_EQ(img.at(5, 8), (Rgb{1, 2, 3}));
+  EXPECT_EQ(img.at(8, 5), (Rgb{1, 2, 3}));
+  EXPECT_EQ(img.at(9, 9), (Rgb{0, 0, 0}));  // outside radius
+}
+
+TEST(Image, PpmEncoding) {
+  Image img(2, 1);
+  img.set(0, 0, Rgb{1, 2, 3});
+  img.set(1, 0, Rgb{4, 5, 6});
+  const std::string ppm = img.encode_ppm();
+  EXPECT_EQ(ppm.substr(0, 11), "P6\n2 1\n255\n");
+  ASSERT_EQ(ppm.size(), 11u + 6u);
+  EXPECT_EQ(ppm[11], 1);
+  EXPECT_EQ(ppm[12], 2);
+  EXPECT_EQ(ppm[16], 6);
+}
+
+TEST(Image, SavePpmWritesFile) {
+  const std::string path = testing::TempDir() + "/adaptviz_img.ppm";
+  Image img(3, 3, Rgb{7, 8, 9});
+  img.save_ppm(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "P6");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,120 @@
+#include "numerics/interpolation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adaptviz {
+namespace {
+
+// A linear field a + b*x + c*y sampled on an (nx, ny) grid.
+std::vector<double> linear_field(std::size_t nx, std::size_t ny, double a,
+                                 double b, double c) {
+  std::vector<double> f(nx * ny);
+  for (std::size_t j = 0; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i)
+      f[j * nx + i] = a + b * static_cast<double>(i) + c * static_cast<double>(j);
+  return f;
+}
+
+TEST(Bilinear, ExactOnGridPoints) {
+  const auto f = linear_field(4, 3, 1.0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(bilinear(f, 4, 3, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(bilinear(f, 4, 3, 3, 2), 1.0 + 6.0 + 6.0);
+}
+
+TEST(Bilinear, ExactOnLinearFields) {
+  const auto f = linear_field(5, 5, -1.0, 0.5, 2.0);
+  EXPECT_NEAR(bilinear(f, 5, 5, 1.25, 3.75), -1.0 + 0.5 * 1.25 + 2.0 * 3.75,
+              1e-12);
+}
+
+TEST(Bilinear, ClampsOutsideGrid) {
+  const auto f = linear_field(4, 4, 0.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(bilinear(f, 4, 4, -5.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(bilinear(f, 4, 4, 10.0, 0.0), 3.0);
+}
+
+TEST(Bilinear, RejectsShapeMismatch) {
+  EXPECT_THROW(bilinear({1.0, 2.0}, 3, 3, 0, 0), std::invalid_argument);
+}
+
+TEST(Bicubic, ExactOnLinearFieldsInInterior) {
+  // Catmull-Rom reproduces polynomials up to degree 3 wherever its full
+  // 4-point stencil is available (1 <= coord <= n-2); the clamped border
+  // band is only approximate.
+  const auto f = linear_field(8, 8, 2.0, -1.0, 0.25);
+  for (double x : {1.0, 2.3, 5.9}) {
+    for (double y : {1.1, 3.5, 5.2}) {
+      EXPECT_NEAR(bicubic(f, 8, 8, x, y), 2.0 - x + 0.25 * y, 1e-10);
+    }
+  }
+  // Near the border it still stays close (clamping, not garbage).
+  EXPECT_NEAR(bicubic(f, 8, 8, 0.3, 0.2), 2.0 - 0.3 + 0.25 * 0.2, 0.2);
+}
+
+TEST(Bicubic, ReproducesQuadraticsInInterior) {
+  // Catmull-Rom reproduces quadratics exactly away from clamped edges.
+  std::vector<double> f(10 * 10);
+  for (std::size_t j = 0; j < 10; ++j)
+    for (std::size_t i = 0; i < 10; ++i)
+      f[j * 10 + i] = static_cast<double>(i * i);
+  EXPECT_NEAR(bicubic(f, 10, 10, 4.5, 5.0), 4.5 * 4.5, 1e-10);
+}
+
+TEST(Resample, IdentityWhenSameSize) {
+  const auto f = linear_field(6, 4, 1.0, 2.0, 3.0);
+  const auto g = resample_bilinear(f, 6, 4, 6, 4);
+  for (std::size_t k = 0; k < f.size(); ++k) EXPECT_NEAR(g[k], f[k], 1e-12);
+}
+
+TEST(Resample, CornersMapOntoCorners) {
+  const auto f = linear_field(5, 5, 0.0, 1.0, 10.0);
+  const auto g = resample_bilinear(f, 5, 5, 9, 9);
+  EXPECT_NEAR(g[0], f[0], 1e-12);
+  EXPECT_NEAR(g[8], f[4], 1e-12);                // top-right
+  EXPECT_NEAR(g[8 * 9], f[4 * 5], 1e-12);        // bottom-left
+  EXPECT_NEAR(g[8 * 9 + 8], f[4 * 5 + 4], 1e-12);  // bottom-right
+}
+
+TEST(Resample, LinearFieldsSurviveRefinement) {
+  const auto f = linear_field(4, 4, 0.0, 3.0, -1.0);
+  const auto g = resample_bilinear(f, 4, 4, 10, 7);
+  // Sample mid-grid: value should match the linear function in the
+  // destination's own coordinates.
+  const double sx = 3.0 / 9.0;
+  const double sy = 3.0 / 6.0;
+  for (std::size_t j = 0; j < 7; ++j) {
+    for (std::size_t i = 0; i < 10; ++i) {
+      EXPECT_NEAR(g[j * 10 + i], 3.0 * (i * sx) - 1.0 * (j * sy), 1e-10);
+    }
+  }
+}
+
+TEST(RestrictMean, AveragesBlocks) {
+  // 4x4 fine grid of 1..16, ratio 2: each coarse cell = mean of 4.
+  std::vector<double> f(16);
+  for (int k = 0; k < 16; ++k) f[static_cast<size_t>(k)] = k + 1;
+  const auto c = restrict_mean(f, 4, 4, 2);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c[0], (1 + 2 + 5 + 6) / 4.0);
+  EXPECT_DOUBLE_EQ(c[1], (3 + 4 + 7 + 8) / 4.0);
+  EXPECT_DOUBLE_EQ(c[2], (9 + 10 + 13 + 14) / 4.0);
+  EXPECT_DOUBLE_EQ(c[3], (11 + 12 + 15 + 16) / 4.0);
+}
+
+TEST(RestrictMean, PreservesConstantFields) {
+  std::vector<double> f(36, 7.5);
+  const auto c = restrict_mean(f, 6, 6, 3);
+  for (double v : c) EXPECT_DOUBLE_EQ(v, 7.5);
+}
+
+TEST(RestrictMean, RejectsBadShapes) {
+  std::vector<double> f(12, 0.0);
+  EXPECT_THROW(restrict_mean(f, 4, 3, 2), std::invalid_argument);  // 3 % 2
+  EXPECT_THROW(restrict_mean(f, 5, 2, 2), std::invalid_argument);
+  EXPECT_THROW(restrict_mean(f, 4, 4, 2), std::invalid_argument);  // size
+}
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,146 @@
+#include "numerics/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace adaptviz {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, MultiplyAndTranspose) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+  Matrix at = a.transpose();
+  EXPECT_DOUBLE_EQ(at(0, 1), 3.0);
+  const std::vector<double> v = a * std::vector<double>{1.0, 1.0};
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+  EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(Matrix, IdentityAndAddSub) {
+  Matrix i = Matrix::identity(3);
+  Matrix a(3, 3, 2.0);
+  Matrix s = a + i;
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(0, 1), 2.0);
+  Matrix d = s - i;
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+}
+
+TEST(LuSolve, KnownSystem) {
+  Matrix a{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}};
+  const std::vector<double> x = lu_solve(a, {8, -11, -3});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+  EXPECT_NEAR(x[2], -1.0, 1e-12);
+}
+
+TEST(LuSolve, SingularThrows) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(lu_solve(a, {1, 2}), std::runtime_error);
+}
+
+TEST(LuSolve, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a{{0, 1}, {1, 0}};
+  const std::vector<double> x = lu_solve(a, {3, 7});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LeastSquares, ExactOnSquareSystem) {
+  Matrix a{{1, 1}, {1, 2}};
+  const std::vector<double> x = least_squares(a, {3, 5});
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, OverdeterminedLineFit) {
+  // Fit y = 2x + 1 through noisy-free points: exact recovery.
+  Matrix a(5, 2);
+  std::vector<double> b(5);
+  for (int i = 0; i < 5; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = i;
+    b[i] = 1.0 + 2.0 * i;
+  }
+  const std::vector<double> x = least_squares(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-10);
+  EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+  Matrix a(4, 2);
+  for (int i = 0; i < 4; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = 2.0;  // second column is a multiple of the first
+  }
+  EXPECT_THROW(least_squares(a, {1, 2, 3, 4}), std::runtime_error);
+}
+
+// Property sweep: random well-conditioned systems solve to small residual.
+class LuSolveRandom : public testing::TestWithParam<int> {};
+
+TEST_P(LuSolveRandom, ResidualIsSmall) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 2 + GetParam() % 7;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+    a(i, i) += static_cast<double>(n);  // diagonally dominant
+  }
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-10.0, 10.0);
+  const std::vector<double> x = lu_solve(a, b);
+  const std::vector<double> ax = a * x;
+  double resid = 0.0;
+  for (std::size_t i = 0; i < n; ++i) resid += std::fabs(ax[i] - b[i]);
+  EXPECT_LT(resid, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSystems, LuSolveRandom, testing::Range(0, 25));
+
+// Property sweep: least-squares solution satisfies the normal equations.
+class LeastSquaresRandom : public testing::TestWithParam<int> {};
+
+TEST_P(LeastSquaresRandom, SatisfiesNormalEquations) {
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  const std::size_t m = 6 + GetParam() % 10;
+  const std::size_t n = 2 + GetParam() % 4;
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-2.0, 2.0);
+  std::vector<double> b(m);
+  for (auto& v : b) v = rng.uniform(-5.0, 5.0);
+
+  const std::vector<double> x = least_squares(a, b);
+  // A^T (A x - b) == 0.
+  const std::vector<double> ax = a * x;
+  std::vector<double> r(m);
+  for (std::size_t i = 0; i < m; ++i) r[i] = ax[i] - b[i];
+  const Matrix at = a.transpose();
+  const std::vector<double> atr = at * r;
+  EXPECT_LT(norm2(atr), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSystems, LeastSquaresRandom,
+                         testing::Range(0, 25));
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,153 @@
+// LP optimization algorithm (Section IV-B) behaviour tests.
+#include "core/lp_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_helpers.hpp"
+
+namespace adaptviz {
+namespace {
+
+using testing_helpers::make_input;
+using testing_helpers::make_perf_model;
+
+class OptimizerTest : public testing::Test {
+ protected:
+  std::shared_ptr<PerformanceModel> perf_ = make_perf_model();
+  LpOptimizerAlgorithm algo_;
+};
+
+TEST_F(OptimizerTest, HealthyResourcesRunAtMaxRate) {
+  DecisionInput in = make_input(*perf_);
+  const Decision d = algo_.decide(in);
+  EXPECT_FALSE(d.critical);
+  // Minimizing t means maximum processors when the disk allows it.
+  EXPECT_GE(d.processors, 56);
+  EXPECT_LE(d.output_interval.as_minutes(), 25.0 + 1e-9);
+}
+
+TEST_F(OptimizerTest, SteadyPreferencePicksSparseOutput) {
+  DecisionInput in = make_input(*perf_);
+  const Decision d = algo_.decide(in);
+  // kSteady tiebreak: lowest acceptable frequency -> ~25 minutes.
+  EXPECT_NEAR(d.output_interval.as_minutes(), 25.0, 1.5);
+}
+
+TEST_F(OptimizerTest, MaxResolutionPreferencePicksDenseOutput) {
+  LpOptimizerAlgorithm dense(OptimizerConfig{
+      .preference = FrequencyPreference::kMaxResolution});
+  DecisionInput in = make_input(*perf_);
+  // Plenty of disk and a fast network: output every few minutes.
+  in.observed_bandwidth = Bandwidth::megabytes_per_second(50.0);
+  const Decision d = dense.decide(in);
+  EXPECT_LE(d.output_interval.as_minutes(), 6.0);
+}
+
+TEST_F(OptimizerTest, TightDiskSlowsTheSimulation) {
+  DecisionInput in = make_input(*perf_);
+  // Nearly-full disk, trickle network, long remaining run: the disk
+  // constraint forces a larger t (fewer processors).
+  in.free_disk_percent = 8.0;
+  in.free_disk_bytes = Bytes::gigabytes(5);
+  in.observed_bandwidth = Bandwidth::kbps(60);
+  const Decision slow = algo_.decide(in);
+
+  in.free_disk_percent = 90.0;
+  in.free_disk_bytes = Bytes::gigabytes(164);
+  in.observed_bandwidth = Bandwidth::megabytes_per_second(5.0);
+  const Decision fast = algo_.decide(in);
+
+  EXPECT_LT(slow.processors, fast.processors);
+  EXPECT_GE(slow.output_interval.as_minutes(),
+            fast.output_interval.as_minutes() - 1e-9);
+}
+
+TEST_F(OptimizerTest, SlowNetworkStillCompletesDecision) {
+  DecisionInput in = make_input(*perf_);
+  in.observed_bandwidth = Bandwidth::kbps(60);  // cross-continent
+  in.free_disk_bytes = Bytes::gigabytes(90);
+  const Decision d = algo_.decide(in);
+  EXPECT_FALSE(d.critical);
+  EXPECT_GE(d.processors, in.min_processors);
+  // Minimum frequency to protect the disk.
+  EXPECT_NEAR(d.output_interval.as_minutes(), 25.0, 1.5);
+}
+
+TEST_F(OptimizerTest, HorizonTracksRemainingRun) {
+  DecisionInput in = make_input(*perf_);
+  in.remaining_sim_time = SimSeconds::hours(40.0);
+  const WallSeconds long_h = algo_.overflow_horizon(in);
+  in.remaining_sim_time = SimSeconds::hours(2.0);
+  const WallSeconds short_h = algo_.overflow_horizon(in);
+  EXPECT_GT(long_h.seconds(), short_h.seconds());
+  // Clamped to the configured window.
+  OptimizerConfig cfg;
+  EXPECT_GE(short_h.seconds(), cfg.min_horizon.seconds() - 1e-9);
+  EXPECT_LE(long_h.seconds(), cfg.max_horizon.seconds() + 1e-9);
+}
+
+TEST_F(OptimizerTest, FastNetworkRelaxesEq5) {
+  // A network far faster than the simulation can feed: eq. 5 cannot hold,
+  // the optimizer drops it and still returns max rate.
+  DecisionInput in = make_input(*perf_);
+  in.observed_bandwidth = Bandwidth::gigabytes_per_second(10.0);
+  const Decision d = algo_.decide(in);
+  EXPECT_GE(d.processors, 56);
+  EXPECT_NE(d.note.find("relaxed"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, OutputIntervalIsStepMultiple) {
+  DecisionInput in = make_input(*perf_);
+  in.integration_step = SimSeconds(144.0);
+  const Decision d = algo_.decide(in);
+  EXPECT_NEAR(std::fmod(d.output_interval.seconds(), 144.0), 0.0, 1e-6);
+}
+
+TEST_F(OptimizerTest, NameAndDeterminism) {
+  EXPECT_EQ(algo_.name(), "optimization");
+  DecisionInput in = make_input(*perf_);
+  const Decision a = algo_.decide(in);
+  const Decision b = algo_.decide(in);
+  EXPECT_EQ(a.processors, b.processors);
+  EXPECT_DOUBLE_EQ(a.output_interval.seconds(), b.output_interval.seconds());
+}
+
+// Property sweep over bandwidth decades: decisions stay within bounds and
+// the implied disk-fill rate never exceeds the drain over the horizon.
+class OptimizerSweep : public testing::TestWithParam<int> {};
+
+TEST_P(OptimizerSweep, DiskSafeDecisions) {
+  auto perf = make_perf_model();
+  LpOptimizerAlgorithm algo;
+  DecisionInput in = make_input(*perf);
+  const double kbps = 10.0 * std::pow(10.0, GetParam() / 3.0);  // 10 Kbps..
+  in.observed_bandwidth = Bandwidth::kbps(kbps);
+  const Decision d = algo.decide(in);
+
+  ASSERT_GE(d.processors, in.min_processors);
+  ASSERT_LE(d.processors, in.max_processors);
+  ASSERT_GE(d.output_interval.as_minutes(), 3.0 - 1e-6);
+  ASSERT_LE(d.output_interval.as_minutes(), 25.0 + 1e-6);
+
+  // Implied steady-state fill rate <= free/horizon + drain (eq. 4).
+  const double t = perf->step_time(d.processors, in.work_units).seconds();
+  const double steps_per_frame =
+      d.output_interval.seconds() / in.integration_step.seconds();
+  const double tio = in.frame_bytes.as_double() /
+                     in.io_bandwidth.bytes_per_sec();
+  const double cycle = steps_per_frame * t + tio;
+  const double inflow = in.frame_bytes.as_double() / cycle;
+  const double n = algo.overflow_horizon(in).seconds();
+  const double budget = in.free_disk_bytes.as_double() / n +
+                        in.observed_bandwidth.bytes_per_sec();
+  EXPECT_LE(inflow, budget * 1.35)  // modest slack for quantization
+      << "bandwidth " << kbps << " Kbps";
+}
+
+INSTANTIATE_TEST_SUITE_P(BandwidthDecades, OptimizerSweep,
+                         testing::Range(0, 13));
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,129 @@
+#include "weather/nest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "weather/vortex.hpp"
+
+namespace adaptviz {
+namespace {
+
+DomainState parent_with_vortex(LatLon center) {
+  GridSpec g(60.0, -10.0, 60.0, 50.0, 120.0);
+  DomainState s(g);
+  HollandVortex v{.center = center,
+                  .deficit_hpa = 18.0,
+                  .r_max_km = 300.0,
+                  .b = 1.4};
+  v.deposit(s);
+  return s;
+}
+
+TEST(Nest, CreatedAtOneThirdResolution) {
+  const DomainState parent = parent_with_vortex({14.0, 88.5});
+  NestDomain nest(parent, LatLon{14.0, 88.5}, 9.0);
+  EXPECT_NEAR(nest.grid().resolution_km(),
+              parent.grid.resolution_km() / kNestRatio, 1e-9);
+  EXPECT_NEAR(nest.center().lat, 14.0, 0.3);
+  EXPECT_NEAR(nest.center().lon, 88.5, 0.3);
+  EXPECT_DOUBLE_EQ(nest.extent_deg(), 9.0);
+}
+
+TEST(Nest, InitializedFromParentFields) {
+  const DomainState parent = parent_with_vortex({14.0, 88.5});
+  NestDomain nest(parent, LatLon{14.0, 88.5}, 9.0);
+  // The nest carries the vortex depression interpolated from the parent.
+  EXPECT_LT(nest.state().h.min(), 0.5 * parent.h.min() /* deeper than half */);
+  // A shared location agrees.
+  const LatLon p{13.0, 87.0};
+  const double pv = parent.h.sample(parent.grid.x_of_lon(p.lon),
+                                    parent.grid.y_of_lat(p.lat));
+  const double nv = nest.state().h.sample(nest.grid().x_of_lon(p.lon),
+                                          nest.grid().y_of_lat(p.lat));
+  EXPECT_NEAR(nv, pv, 3.0);
+}
+
+TEST(Nest, ClampedInsideParent) {
+  const DomainState parent = parent_with_vortex({14.0, 88.5});
+  // Requested centre near the parent's east edge: the nest must stay inside.
+  NestDomain nest(parent, LatLon{14.0, 119.0}, 9.0);
+  const GridSpec& g = nest.grid();
+  EXPECT_LE(g.lon0() + g.extent_lon(), 120.0 + 1e-9);
+  EXPECT_GE(g.lon0(), 60.0 - 1e-9);
+}
+
+TEST(Nest, TooLargeRejected) {
+  const DomainState parent = parent_with_vortex({14.0, 88.5});
+  EXPECT_THROW(NestDomain(parent, LatLon{14.0, 88.5}, 70.0),
+               std::invalid_argument);
+}
+
+TEST(Nest, BoundaryBlendsTowardParent) {
+  const DomainState parent = parent_with_vortex({14.0, 88.5});
+  NestDomain nest(parent, LatLon{14.0, 88.5}, 9.0);
+  // Perturb the nest interior wildly, then re-apply boundary: edges must
+  // return to parent values while the deep interior keeps the perturbation.
+  nest.state().h.fill(123.0);
+  nest.apply_boundary(parent, 3);
+  const GridSpec& g = nest.grid();
+  const double edge = nest.state().h(0, g.ny() / 2);
+  const LatLon pe = g.at(0, g.ny() / 2);
+  const double parent_val = parent.h.sample(parent.grid.x_of_lon(pe.lon),
+                                            parent.grid.y_of_lat(pe.lat));
+  EXPECT_NEAR(edge, parent_val, 1.0);
+  EXPECT_NEAR(nest.state().h(g.nx() / 2, g.ny() / 2), 123.0, 1e-9);
+}
+
+TEST(Nest, FeedbackWritesInteriorOntoParent) {
+  DomainState parent = parent_with_vortex({14.0, 88.5});
+  NestDomain nest(parent, LatLon{14.0, 88.5}, 9.0);
+  // Mark the nest with a constant; parent points inside the nest interior
+  // must take (approximately) that value after feedback.
+  nest.state().h.fill(-77.0);
+  nest.feedback(parent);
+  const GridSpec& pg = parent.grid;
+  const std::size_t ci = static_cast<std::size_t>(pg.x_of_lon(88.5));
+  const std::size_t cj = static_cast<std::size_t>(pg.y_of_lat(14.0));
+  EXPECT_NEAR(parent.h(ci, cj), -77.0, 1.0);
+  // Far outside the nest: untouched vortex field.
+  EXPECT_NEAR(parent.h(2, 2), 0.0, 1.0);
+}
+
+TEST(Nest, RecenterFollowsEye) {
+  DomainState parent = parent_with_vortex({14.0, 88.5});
+  NestDomain nest(parent, LatLon{14.0, 88.5}, 9.0);
+  EXPECT_FALSE(nest.needs_recenter(LatLon{14.5, 88.5}));
+  EXPECT_TRUE(nest.needs_recenter(LatLon{16.0, 88.5}));
+  nest.recenter(parent, LatLon{16.0, 88.5});
+  EXPECT_NEAR(nest.center().lat, 16.0, 0.3);
+  EXPECT_NEAR(nest.grid().resolution_km(),
+              parent.grid.resolution_km() / kNestRatio, 1e-9);
+}
+
+TEST(Nest, RecenterKeepsFineDataInOverlap) {
+  DomainState parent = parent_with_vortex({14.0, 88.5});
+  NestDomain nest(parent, LatLon{14.0, 88.5}, 9.0);
+  // Stamp fine-scale data the parent does not have.
+  nest.state().h.fill(-55.0);
+  nest.recenter(parent, LatLon{15.0, 88.5});  // overlaps the old footprint
+  // A point well inside both footprints kept the fine value.
+  const GridSpec& g = nest.grid();
+  const double v = nest.state().h.sample(g.x_of_lon(88.5), g.y_of_lat(14.5));
+  EXPECT_NEAR(v, -55.0, 1.0);
+  // A point only in the new footprint came from the parent (~vortex field,
+  // much shallower than -55).
+  const double fresh =
+      nest.state().h.sample(g.x_of_lon(88.5), g.y_of_lat(19.2));
+  EXPECT_GT(fresh, -40.0);
+}
+
+TEST(Nest, RestoreStateReplacesFields) {
+  DomainState parent = parent_with_vortex({14.0, 88.5});
+  NestDomain nest(parent, LatLon{14.0, 88.5}, 9.0);
+  DomainState replacement(nest.grid());
+  replacement.h.fill(3.25);
+  nest.restore_state(std::move(replacement));
+  EXPECT_DOUBLE_EQ(nest.state().h(1, 1), 3.25);
+}
+
+}  // namespace
+}  // namespace adaptviz

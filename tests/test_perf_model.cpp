@@ -1,0 +1,105 @@
+#include "perf/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaptviz {
+namespace {
+
+MachineSpec test_machine(double noise = 0.0) {
+  return MachineSpec{.name = "test",
+                     .max_cores = 64,
+                     .min_cores = 4,
+                     .serial_seconds = 2.0,
+                     .work_seconds = 1500.0,
+                     .comm_seconds = 0.4,
+                     .noise_sigma = noise};
+}
+
+TEST(Profiler, SamplesSpanTheMachine) {
+  GroundTruthMachine m(test_machine(), 1);
+  BenchmarkProfiler profiler;
+  const ProfileData data = profiler.profile(m, 1.0);
+  ASSERT_GE(data.samples.size(), 4u);
+  EXPECT_EQ(data.samples.front().processors, 4);
+  EXPECT_EQ(data.samples.back().processors, 64);
+}
+
+TEST(Profiler, ExplicitCountsRespected) {
+  GroundTruthMachine m(test_machine(), 1);
+  BenchmarkProfiler profiler(ProfilerConfig{.processor_counts = {4, 16, 64},
+                                            .steps_per_sample = 5});
+  const ProfileData data = profiler.profile(m, 1.0);
+  ASSERT_EQ(data.samples.size(), 3u);
+  EXPECT_NEAR(data.samples[0].seconds_per_step,
+              m.expected_step_time(4, 1.0).seconds(), 1e-9);
+  // Profiling at a different workload normalizes per work unit; serial and
+  // comm terms make that an approximation, not an identity.
+  const ProfileData heavy = profiler.profile(m, 2.0);
+  EXPECT_NEAR(heavy.samples[0].seconds_per_step,
+              data.samples[0].seconds_per_step,
+              0.02 * data.samples[0].seconds_per_step);
+}
+
+TEST(Profiler, Validation) {
+  EXPECT_THROW(BenchmarkProfiler(ProfilerConfig{.steps_per_sample = 0}),
+               std::invalid_argument);
+  GroundTruthMachine m(test_machine(), 1);
+  BenchmarkProfiler p;
+  EXPECT_THROW((void)p.profile(m, 0.0), std::invalid_argument);
+}
+
+TEST(PerfModel, RecoversGroundTruthWithoutNoise) {
+  GroundTruthMachine m(test_machine(), 1);
+  BenchmarkProfiler profiler;
+  const PerformanceModel model(profiler.profile(m, 1.0), 64);
+  for (int p : {4, 10, 32, 64}) {
+    const double truth = m.expected_step_time(p, 1.0).seconds();
+    EXPECT_NEAR(model.step_time(p, 1.0).seconds(), truth, 1e-6) << p;
+  }
+  // Work scaling is multiplicative.
+  EXPECT_NEAR(model.step_time(16, 3.0).seconds(),
+              3.0 * model.step_time(16, 1.0).seconds(), 1e-9);
+}
+
+TEST(PerfModel, NoisyProfileStillClose) {
+  GroundTruthMachine m(test_machine(0.05), 99);
+  BenchmarkProfiler profiler(ProfilerConfig{.steps_per_sample = 50});
+  const PerformanceModel model(profiler.profile(m, 1.0), 64);
+  for (int p : {4, 16, 64}) {
+    const double truth = m.expected_step_time(p, 1.0).seconds();
+    EXPECT_NEAR(model.step_time(p, 1.0).seconds(), truth, 0.1 * truth) << p;
+  }
+}
+
+TEST(PerfModel, FastestAndSlowest) {
+  GroundTruthMachine m(test_machine(), 1);
+  BenchmarkProfiler profiler;
+  const PerformanceModel model(profiler.profile(m, 1.0), 64);
+  EXPECT_NEAR(model.fastest_step_time(1.0).seconds(),
+              m.expected_step_time(64, 1.0).seconds(), 0.5);
+  EXPECT_NEAR(model.slowest_step_time(1.0, 4).seconds(),
+              m.expected_step_time(4, 1.0).seconds(), 0.5);
+  EXPECT_LT(model.fastest_step_time(1.0), model.slowest_step_time(1.0, 4));
+}
+
+TEST(PerfModel, ProcessorsForInvertsStepTime) {
+  GroundTruthMachine m(test_machine(), 1);
+  BenchmarkProfiler profiler;
+  const PerformanceModel model(profiler.profile(m, 1.0), 64);
+  const WallSeconds target = model.step_time(24, 1.0);
+  const int p = model.processors_for(target, 1.0);
+  EXPECT_LE(model.step_time(p, 1.0).seconds(), target.seconds() + 1e-9);
+  EXPECT_LE(p, 24);
+  // Impossible target returns the whole machine.
+  EXPECT_EQ(model.processors_for(WallSeconds(1e-6), 1.0), 64);
+}
+
+TEST(PerfModel, Validation) {
+  GroundTruthMachine m(test_machine(), 1);
+  BenchmarkProfiler profiler;
+  const ProfileData data = profiler.profile(m, 1.0);
+  EXPECT_THROW(PerformanceModel(data, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,155 @@
+#include "weather/physics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adaptviz {
+namespace {
+
+constexpr LatLon kBay{14.0, 88.5};       // warm open ocean
+constexpr LatLon kInland{23.0, 80.0};    // central India
+
+TEST(IntensityOde, DeepensOverWarmOcean) {
+  CyclonePhysics phys(PhysicsConfig{}, 9.0, kBay);
+  const double d0 = phys.deficit_hpa();
+  for (int i = 0; i < 12 * 60; ++i) {
+    phys.advance(60.0, 0.0, 0.0, phys.center());  // 12 h, no motion
+  }
+  EXPECT_GT(phys.deficit_hpa(), d0 + 4.0);
+  EXPECT_LT(phys.central_pressure_hpa(), kEnvPressureHpa - d0 - 4.0);
+}
+
+TEST(IntensityOde, SaturatesBelowDeficitMax) {
+  PhysicsConfig cfg;
+  CyclonePhysics phys(cfg, 9.0, kBay);
+  for (int i = 0; i < 200 * 60; ++i) {
+    phys.advance(60.0, 0.0, 0.0, phys.center());
+  }
+  EXPECT_LE(phys.deficit_hpa(), cfg.deficit_max_hpa + 1e-9);
+  EXPECT_GT(phys.deficit_hpa(), 0.8 * cfg.deficit_max_hpa);
+}
+
+TEST(IntensityOde, AilaTimeline) {
+  // Paper-aligned milestones: < 995 hPa (nest spawn) ~8-16 h in; the full
+  // Table III ladder (986 hPa) complete by ~22-32 h.
+  CyclonePhysics phys(PhysicsConfig{}, 9.0, kBay);
+  double t_995 = -1.0;
+  double t_986 = -1.0;
+  for (int minute = 0; minute < 60 * 60; ++minute) {
+    phys.advance(60.0, 0.0, 0.0, phys.center());
+    const double p = phys.central_pressure_hpa();
+    const double h = minute / 60.0;
+    if (t_995 < 0 && p < 995.0) t_995 = h;
+    if (t_986 < 0 && p < 986.0) t_986 = h;
+  }
+  EXPECT_GT(t_995, 4.0);
+  EXPECT_LT(t_995, 18.0);
+  EXPECT_GT(t_986, t_995);
+  EXPECT_LT(t_986, 34.0);
+}
+
+TEST(IntensityOde, DecaysOverLand) {
+  CyclonePhysics phys(PhysicsConfig{}, 30.0, kInland);
+  const double d0 = phys.deficit_hpa();
+  for (int i = 0; i < 6 * 60; ++i) {
+    phys.advance(60.0, 0.0, 0.0, phys.center());  // 6 h over land
+  }
+  EXPECT_LT(phys.deficit_hpa(), 0.7 * d0);
+}
+
+TEST(Motion, CenterAdvectsWithSteering) {
+  CyclonePhysics phys(PhysicsConfig{}, 9.0, kBay);
+  // 5 m/s due north for 10 h = 180 km ~ 1.62 degrees.
+  for (int i = 0; i < 10 * 60; ++i) {
+    phys.advance(60.0, 0.0, 5.0, phys.center());
+  }
+  EXPECT_NEAR(phys.center().lat, kBay.lat + 1.62, 0.1);
+  EXPECT_NEAR(phys.center().lon, kBay.lon, 0.05);
+}
+
+TEST(Motion, PullsTowardDiagnosedEye) {
+  CyclonePhysics phys(PhysicsConfig{}, 9.0, kBay);
+  const LatLon eye{14.5, 89.0};  // dynamics says the storm is NE of us
+  for (int i = 0; i < 6 * 60; ++i) phys.advance(60.0, 0.0, 0.0, eye);
+  EXPECT_GT(phys.center().lat, kBay.lat + 0.2);
+  EXPECT_GT(phys.center().lon, kBay.lon + 0.2);
+}
+
+TEST(Motion, IgnoresFarAwayEye) {
+  // A diagnosed minimum 1000+ km away is noise, not the storm.
+  CyclonePhysics phys(PhysicsConfig{}, 9.0, kBay);
+  const LatLon far{30.0, 70.0};
+  for (int i = 0; i < 60; ++i) phys.advance(60.0, 0.0, 0.0, far);
+  EXPECT_NEAR(phys.center().lat, kBay.lat, 0.01);
+}
+
+TEST(TargetVortex, ResolvableCore) {
+  CyclonePhysics phys(PhysicsConfig{}, 20.0, kBay);
+  const HollandVortex fine = phys.target_vortex(10.0);
+  const HollandVortex coarse = phys.target_vortex(150.0);
+  EXPECT_GE(coarse.r_max_km, 2.2 * 150.0);
+  EXPECT_LT(fine.r_max_km, coarse.r_max_km);
+  EXPECT_DOUBLE_EQ(fine.deficit_hpa, 20.0);
+}
+
+TEST(TargetVortex, CoreShrinksWithIntensity) {
+  PhysicsConfig cfg;
+  CyclonePhysics weak(cfg, 5.0, kBay);
+  CyclonePhysics strong(cfg, 40.0, kBay);
+  EXPECT_GT(weak.target_vortex(5.0).r_max_km,
+            strong.target_vortex(5.0).r_max_km);
+  EXPECT_GE(strong.target_vortex(5.0).r_max_km, cfg.r_floor_km);
+}
+
+TEST(Forcing, FieldsShapedAroundCenter) {
+  CyclonePhysics phys(PhysicsConfig{}, 20.0, kBay);
+  GridSpec g(80.0, 5.0, 18.0, 18.0, 100.0);
+  DomainState s(g);  // at rest; the forcing should push it toward the target
+  const Field2D land = land_mask(g);
+  Field2D q, fu, fv, relax;
+  phys.build_forcing(s, land, q, fu, fv, relax);
+
+  // Mass sink strongest at the centre (h target most negative there).
+  const std::size_t ci = static_cast<std::size_t>(g.x_of_lon(kBay.lon));
+  const std::size_t cj = static_cast<std::size_t>(g.y_of_lat(kBay.lat));
+  EXPECT_LT(q(ci, cj), 0.0);
+  EXPECT_GT(std::fabs(q(ci, cj)), std::fabs(q(2, 2)));
+  // Mass forcing decays far from the storm (corner ~1300 km out).
+  EXPECT_LT(std::fabs(q(0, 0)), 0.2 * std::fabs(q(ci, cj)));
+  // Wind forcing is cyclonic: east of centre, v-tendency positive.
+  EXPECT_GT(fv(ci + 2, cj), 0.0);
+  EXPECT_LT(fv(ci - 2, cj), 0.0);
+  // Relaxation: strong over land, weak near the storm core.
+  const std::size_t land_i = static_cast<std::size_t>(g.x_of_lon(80.5));
+  const std::size_t land_j = static_cast<std::size_t>(g.y_of_lat(17.0));
+  EXPECT_GT(relax(land_i, land_j), relax(ci, cj));
+  EXPECT_LT(relax(ci, cj), 1.0 / (6.0 * 3600.0));
+}
+
+TEST(Forcing, ShapeMismatchRejected) {
+  CyclonePhysics phys(PhysicsConfig{}, 20.0, kBay);
+  GridSpec g(80.0, 5.0, 10.0, 10.0, 100.0);
+  DomainState s(g);
+  Field2D land(2, 2);
+  Field2D q, fu, fv, relax;
+  EXPECT_THROW(phys.build_forcing(s, land, q, fu, fv, relax),
+               std::invalid_argument);
+}
+
+TEST(Physics, ConstructorValidates) {
+  EXPECT_THROW(CyclonePhysics(PhysicsConfig{}, 0.0, kBay),
+               std::invalid_argument);
+  EXPECT_THROW(CyclonePhysics(PhysicsConfig{}, 1000.0, kBay),
+               std::invalid_argument);
+}
+
+TEST(Physics, RestoreSetsState) {
+  CyclonePhysics phys(PhysicsConfig{}, 9.0, kBay);
+  phys.restore(25.0, LatLon{18.0, 88.0});
+  EXPECT_DOUBLE_EQ(phys.deficit_hpa(), 25.0);
+  EXPECT_DOUBLE_EQ(phys.center().lat, 18.0);
+}
+
+}  // namespace
+}  // namespace adaptviz

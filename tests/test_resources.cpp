@@ -1,0 +1,282 @@
+// Disk, network link, and cluster ground-truth tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "resources/cluster.hpp"
+#include "resources/disk.hpp"
+#include "resources/network.hpp"
+
+namespace adaptviz {
+namespace {
+
+// --- DiskModel ---
+
+TEST(Disk, AllocateAndRelease) {
+  DiskModel d(Bytes::gigabytes(100), Bandwidth::megabytes_per_second(100));
+  EXPECT_TRUE(d.allocate(Bytes::gigabytes(40)));
+  EXPECT_EQ(d.used(), Bytes::gigabytes(40));
+  EXPECT_EQ(d.free_space(), Bytes::gigabytes(60));
+  EXPECT_DOUBLE_EQ(d.free_percent(), 60.0);
+  d.release(Bytes::gigabytes(10));
+  EXPECT_DOUBLE_EQ(d.free_percent(), 70.0);
+}
+
+TEST(Disk, AllocationFailsAtomically) {
+  DiskModel d(Bytes::gigabytes(10), Bandwidth::megabytes_per_second(100));
+  EXPECT_TRUE(d.allocate(Bytes::gigabytes(9)));
+  EXPECT_FALSE(d.allocate(Bytes::gigabytes(2)));
+  EXPECT_EQ(d.used(), Bytes::gigabytes(9));  // unchanged by the failure
+  EXPECT_TRUE(d.allocate(Bytes::gigabytes(1)));
+  EXPECT_DOUBLE_EQ(d.free_percent(), 0.0);
+}
+
+TEST(Disk, PeakTracksHighWaterMark) {
+  DiskModel d(Bytes::gigabytes(10), Bandwidth::megabytes_per_second(100));
+  (void)d.allocate(Bytes::gigabytes(7));
+  d.release(Bytes::gigabytes(5));
+  (void)d.allocate(Bytes::gigabytes(2));
+  EXPECT_EQ(d.peak_used(), Bytes::gigabytes(7));
+}
+
+TEST(Disk, WriteTimeUsesIoBandwidth) {
+  DiskModel d(Bytes::gigabytes(10), Bandwidth::megabytes_per_second(200));
+  EXPECT_NEAR(d.write_time(Bytes::megabytes(900)).seconds(), 4.5, 1e-9);
+}
+
+TEST(Disk, Validation) {
+  EXPECT_THROW(DiskModel(Bytes(0), Bandwidth::mbps(1)), std::invalid_argument);
+  EXPECT_THROW(DiskModel(Bytes(10), Bandwidth(0.0)), std::invalid_argument);
+  DiskModel d(Bytes::gigabytes(1), Bandwidth::mbps(1));
+  EXPECT_THROW(d.release(Bytes(1)), std::logic_error);
+  EXPECT_THROW((void)d.allocate(Bytes(-1)), std::invalid_argument);
+}
+
+// --- NetworkLink ---
+
+TEST(Network, ConstantLinkTransferTime) {
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::mbps(8),
+                            .latency = WallSeconds(0.0)},
+                   1);
+  // 8 Mbps = 1 MB/s -> 10 MB in 10 s.
+  EXPECT_NEAR(link.transfer_duration(Bytes::megabytes(10), WallSeconds(0.0))
+                  .seconds(),
+              10.0, 1e-9);
+}
+
+TEST(Network, EfficiencyScalesThroughput) {
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::mbps(8),
+                            .efficiency = 0.5,
+                            .latency = WallSeconds(0.0)},
+                   1);
+  EXPECT_NEAR(link.transfer_duration(Bytes::megabytes(10), WallSeconds(0.0))
+                  .seconds(),
+              20.0, 1e-9);
+}
+
+TEST(Network, LatencyAdds) {
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::mbps(8),
+                            .latency = WallSeconds(0.25)},
+                   1);
+  EXPECT_NEAR(link.transfer_duration(Bytes::megabytes(1), WallSeconds(0.0))
+                  .seconds(),
+              1.25, 1e-9);
+}
+
+TEST(Network, ProbeMeasuresBandwidth) {
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::mbps(80),
+                            .latency = WallSeconds(0.0)},
+                   1);
+  const auto probe = link.probe(WallSeconds(0.0), Bytes::megabytes(100));
+  EXPECT_NEAR(probe.measured.bytes_per_sec(), 1e7, 1e-3);
+  EXPECT_NEAR(probe.elapsed.seconds(), 10.0, 1e-9);
+}
+
+TEST(Network, FluctuationStaysNearNominal) {
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::mbps(56),
+                            .fluctuation_sigma = 0.2,
+                            .persistence = 0.9},
+                   12345);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    sum += link.current_bandwidth(WallSeconds::hours(0.25 * (i + 1)))
+               .bytes_per_sec();
+  }
+  const double nominal = Bandwidth::mbps(56).bytes_per_sec();
+  EXPECT_NEAR(sum / n, nominal, 0.15 * nominal);
+}
+
+TEST(Network, FluctuationIsDeterministicPerSeed) {
+  const LinkSpec spec{.nominal = Bandwidth::mbps(10),
+                      .fluctuation_sigma = 0.3};
+  NetworkLink a(spec, 7);
+  NetworkLink b(spec, 7);
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_DOUBLE_EQ(
+        a.current_bandwidth(WallSeconds::hours(i)).bytes_per_sec(),
+        b.current_bandwidth(WallSeconds::hours(i)).bytes_per_sec());
+  }
+}
+
+TEST(Network, OutageZeroesBandwidth) {
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::mbps(8),
+                            .outages = {{WallSeconds(10.0), WallSeconds(20.0)}},
+                            .latency = WallSeconds(0.0)},
+                   1);
+  EXPECT_GT(link.current_bandwidth(WallSeconds(5.0)).bytes_per_sec(), 0.0);
+  EXPECT_DOUBLE_EQ(link.current_bandwidth(WallSeconds(15.0)).bytes_per_sec(),
+                   0.0);
+  EXPECT_TRUE(link.in_outage(WallSeconds(10.0)));
+  EXPECT_FALSE(link.in_outage(WallSeconds(20.0)));  // half-open window
+}
+
+TEST(Network, TransferPausesAcrossOutage) {
+  // 1 MB/s link, outage [10, 25): a 15 MB transfer started at t=0 serves
+  // 10 MB before the outage, waits 15 s, then serves the last 5 MB.
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::mbps(8),
+                            .outages = {{WallSeconds(10.0), WallSeconds(25.0)}},
+                            .latency = WallSeconds(0.0)},
+                   1);
+  EXPECT_NEAR(link.transfer_duration(Bytes::megabytes(15), WallSeconds(0.0))
+                  .seconds(),
+              30.0, 1e-9);
+  // A transfer that finishes before the outage is unaffected.
+  EXPECT_NEAR(link.transfer_duration(Bytes::megabytes(5), WallSeconds(0.0))
+                  .seconds(),
+              5.0, 1e-9);
+  // Starting mid-outage: wait for the link, then serve.
+  EXPECT_NEAR(link.transfer_duration(Bytes::megabytes(5), WallSeconds(12.0))
+                  .seconds(),
+              13.0 + 5.0, 1e-9);
+}
+
+TEST(Network, TransferSpansMultipleOutages) {
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::mbps(8),
+                            .outages = {{WallSeconds(2.0), WallSeconds(4.0)},
+                                        {WallSeconds(6.0), WallSeconds(9.0)}},
+                            .latency = WallSeconds(0.0)},
+                   1);
+  // 6 MB at 1 MB/s: serve [0,2), wait [2,4), serve [4,6), wait [6,9),
+  // serve [9,11) -> done at t=11.
+  EXPECT_NEAR(link.transfer_duration(Bytes::megabytes(6), WallSeconds(0.0))
+                  .seconds(),
+              11.0, 1e-9);
+}
+
+TEST(Network, OutageValidation) {
+  EXPECT_THROW(NetworkLink(LinkSpec{.nominal = Bandwidth::mbps(1),
+                                    .outages = {{WallSeconds(5.0),
+                                                 WallSeconds(5.0)}}},
+                           1),
+               std::invalid_argument);
+  EXPECT_THROW(NetworkLink(LinkSpec{.nominal = Bandwidth::mbps(1),
+                                    .outages = {{WallSeconds(5.0),
+                                                 WallSeconds(9.0)},
+                                                {WallSeconds(8.0),
+                                                 WallSeconds(12.0)}}},
+                           1),
+               std::invalid_argument);
+}
+
+TEST(Network, Validation) {
+  EXPECT_THROW(NetworkLink(LinkSpec{.nominal = Bandwidth(0.0)}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(NetworkLink(LinkSpec{.nominal = Bandwidth::mbps(1),
+                                    .efficiency = 0.0},
+                           1),
+               std::invalid_argument);
+  EXPECT_THROW(NetworkLink(LinkSpec{.nominal = Bandwidth::mbps(1),
+                                    .fluctuation_sigma = -1.0},
+                           1),
+               std::invalid_argument);
+}
+
+// --- GroundTruthMachine ---
+
+TEST(Machine, ExpectedStepTimeFormula) {
+  MachineSpec spec{.name = "test",
+                   .max_cores = 64,
+                   .min_cores = 1,
+                   .serial_seconds = 2.0,
+                   .work_seconds = 1000.0,
+                   .comm_seconds = 0.5,
+                   .noise_sigma = 0.0};
+  GroundTruthMachine m(spec, 1);
+  EXPECT_NEAR(m.expected_step_time(10, 1.0).seconds(),
+              2.0 + 100.0 + 0.5 * std::log2(10.0), 1e-12);
+  // Work scales linearly.
+  EXPECT_NEAR(m.expected_step_time(10, 2.0).seconds(),
+              2.0 + 200.0 + 0.5 * std::log2(10.0), 1e-12);
+  // Noise off: step_time == expectation.
+  EXPECT_DOUBLE_EQ(m.step_time(10, 1.0).seconds(),
+                   m.expected_step_time(10, 1.0).seconds());
+}
+
+TEST(Machine, ClampsProcessorCount) {
+  MachineSpec spec{.name = "t",
+                   .max_cores = 8,
+                   .min_cores = 1,
+                   .serial_seconds = 0.0,
+                   .work_seconds = 80.0,
+                   .comm_seconds = 0.0,
+                   .noise_sigma = 0.0};
+  GroundTruthMachine m(spec, 1);
+  EXPECT_DOUBLE_EQ(m.expected_step_time(1000, 1.0).seconds(), 10.0);
+  EXPECT_DOUBLE_EQ(m.expected_step_time(0, 1.0).seconds(), 80.0);
+}
+
+TEST(Machine, NoiseHasUnitMean) {
+  MachineSpec spec{.name = "t",
+                   .max_cores = 8,
+                   .min_cores = 1,
+                   .serial_seconds = 0.0,
+                   .work_seconds = 8.0,
+                   .comm_seconds = 0.0,
+                   .noise_sigma = 0.1};
+  GroundTruthMachine m(spec, 77);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += m.step_time(8, 1.0).seconds();
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Machine, Validation) {
+  MachineSpec bad{.name = "b", .max_cores = 4, .min_cores = 8};
+  EXPECT_THROW(GroundTruthMachine(bad, 1), std::invalid_argument);
+  MachineSpec neg{.name = "n",
+                  .max_cores = 4,
+                  .min_cores = 1,
+                  .serial_seconds = -1.0};
+  EXPECT_THROW(GroundTruthMachine(neg, 1), std::invalid_argument);
+}
+
+TEST(Sites, TableIvPresets) {
+  const SiteSpec inter = inter_department_site();
+  EXPECT_EQ(inter.machine.name, "fire");
+  EXPECT_EQ(inter.machine.max_cores, 48);
+  EXPECT_EQ(inter.disk_capacity, Bytes::gigabytes(182));
+  EXPECT_DOUBLE_EQ(inter.wan_nominal.megabits_per_sec(), 56.0);
+
+  const SiteSpec intra = intra_country_site();
+  EXPECT_EQ(intra.machine.name, "gg-blr");
+  EXPECT_EQ(intra.machine.max_cores, 90);
+  EXPECT_EQ(intra.disk_capacity, Bytes::gigabytes(150));
+  EXPECT_DOUBLE_EQ(intra.wan_nominal.megabits_per_sec(), 40.0);
+
+  const SiteSpec cross = cross_continent_site();
+  EXPECT_EQ(cross.machine.name, "moria");
+  EXPECT_EQ(cross.machine.max_cores, 56);
+  EXPECT_EQ(cross.disk_capacity, Bytes::gigabytes(100));
+  EXPECT_NEAR(cross.wan_nominal.megabits_per_sec(), 0.06, 1e-12);
+
+  // gg-blr at its full 90 cores solves faster than fire at its full 48
+  // (the paper's intra-country "faster solve time" narrative).
+  GroundTruthMachine fire(inter.machine, 1);
+  GroundTruthMachine ggblr(intra.machine, 1);
+  EXPECT_LT(ggblr.expected_step_time(90, 1.0).seconds(),
+            fire.expected_step_time(48, 1.0).seconds());
+}
+
+}  // namespace
+}  // namespace adaptviz

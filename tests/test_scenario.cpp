@@ -1,0 +1,168 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace adaptviz {
+namespace {
+
+IniDocument minimal() {
+  return IniDocument::parse(
+      "[experiment]\n"
+      "name = t\n"
+      "algorithm = optimization\n"
+      "[site]\n"
+      "preset = intra-country\n");
+}
+
+TEST(Scenario, PresetAndDefaults) {
+  const ExperimentConfig cfg = scenario_from_ini(minimal());
+  EXPECT_EQ(cfg.name, "t");
+  EXPECT_EQ(cfg.algorithm, AlgorithmKind::kOptimization);
+  EXPECT_EQ(cfg.site.machine.name, "gg-blr");
+  EXPECT_DOUBLE_EQ(cfg.sim_window.as_hours(), 60.0);  // default window
+}
+
+TEST(Scenario, OverridesApply) {
+  const ExperimentConfig cfg = scenario_from_ini(IniDocument::parse(
+      "[experiment]\n"
+      "name = custom\n"
+      "algorithm = greedy-threshold\n"
+      "sim_window_hours = 12\n"
+      "max_wall_hours = 20\n"
+      "decision_period_hours = 0.5\n"
+      "compute_scale = 12\n"
+      "seed = 99\n"
+      "vis_workers = 3\n"
+      "[site]\n"
+      "preset = cross-continent\n"
+      "max_cores = 40\n"
+      "disk_gb = 64\n"
+      "wan_mbps = 1.5\n"
+      "wan_efficiency = 0.5\n"
+      "io_mbps = 80\n"
+      "[bounds]\n"
+      "min_output_interval_min = 5\n"
+      "max_output_interval_min = 30\n"
+      "[model]\n"
+      "base_resolution_km = 30\n"
+      "nest_extent_deg = 12\n"));
+  EXPECT_EQ(cfg.algorithm, AlgorithmKind::kGreedyThreshold);
+  EXPECT_DOUBLE_EQ(cfg.sim_window.as_hours(), 12.0);
+  EXPECT_DOUBLE_EQ(cfg.max_wall.as_hours(), 20.0);
+  EXPECT_DOUBLE_EQ(cfg.decision_period.as_hours(), 0.5);
+  EXPECT_DOUBLE_EQ(cfg.model.compute_scale, 12.0);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.vis_workers, 3);
+  EXPECT_EQ(cfg.site.machine.max_cores, 40);
+  EXPECT_EQ(cfg.site.disk_capacity, Bytes::gigabytes(64));
+  EXPECT_DOUBLE_EQ(cfg.site.wan_nominal.megabits_per_sec(), 1.5);
+  EXPECT_DOUBLE_EQ(cfg.site.wan_efficiency, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.bounds.min_output_interval.as_minutes(), 5.0);
+  EXPECT_DOUBLE_EQ(cfg.bounds.max_output_interval.as_minutes(), 30.0);
+  EXPECT_DOUBLE_EQ(cfg.model.base_resolution_km, 30.0);
+  EXPECT_DOUBLE_EQ(cfg.model.nest_extent_deg, 12.0);
+}
+
+TEST(Scenario, DomainAndFilesKeys) {
+  const std::string dir = testing::TempDir();
+  const ExperimentConfig cfg = scenario_from_ini(IniDocument::parse(
+      "[site]\npreset = inter-department\n"
+      "[model]\nlon0 = 50\nlat0 = -20\nextent_lon_deg = 80\n"
+      "extent_lat_deg = 70\nbase_resolution_km = 36\n"
+      "[files]\nconfig_file = " + dir + "/app.ini\n"
+      "checkpoint_dir = " + dir + "\n"));
+  EXPECT_DOUBLE_EQ(cfg.model.lon0, 50.0);
+  EXPECT_DOUBLE_EQ(cfg.model.lat0, -20.0);
+  EXPECT_DOUBLE_EQ(cfg.model.extent_lon_deg, 80.0);
+  EXPECT_DOUBLE_EQ(cfg.model.extent_lat_deg, 70.0);
+  EXPECT_DOUBLE_EQ(cfg.model.base_resolution_km, 36.0);
+  EXPECT_EQ(cfg.manager.config_file_path, dir + "/app.ini");
+  EXPECT_EQ(cfg.job.checkpoint_dir, dir);
+}
+
+TEST(Scenario, OutageWindows) {
+  const ExperimentConfig cfg = scenario_from_ini(IniDocument::parse(
+      "[site]\npreset = intra-country\n"
+      "[outages]\nwindows = 6-10, 14-16.5\n"));
+  ASSERT_EQ(cfg.wan_outages.size(), 2u);
+  EXPECT_DOUBLE_EQ(cfg.wan_outages[0].start.as_hours(), 6.0);
+  EXPECT_DOUBLE_EQ(cfg.wan_outages[0].end.as_hours(), 10.0);
+  EXPECT_DOUBLE_EQ(cfg.wan_outages[1].end.as_hours(), 16.5);
+}
+
+TEST(Scenario, Validation) {
+  EXPECT_THROW(scenario_from_ini(IniDocument::parse(
+                   "[site]\npreset = mars-base\n")),
+               std::runtime_error);
+  EXPECT_THROW(scenario_from_ini(IniDocument::parse(
+                   "[experiment]\nalgorithm = magic\n")),
+               std::runtime_error);
+  EXPECT_THROW(scenario_from_ini(IniDocument::parse(
+                   "[experiment]\ncompute_scale = 0.1\n")),
+               std::runtime_error);
+  EXPECT_THROW(scenario_from_ini(IniDocument::parse(
+                   "[outages]\nwindows = 6..8\n")),
+               std::runtime_error);
+}
+
+TEST(Scenario, ShippedScenarioFilesParse) {
+  // The scenarios/ directory must stay loadable.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(__FILE__).parent_path().parent_path() /
+                       "scenarios";
+  ASSERT_TRUE(fs::exists(dir));
+  int count = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".ini") continue;
+    EXPECT_NO_THROW((void)load_scenario(entry.path().string()))
+        << entry.path();
+    ++count;
+  }
+  EXPECT_GE(count, 3);
+}
+
+TEST(Scenario, WriteResultProducesArtifacts) {
+  ExperimentConfig cfg = scenario_from_ini(minimal());
+  cfg.name = "unit";
+  cfg.sim_window = SimSeconds::hours(4.0);
+  cfg.max_wall = WallSeconds::hours(10.0);
+  cfg.model.compute_scale = 12.0;
+  const ExperimentResult result = run_experiment(cfg);
+
+  const std::string dir = testing::TempDir() + "/adaptviz_scenario_out";
+  write_result(result, dir);
+  for (const char* suffix :
+       {"_samples.csv", "_visualization.csv", "_decisions.csv",
+        "_track.csv", "_summary.ini"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/unit" + suffix)) << suffix;
+  }
+  const IniDocument summary = IniDocument::load(dir + "/unit_summary.ini");
+  EXPECT_EQ(summary.get_bool("summary", "completed"), true);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ScenarioOutage, FrameworkRidesThroughBlackout) {
+  // An outage long enough to back frames up at the simulation site: the
+  // run must survive it and still drain afterwards.
+  ExperimentConfig cfg = scenario_from_ini(minimal());
+  cfg.name = "outage";
+  cfg.sim_window = SimSeconds::hours(20.0);
+  cfg.max_wall = WallSeconds::hours(40.0);
+  cfg.model.compute_scale = 12.0;
+  cfg.wan_outages = {{WallSeconds::hours(1.0), WallSeconds::hours(4.0)}};
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_TRUE(r.summary.completed);
+  // No frame was visualized during the blackout.
+  for (const VisRecord& v : r.vis_records) {
+    EXPECT_FALSE(v.wall_time.as_hours() > 1.05 &&
+                 v.wall_time.as_hours() < 4.0)
+        << "frame arrived during outage at " << v.wall_time.as_hours();
+  }
+  // Everything written eventually reached the scientist.
+  EXPECT_EQ(r.summary.frames_visualized, r.summary.frames_written);
+}
+
+}  // namespace
+}  // namespace adaptviz

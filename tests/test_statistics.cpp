@@ -1,0 +1,93 @@
+#include "numerics/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace adaptviz {
+namespace {
+
+TEST(Descriptive, MeanVarianceStddev) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+  EXPECT_THROW(mean({}), std::invalid_argument);
+}
+
+TEST(Descriptive, MedianAndPercentile) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 25), 2.0);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Ema, FirstSampleInitializes) {
+  ExponentialMovingAverage ema(0.5);
+  EXPECT_TRUE(ema.empty());
+  EXPECT_THROW((void)ema.value(), std::logic_error);
+  ema.add(10.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 10.0);
+  EXPECT_EQ(ema.count(), 1u);
+}
+
+TEST(Ema, SmoothsTowardNewSamples) {
+  ExponentialMovingAverage ema(0.25);
+  ema.add(100.0);
+  ema.add(0.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 75.0);
+  ema.add(0.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 56.25);
+}
+
+TEST(Ema, AlphaOneTracksLatest) {
+  ExponentialMovingAverage ema(1.0);
+  ema.add(5.0);
+  ema.add(9.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 9.0);
+}
+
+TEST(Ema, RejectsBadAlpha) {
+  EXPECT_THROW(ExponentialMovingAverage(0.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialMovingAverage(1.5), std::invalid_argument);
+}
+
+TEST(Running, MatchesDirectComputation) {
+  Rng rng(3);
+  std::vector<double> v;
+  RunningStats rs;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-10.0, 10.0);
+    v.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-9);
+  EXPECT_NEAR(rs.stddev(), stddev(v), 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), *std::min_element(v.begin(), v.end()));
+  EXPECT_DOUBLE_EQ(rs.max(), *std::max_element(v.begin(), v.end()));
+  EXPECT_EQ(rs.count(), v.size());
+}
+
+TEST(Running, EmptyThrows) {
+  RunningStats rs;
+  EXPECT_THROW((void)rs.min(), std::logic_error);
+  EXPECT_THROW((void)rs.stddev(), std::logic_error);
+}
+
+TEST(Running, SingleValue) {
+  RunningStats rs;
+  rs.add(4.2);
+  EXPECT_DOUBLE_EQ(rs.mean(), 4.2);
+  EXPECT_DOUBLE_EQ(rs.min(), 4.2);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.2);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,74 @@
+#include "core/storage_estimate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adaptviz {
+namespace {
+
+StorageEstimateInput paper_row(double disk_tb, double gbps) {
+  StorageEstimateInput in;  // defaults are the paper's Table I scenario
+  in.disk_capacity = Bytes::terabytes(disk_tb);
+  in.network_bandwidth = Bandwidth::gbps(gbps);
+  return in;
+}
+
+TEST(StorageEstimate, TableOneShape) {
+  // The paper's qualitative claims: minutes for 5 TB, hours for 100+ TB,
+  // and a faster network always buys more time.
+  const auto t5_1 = time_until_storage_full(paper_row(5, 1));
+  const auto t5_10 = time_until_storage_full(paper_row(5, 10));
+  const auto t100_1 = time_until_storage_full(paper_row(100, 1));
+  const auto t300_10 = time_until_storage_full(paper_row(300, 10));
+  const auto t500_10 = time_until_storage_full(paper_row(500, 10));
+  ASSERT_TRUE(t5_1 && t5_10 && t100_1 && t300_10 && t500_10);
+
+  EXPECT_GT(t5_1->as_hours(), 0.2);
+  EXPECT_LT(t5_1->as_hours(), 1.0);  // "25 minutes"
+  EXPECT_GT(t5_10->seconds(), t5_1->seconds());
+  EXPECT_GT(t100_1->as_hours(), 5.0);   // "8 hours"
+  EXPECT_LT(t100_1->as_hours(), 12.0);
+  EXPECT_GT(t300_10->as_hours(), 20.0);  // "36 hours"
+  EXPECT_GT(t500_10->as_hours(), t300_10->as_hours());
+  EXPECT_LT(t500_10->as_hours(), 100.0);  // "60 hours"
+}
+
+TEST(StorageEstimate, ScalesLinearlyWithDisk) {
+  const auto t1 = time_until_storage_full(paper_row(100, 1));
+  const auto t3 = time_until_storage_full(paper_row(300, 1));
+  ASSERT_TRUE(t1 && t3);
+  EXPECT_NEAR(t3->seconds() / t1->seconds(), 3.0, 1e-9);
+}
+
+TEST(StorageEstimate, NeverFillsWhenNetworkKeepsUp) {
+  StorageEstimateInput in = paper_row(5, 1);
+  // A network faster than the production rate: the disk never fills.
+  in.network_bandwidth = Bandwidth::gigabytes_per_second(50);
+  EXPECT_FALSE(time_until_storage_full(in).has_value());
+}
+
+TEST(StorageEstimate, LowerFrequencyBuysTime) {
+  StorageEstimateInput every_step = paper_row(5, 1);
+  StorageEstimateInput sparse = paper_row(5, 1);
+  sparse.frames_per_step = 0.1;  // one frame per 10 steps
+  const auto t_dense = time_until_storage_full(every_step);
+  const auto t_sparse = time_until_storage_full(sparse);
+  ASSERT_TRUE(t_dense && t_sparse);
+  // TIO does not shrink with frequency, so the gain is sub-linear in the
+  // interval ratio but still large.
+  EXPECT_GT(t_sparse->seconds(), 2.0 * t_dense->seconds());
+}
+
+TEST(StorageEstimate, Validation) {
+  StorageEstimateInput in;
+  in.frame_size = Bytes(0);
+  EXPECT_THROW(time_until_storage_full(in), std::invalid_argument);
+  in = StorageEstimateInput{};
+  in.step_time = WallSeconds(0.0);
+  EXPECT_THROW(time_until_storage_full(in), std::invalid_argument);
+  in = StorageEstimateInput{};
+  in.frames_per_step = 0.0;
+  EXPECT_THROW(time_until_storage_full(in), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,98 @@
+#include "vis/streamlines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adaptviz {
+namespace {
+
+// Uniform eastward flow: streamlines are horizontal lines.
+TEST(Streamlines, UniformFlowIsStraight) {
+  Field2D u(30, 20, 5.0);
+  Field2D v(30, 20, 0.0);
+  const Streamline line = trace_streamline(u, v, 15.0, 10.0);
+  ASSERT_GT(line.size(), 20u);
+  for (const auto& [x, y] : line) {
+    EXPECT_NEAR(y, 10.0, 1e-9);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 29.0);
+  }
+  // Upstream half reaches toward the west edge, downstream toward the east.
+  EXPECT_LT(line.front().first, 2.0);
+  EXPECT_GT(line.back().first, 27.0);
+}
+
+// Solid-body rotation: streamlines are circles around the centre.
+TEST(Streamlines, RotationalFlowCircles) {
+  const std::size_t n = 41;
+  Field2D u(n, n), v(n, n);
+  const double c = (n - 1) / 2.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = static_cast<double>(i) - c;
+      const double dy = static_cast<double>(j) - c;
+      u(i, j) = -dy;
+      v(i, j) = dx;
+    }
+  }
+  const double r0 = 8.0;
+  const Streamline line = trace_streamline(u, v, c + r0, c);
+  ASSERT_GT(line.size(), 50u);
+  for (const auto& [x, y] : line) {
+    EXPECT_NEAR(std::hypot(x - c, y - c), r0, 0.25);
+  }
+}
+
+TEST(Streamlines, StopsAtStagnation) {
+  Field2D u(20, 20, 0.0);
+  Field2D v(20, 20, 0.0);
+  EXPECT_EQ(trace_streamline(u, v, 10.0, 10.0).size(), 1u);  // seed only
+}
+
+TEST(Streamlines, SeedOutsideReturnsEmpty) {
+  Field2D u(10, 10, 1.0);
+  Field2D v(10, 10, 0.0);
+  EXPECT_TRUE(trace_streamline(u, v, -1.0, 5.0).empty());
+  EXPECT_TRUE(trace_streamline(u, v, 5.0, 100.0).empty());
+}
+
+TEST(Streamlines, Validation) {
+  Field2D u(10, 10, 1.0);
+  Field2D v(8, 10, 0.0);
+  EXPECT_THROW(trace_streamline(u, v, 1.0, 1.0), std::invalid_argument);
+  Field2D v2(10, 10, 0.0);
+  StreamlineOptions bad;
+  bad.step_cells = 0.0;
+  EXPECT_THROW(trace_streamline(u, v2, 1.0, 1.0, bad),
+               std::invalid_argument);
+  EXPECT_THROW(streamline_field(u, v2, 0.0), std::invalid_argument);
+}
+
+TEST(Streamlines, FieldSeedingCoversDomain) {
+  Field2D u(40, 30, 3.0);
+  Field2D v(40, 30, 0.0);
+  const auto lines = streamline_field(u, v, 6.0);
+  EXPECT_GE(lines.size(), 15u);
+  for (const auto& line : lines) EXPECT_GE(line.size(), 8u);
+}
+
+TEST(Streamlines, MaxStepsBounded) {
+  // Rotational flow never leaves the domain: the cap must stop it.
+  const std::size_t n = 21;
+  Field2D u(n, n), v(n, n);
+  const double c = (n - 1) / 2.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      u(i, j) = -(static_cast<double>(j) - c);
+      v(i, j) = static_cast<double>(i) - c;
+    }
+  }
+  StreamlineOptions opt;
+  opt.max_steps = 50;
+  const Streamline line = trace_streamline(u, v, c + 5.0, c, opt);
+  EXPECT_LE(line.size(), 2u * 50u + 1u);
+}
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,99 @@
+#include "weather/track_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "weather/model.hpp"
+
+namespace adaptviz {
+namespace {
+
+std::vector<TrackPoint> straight_track() {
+  // Due north at 1 degree per 6 hours along 88E, deepening 2 hPa per point.
+  std::vector<TrackPoint> t;
+  for (int k = 0; k <= 8; ++k) {
+    t.push_back(TrackPoint{SimSeconds::hours(6.0 * k),
+                           LatLon{14.0 + k, 88.0}, 1000.0 - 2.0 * k,
+                           15.0 + k});
+  }
+  return t;
+}
+
+TEST(TrackInterp, ExactAtNodesLinearBetween) {
+  const auto t = straight_track();
+  const TrackPoint at12 = interpolate_track(t, SimSeconds::hours(12.0));
+  EXPECT_DOUBLE_EQ(at12.eye.lat, 16.0);
+  EXPECT_DOUBLE_EQ(at12.min_pressure_hpa, 996.0);
+  const TrackPoint at15 = interpolate_track(t, SimSeconds::hours(15.0));
+  EXPECT_DOUBLE_EQ(at15.eye.lat, 16.5);
+  EXPECT_DOUBLE_EQ(at15.min_pressure_hpa, 995.0);
+  EXPECT_DOUBLE_EQ(at15.max_wind_ms, 17.5);
+}
+
+TEST(TrackInterp, ClampsOutsideSpan) {
+  const auto t = straight_track();
+  EXPECT_DOUBLE_EQ(interpolate_track(t, SimSeconds::hours(-5.0)).eye.lat,
+                   14.0);
+  EXPECT_DOUBLE_EQ(interpolate_track(t, SimSeconds::hours(500.0)).eye.lat,
+                   22.0);
+  EXPECT_THROW(interpolate_track({}, SimSeconds(0.0)), std::invalid_argument);
+}
+
+TEST(TrackVerify, ZeroErrorAgainstItself) {
+  const auto t = straight_track();
+  const auto errors = verify_track(t, t);
+  ASSERT_EQ(errors.size(), t.size());
+  for (const auto& e : errors) {
+    EXPECT_NEAR(e.position_error_km, 0.0, 1e-9);
+    EXPECT_NEAR(e.pressure_error_hpa, 0.0, 1e-9);
+  }
+  EXPECT_NEAR(mean_position_error_km(errors), 0.0, 1e-9);
+}
+
+TEST(TrackVerify, KnownOffset) {
+  const auto sim = straight_track();
+  auto ref = straight_track();
+  for (auto& p : ref) p.eye.lat += 1.0;  // 1 degree north = ~111 km
+  const auto errors = verify_track(sim, ref);
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NEAR(mean_position_error_km(errors), kKmPerDegree, 0.5);
+}
+
+TEST(TrackVerify, SkipsPointsOutsideSimSpan) {
+  const auto sim = straight_track();  // 0..48 h
+  std::vector<TrackPoint> ref{
+      TrackPoint{SimSeconds::hours(-6.0), LatLon{13.0, 88.0}, 1004.0, 10.0},
+      TrackPoint{SimSeconds::hours(24.0), LatLon{18.0, 88.0}, 992.0, 19.0},
+      TrackPoint{SimSeconds::hours(96.0), LatLon{30.0, 88.0}, 1004.0, 8.0},
+  };
+  const auto errors = verify_track(sim, ref);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NEAR(errors[0].position_error_km, 0.0, 1e-9);
+  EXPECT_THROW(mean_position_error_km({}), std::invalid_argument);
+}
+
+TEST(TrackVerify, SimulatedAilaStaysNearReference) {
+  // End-to-end: the simulated storm should track the coarse Aila reference
+  // within a couple of hundred kilometres on average — the same qualitative
+  // agreement the paper's Fig 4 demonstrates.
+  ModelConfig cfg;
+  cfg.compute_scale = 10.0;
+  WeatherModel m(cfg);
+  while (m.sim_time() < SimSeconds::hours(60.0)) {
+    m.step();
+    if (m.resolution_change_pending()) {
+      m.set_modeled_resolution(m.recommended_resolution_km());
+    }
+  }
+  const auto errors =
+      verify_track(m.tracker().track(), aila_reference_track());
+  ASSERT_GE(errors.size(), 4u);
+  EXPECT_LT(mean_position_error_km(errors), 250.0);
+  // Deepening trend agrees too: pressure error within ~8 hPa everywhere.
+  for (const auto& e : errors) {
+    EXPECT_LT(std::abs(e.pressure_error_hpa), 8.0)
+        << "at t=" << e.time.as_hours();
+  }
+}
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,100 @@
+#include "weather/tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "weather/vortex.hpp"
+
+namespace adaptviz {
+namespace {
+
+DomainState state_with_vortex(double deficit, LatLon center) {
+  GridSpec g(78.0, 4.0, 20.0, 20.0, 60.0);
+  DomainState s(g);
+  HollandVortex v{.center = center,
+                  .deficit_hpa = deficit,
+                  .r_max_km = 150.0,
+                  .b = 1.4};
+  v.deposit(s);
+  return s;
+}
+
+TEST(Tracker, FindsTheEye) {
+  CycloneTracker tracker;
+  const LatLon truth{14.0, 88.5};
+  const DomainState s = state_with_vortex(20.0, truth);
+  tracker.update(s, SimSeconds(0.0));
+  EXPECT_LT(distance_km(tracker.eye(), truth), 2.0 * s.grid.resolution_km());
+  EXPECT_NEAR(tracker.min_pressure_hpa(), kEnvPressureHpa - 20.0, 4.0);
+  EXPECT_GT(tracker.max_wind_ms(), 10.0);
+}
+
+TEST(Tracker, LowestEverIsMonotone) {
+  CycloneTracker tracker;
+  tracker.update(state_with_vortex(10.0, {14.0, 88.5}), SimSeconds(0.0));
+  const double after_weak = tracker.lowest_pressure_ever_hpa();
+  tracker.update(state_with_vortex(30.0, {15.0, 88.5}),
+                 SimSeconds::hours(6.0));
+  const double after_strong = tracker.lowest_pressure_ever_hpa();
+  EXPECT_LT(after_strong, after_weak);
+  // Weakening later does not raise the record.
+  tracker.update(state_with_vortex(5.0, {16.0, 88.5}),
+                 SimSeconds::hours(12.0));
+  EXPECT_DOUBLE_EQ(tracker.lowest_pressure_ever_hpa(), after_strong);
+}
+
+TEST(Tracker, RecordsTrackAtInterval) {
+  CycloneTracker tracker(SimSeconds::minutes(30.0));
+  for (int m = 0; m <= 120; m += 10) {
+    tracker.update(state_with_vortex(15.0, {14.0 + m * 0.01, 88.5}),
+                   SimSeconds::minutes(m));
+  }
+  // Points at 0, 30, 60, 90, 120 minutes.
+  ASSERT_EQ(tracker.track().size(), 5u);
+  EXPECT_DOUBLE_EQ(tracker.track().front().time.seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.track().back().time.as_minutes(), 120.0);
+  // Track moves north.
+  EXPECT_GT(tracker.track().back().eye.lat, tracker.track().front().eye.lat);
+}
+
+TEST(Tracker, RestoreRoundTrip) {
+  CycloneTracker tracker;
+  tracker.restore(LatLon{17.5, 88.0}, 990.0, 985.0);
+  EXPECT_DOUBLE_EQ(tracker.eye().lat, 17.5);
+  EXPECT_DOUBLE_EQ(tracker.min_pressure_hpa(), 990.0);
+  EXPECT_DOUBLE_EQ(tracker.lowest_pressure_ever_hpa(), 985.0);
+}
+
+TEST(Ladder, Table3Schedule) {
+  const ResolutionLadder ladder = ResolutionLadder::table3();
+  EXPECT_DOUBLE_EQ(ladder.spawn_pressure_hpa(), 995.0);
+  EXPECT_EQ(ladder.rungs().size(), 6u);
+  // Above the first rung: base resolution.
+  EXPECT_DOUBLE_EQ(ladder.resolution_for(1000.0, 24.0), 24.0);
+  EXPECT_DOUBLE_EQ(ladder.resolution_for(995.0, 24.0), 24.0);  // not below
+  // Table III mapping.
+  EXPECT_DOUBLE_EQ(ladder.resolution_for(994.5, 24.0), 24.0);
+  EXPECT_DOUBLE_EQ(ladder.resolution_for(993.5, 24.0), 21.0);
+  EXPECT_DOUBLE_EQ(ladder.resolution_for(991.5, 24.0), 18.0);
+  EXPECT_DOUBLE_EQ(ladder.resolution_for(989.5, 24.0), 15.0);
+  EXPECT_DOUBLE_EQ(ladder.resolution_for(987.5, 24.0), 12.0);
+  EXPECT_DOUBLE_EQ(ladder.resolution_for(985.0, 24.0), 10.0);
+  EXPECT_DOUBLE_EQ(ladder.resolution_for(966.0, 24.0), 10.0);  // floor
+}
+
+TEST(Ladder, CustomScheduleValidation) {
+  EXPECT_THROW(ResolutionLadder({}), std::invalid_argument);
+  // Not strictly decreasing in pressure.
+  EXPECT_THROW(ResolutionLadder({{995.0, 24.0}, {995.0, 21.0}}),
+               std::invalid_argument);
+  // Not strictly decreasing in resolution.
+  EXPECT_THROW(ResolutionLadder({{995.0, 24.0}, {990.0, 24.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(ResolutionLadder({{995.0, -1.0}}), std::invalid_argument);
+  // A valid custom two-rung ladder.
+  const ResolutionLadder custom({{990.0, 30.0}, {980.0, 15.0}});
+  EXPECT_DOUBLE_EQ(custom.resolution_for(985.0, 45.0), 30.0);
+  EXPECT_DOUBLE_EQ(custom.resolution_for(979.0, 45.0), 15.0);
+}
+
+}  // namespace
+}  // namespace adaptviz

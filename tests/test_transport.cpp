@@ -1,0 +1,202 @@
+// Frame sender/receiver daemons and bandwidth estimator over the event
+// queue.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "dataio/frame.hpp"
+#include "resources/disk.hpp"
+#include "resources/event_queue.hpp"
+#include "resources/network.hpp"
+#include "transport/bandwidth_estimator.hpp"
+#include "transport/receiver.hpp"
+#include "transport/sender.hpp"
+
+namespace adaptviz {
+namespace {
+
+struct Rig {
+  EventQueue queue;
+  // 1 MB/s link, no latency, no jitter: transfer times are exact.
+  NetworkLink link{LinkSpec{.nominal = Bandwidth::megabytes_per_second(1),
+                            .latency = WallSeconds(0.0)},
+                   1};
+  FrameCatalog catalog;
+  DiskModel disk{Bytes::gigabytes(1), Bandwidth::megabytes_per_second(100)};
+  BandwidthEstimator estimator{0.5};
+  std::vector<std::pair<double, std::int64_t>> delivered;  // (time, seq)
+
+  std::unique_ptr<FrameSender> sender;
+
+  Rig() {
+    sender = std::make_unique<FrameSender>(
+        queue, link, catalog, disk, estimator,
+        [this](const Frame& f) {
+          delivered.push_back({queue.now().seconds(), f.sequence});
+        },
+        WallSeconds(10.0));
+  }
+
+  Frame frame(std::int64_t seq, double mb) {
+    Frame f;
+    f.sequence = seq;
+    f.size = Bytes::megabytes(mb);
+    f.sim_time = SimSeconds(static_cast<double>(seq));
+    EXPECT_TRUE(disk.allocate(f.size));
+    return f;
+  }
+};
+
+TEST(Sender, ShipsOldestFirstAndFreesDisk) {
+  Rig rig;
+  rig.catalog.push(rig.frame(0, 5));
+  rig.catalog.push(rig.frame(1, 3));
+  rig.sender->start();
+  rig.queue.run_until(WallSeconds(100.0));
+  ASSERT_EQ(rig.delivered.size(), 2u);
+  EXPECT_EQ(rig.delivered[0].second, 0);
+  EXPECT_NEAR(rig.delivered[0].first, 5.0, 1e-9);  // 5 MB at 1 MB/s
+  EXPECT_EQ(rig.delivered[1].second, 1);
+  EXPECT_NEAR(rig.delivered[1].first, 8.0, 1e-9);
+  EXPECT_EQ(rig.disk.used(), Bytes(0));
+  EXPECT_EQ(rig.sender->frames_sent(), 2);
+  EXPECT_EQ(rig.sender->bytes_sent(), Bytes::megabytes(8));
+}
+
+TEST(Sender, PollsWhenIdleAndKickWakesImmediately) {
+  Rig rig;
+  rig.sender->start();
+  rig.queue.run_until(WallSeconds(25.0));  // a few empty polls pass
+  EXPECT_TRUE(rig.delivered.empty());
+  rig.catalog.push(rig.frame(0, 1));
+  rig.sender->kick();
+  rig.queue.run_until(WallSeconds(100.0));
+  ASSERT_EQ(rig.delivered.size(), 1u);
+  EXPECT_NEAR(rig.delivered[0].first, 26.0, 1e-9);
+}
+
+TEST(Sender, WithoutKickThePollPicksItUp) {
+  Rig rig;
+  rig.sender->start();
+  rig.queue.run_until(WallSeconds(1.0));
+  rig.catalog.push(rig.frame(0, 1));
+  rig.queue.run_until(WallSeconds(100.0));
+  ASSERT_EQ(rig.delivered.size(), 1u);
+  // Poll fires at t=10, transfer takes 1 s.
+  EXPECT_NEAR(rig.delivered[0].first, 11.0, 1e-9);
+}
+
+TEST(Sender, EstimatorLearnsFromTransfers) {
+  Rig rig;
+  rig.catalog.push(rig.frame(0, 10));
+  rig.sender->start();
+  rig.queue.run_until(WallSeconds(100.0));
+  ASSERT_TRUE(rig.estimator.estimate().has_value());
+  EXPECT_NEAR(rig.estimator.estimate()->bytes_per_sec(), 1e6, 1.0);
+}
+
+TEST(Sender, StopHaltsAfterInFlightTransfer) {
+  Rig rig;
+  rig.catalog.push(rig.frame(0, 5));
+  rig.catalog.push(rig.frame(1, 5));
+  rig.sender->start();
+  EXPECT_TRUE(rig.sender->transfer_in_flight());
+  rig.sender->stop();
+  rig.queue.run_until(WallSeconds(100.0));
+  EXPECT_EQ(rig.delivered.size(), 1u);  // in-flight completes, next doesn't
+  EXPECT_EQ(rig.catalog.count(), 1u);
+}
+
+TEST(Sender, Validation) {
+  Rig rig;
+  EXPECT_THROW(FrameSender(rig.queue, rig.link, rig.catalog, rig.disk,
+                           rig.estimator, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(FrameSender(
+                   rig.queue, rig.link, rig.catalog, rig.disk, rig.estimator,
+                   [](const Frame&) {}, WallSeconds(0.0)),
+               std::invalid_argument);
+}
+
+TEST(Receiver, QueuesWhileRendering) {
+  EventQueue queue;
+  std::vector<double> visualized_at;
+  FrameReceiver receiver(queue, [&](const Frame&) {
+    visualized_at.push_back(queue.now().seconds());
+    return WallSeconds(4.0);  // render cost
+  });
+  Frame f;
+  f.sequence = 0;
+  receiver.on_frame_arrival(f);
+  f.sequence = 1;
+  receiver.on_frame_arrival(f);  // arrives while #0 renders
+  EXPECT_EQ(receiver.backlog(), 1u);
+  queue.run_all();
+  EXPECT_EQ(receiver.frames_received(), 2);
+  EXPECT_EQ(receiver.frames_visualized(), 2);
+  ASSERT_EQ(visualized_at.size(), 2u);
+  EXPECT_NEAR(visualized_at[0], 0.0, 1e-9);
+  EXPECT_NEAR(visualized_at[1], 4.0, 1e-9);  // starts after #0 finishes
+}
+
+TEST(Receiver, NullCallbackRejected) {
+  EventQueue queue;
+  EXPECT_THROW(FrameReceiver(queue, nullptr), std::invalid_argument);
+  EXPECT_THROW(FrameReceiver(
+                   queue, [](const Frame&) { return WallSeconds(1.0); }, 0),
+               std::invalid_argument);
+}
+
+TEST(Receiver, ParallelWorkersDrainBacklogFaster) {
+  // Four frames, 4-second renders. One worker: last done at 16 s.
+  // Two workers: last done at 8 s.
+  for (const auto& [workers, expect_end] : {std::pair{1, 16.0}, {2, 8.0}}) {
+    EventQueue queue;
+    FrameReceiver receiver(
+        queue, [](const Frame&) { return WallSeconds(4.0); }, workers);
+    for (int i = 0; i < 4; ++i) {
+      Frame f;
+      f.sequence = i;
+      receiver.on_frame_arrival(f);
+    }
+    EXPECT_EQ(receiver.workers_busy(), std::min(workers, 4));
+    queue.run_all();
+    EXPECT_EQ(receiver.frames_visualized(), 4);
+    EXPECT_DOUBLE_EQ(queue.now().seconds(), expect_end) << workers;
+  }
+}
+
+TEST(Receiver, DispatchStaysInArrivalOrder) {
+  EventQueue queue;
+  std::vector<std::int64_t> order;
+  FrameReceiver receiver(
+      queue,
+      [&order](const Frame& f) {
+        order.push_back(f.sequence);
+        return WallSeconds(2.0);
+      },
+      3);
+  for (int i = 0; i < 6; ++i) {
+    Frame f;
+    f.sequence = i;
+    receiver.on_frame_arrival(f);
+  }
+  queue.run_all();
+  EXPECT_EQ(order, (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Estimator, EmaSmoothsAndProbeCounts) {
+  BandwidthEstimator est(0.5);
+  EXPECT_FALSE(est.estimate().has_value());
+  est.record_probe(Bandwidth::megabytes_per_second(2));
+  est.record_transfer(Bytes::megabytes(4), WallSeconds(1.0));
+  EXPECT_NEAR(est.estimate()->bytes_per_sec(), 3e6, 1.0);
+  EXPECT_EQ(est.observation_count(), 2u);
+  EXPECT_THROW(est.record_transfer(Bytes(1), WallSeconds(0.0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,110 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/calendar.hpp"
+
+namespace adaptviz {
+namespace {
+
+TEST(Bytes, ConstructorsAndAccessors) {
+  EXPECT_EQ(Bytes::kilobytes(1).count(), 1000);
+  EXPECT_EQ(Bytes::megabytes(1).count(), 1000000);
+  EXPECT_EQ(Bytes::gigabytes(2).count(), 2000000000LL);
+  EXPECT_EQ(Bytes::terabytes(1).count(), 1000000000000LL);
+  EXPECT_DOUBLE_EQ(Bytes::gigabytes(1.5).gb(), 1.5);
+  EXPECT_DOUBLE_EQ(Bytes::megabytes(250).mb(), 250.0);
+}
+
+TEST(Bytes, Arithmetic) {
+  Bytes a = Bytes::megabytes(100);
+  Bytes b = Bytes::megabytes(50);
+  EXPECT_EQ((a + b).count(), Bytes::megabytes(150).count());
+  EXPECT_EQ((a - b).count(), Bytes::megabytes(50).count());
+  EXPECT_EQ((a * 2.0).count(), Bytes::megabytes(200).count());
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  a += b;
+  EXPECT_EQ(a.count(), Bytes::megabytes(150).count());
+  a -= b;
+  EXPECT_EQ(a.count(), Bytes::megabytes(100).count());
+}
+
+TEST(Bytes, Comparisons) {
+  EXPECT_LT(Bytes(1), Bytes(2));
+  EXPECT_EQ(Bytes(5), Bytes(5));
+  EXPECT_GE(Bytes::gigabytes(1), Bytes::megabytes(999));
+}
+
+TEST(Bandwidth, BitByteConversions) {
+  // 8 Mbps == 1 MB/s.
+  EXPECT_DOUBLE_EQ(Bandwidth::mbps(8).bytes_per_sec(), 1e6);
+  EXPECT_DOUBLE_EQ(Bandwidth::kbps(60).bytes_per_sec(), 7500.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::gbps(1).bytes_per_sec(), 1.25e8);
+  EXPECT_DOUBLE_EQ(Bandwidth::megabytes_per_second(5).megabits_per_sec(),
+                   40.0);
+}
+
+TEST(Time, TransferMath) {
+  // 1 GB over 1 Gbps = 8 seconds.
+  const WallSeconds t =
+      transfer_time(Bytes::gigabytes(1), Bandwidth::gbps(1));
+  EXPECT_NEAR(t.seconds(), 8.0, 1e-9);
+  const Bytes moved = transferable(Bandwidth::mbps(8), WallSeconds(10.0));
+  EXPECT_EQ(moved.count(), 10000000);
+}
+
+TEST(Time, DurationsAreDistinctTypes) {
+  const WallSeconds w = WallSeconds::hours(1.5);
+  const SimSeconds s = SimSeconds::minutes(30);
+  EXPECT_DOUBLE_EQ(w.seconds(), 5400.0);
+  EXPECT_DOUBLE_EQ(w.as_hours(), 1.5);
+  EXPECT_DOUBLE_EQ(s.as_minutes(), 30.0);
+  // WallSeconds + SimSeconds must not compile; verified by design (no
+  // common operator). Arithmetic within one axis:
+  EXPECT_DOUBLE_EQ((w + WallSeconds(600.0)).as_hours(), 1.0 + 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ((s * 2.0).as_minutes(), 60.0);
+  EXPECT_DOUBLE_EQ(SimSeconds::days(1.0) / SimSeconds::hours(6.0), 4.0);
+}
+
+TEST(Formatting, BytesToString) {
+  EXPECT_EQ(to_string(Bytes(12)), "12 B");
+  EXPECT_EQ(to_string(Bytes::kilobytes(1.5)), "1.50 KB");
+  EXPECT_EQ(to_string(Bytes::megabytes(31)), "31.00 MB");
+  EXPECT_EQ(to_string(Bytes::gigabytes(31)), "31.00 GB");
+  EXPECT_EQ(to_string(Bytes::terabytes(5)), "5.00 TB");
+}
+
+TEST(Formatting, BandwidthToString) {
+  EXPECT_EQ(to_string(Bandwidth::kbps(60)), "60.00 Kbps");
+  EXPECT_EQ(to_string(Bandwidth::mbps(56)), "56.00 Mbps");
+  EXPECT_EQ(to_string(Bandwidth::gbps(10)), "10.00 Gbps");
+}
+
+TEST(Formatting, HhMm) {
+  EXPECT_EQ(hh_mm(WallSeconds(0.0)), "00:00");
+  EXPECT_EQ(hh_mm(WallSeconds::hours(2.6)), "02:36");
+  EXPECT_EQ(hh_mm(WallSeconds::hours(26.0)), "26:00");
+}
+
+TEST(Calendar, AilaLabels) {
+  const CalendarEpoch epoch = CalendarEpoch::aila_start();
+  EXPECT_EQ(epoch.label(SimSeconds(0.0)), "22-May 18:00");
+  EXPECT_EQ(epoch.label(SimSeconds::hours(15.0)), "23-May 09:00");
+  EXPECT_EQ(epoch.label(SimSeconds::hours(60.0)), "25-May 06:00");
+}
+
+TEST(Calendar, AtIsInverseOfLabel) {
+  const CalendarEpoch epoch = CalendarEpoch::aila_start();
+  const SimSeconds t = epoch.at(24, 9, 30);
+  EXPECT_EQ(epoch.label(t), "24-May 09:30");
+  EXPECT_DOUBLE_EQ(epoch.at(22, 18, 0).seconds(), 0.0);
+}
+
+TEST(Calendar, RejectsBadDates) {
+  EXPECT_THROW(CalendarEpoch(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(CalendarEpoch(22, 24, 0), std::invalid_argument);
+  EXPECT_THROW(CalendarEpoch(22, 10, 63), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adaptviz

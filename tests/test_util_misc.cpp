@@ -1,0 +1,115 @@
+// Tests for CSV writing, RNG, and string helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace adaptviz {
+namespace {
+
+TEST(Csv, WritesHeaderAndRows) {
+  CsvTable t({"wall", "value", "label"});
+  t.add_row({1.5, 42L, std::string("ok")});
+  t.add_row({2.5, 43L, std::string("fine")});
+  EXPECT_EQ(t.str(), "wall,value,label\n1.5,42,ok\n2.5,43,fine\n");
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  CsvTable t({"a"});
+  t.add_row({std::string("has,comma")});
+  t.add_row({std::string("has \"quote\"")});
+  EXPECT_EQ(t.str(), "a\n\"has,comma\"\n\"has \"\"quote\"\"\"\n");
+}
+
+TEST(Csv, RejectsWidthMismatch) {
+  CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+  EXPECT_THROW(CsvTable({}), std::invalid_argument);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  Rng c(124);
+  EXPECT_NE(Rng(123).next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(99);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng r(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BoundedNoModuloBias) {
+  Rng r(11);
+  int counts[7] = {0};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) counts[r.bounded(7)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 7, n / 7 * 0.1);
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtil, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringUtil, StartsWithAndJoin) {
+  EXPECT_TRUE(starts_with("adaptviz", "adapt"));
+  EXPECT_FALSE(starts_with("ad", "adapt"));
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtil, Format) {
+  EXPECT_EQ(format("%d procs, %.1f min", 48, 2.5), "48 procs, 2.5 min");
+}
+
+}  // namespace
+}  // namespace adaptviz

@@ -1,0 +1,121 @@
+#include "vis/volume.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "weather/vortex.hpp"
+
+namespace adaptviz {
+namespace {
+
+TEST(VolumeGrid, ConstructionAndSampling) {
+  VolumeGrid v(4, 3, 2, 1.5);
+  EXPECT_EQ(v.nx(), 4u);
+  EXPECT_EQ(v.ny(), 3u);
+  EXPECT_EQ(v.nz(), 2u);
+  EXPECT_DOUBLE_EQ(v.sample(1.5, 1.0, 0.5), 1.5);  // uniform volume
+  EXPECT_THROW(VolumeGrid(0, 3, 2), std::invalid_argument);
+}
+
+TEST(VolumeGrid, TrilinearInterpolation) {
+  VolumeGrid v(2, 2, 2, 0.0);
+  v.at(1, 1, 1) = 8.0;
+  EXPECT_DOUBLE_EQ(v.sample(0.5, 0.5, 0.5), 1.0);  // 1/8 of the corner
+  EXPECT_DOUBLE_EQ(v.sample(1.0, 1.0, 1.0), 8.0);
+  // Outside the volume: vacuum.
+  EXPECT_DOUBLE_EQ(v.sample(-0.1, 0.5, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(v.sample(0.5, 0.5, 3.0), 0.0);
+}
+
+TEST(CloudVolume, QuietAtmosphereIsClear) {
+  GridSpec g(80.0, 5.0, 10.0, 10.0, 120.0);
+  DomainState s(g);  // flat layer
+  const VolumeGrid vol = cloud_volume_from_state(s);
+  for (std::size_t k = 0; k < vol.nz(); ++k) {
+    EXPECT_DOUBLE_EQ(vol.at(vol.nx() / 2, vol.ny() / 2, k), 0.0);
+  }
+}
+
+TEST(CloudVolume, StormGrowsTallDenseCloud) {
+  GridSpec g(80.0, 5.0, 18.0, 18.0, 80.0);
+  DomainState s(g);
+  HollandVortex v{.center = LatLon{14.0, 89.0},
+                  .deficit_hpa = 30.0,
+                  .r_max_km = 200.0,
+                  .b = 1.5};
+  v.deposit(s);
+  const VolumeGrid vol = cloud_volume_from_state(s);
+  const std::size_t ci = static_cast<std::size_t>(g.x_of_lon(89.0));
+  const std::size_t cj = static_cast<std::size_t>(g.y_of_lat(14.0));
+  // Cloud at the eyewall column, none far away.
+  EXPECT_GT(vol.at(ci, cj, 0), 0.3);
+  EXPECT_GT(vol.at(ci, cj, vol.nz() / 2), 0.0);  // deep convection
+  EXPECT_DOUBLE_EQ(vol.at(1, 1, 0), 0.0);
+  // Density decreases with height within the column.
+  EXPECT_GE(vol.at(ci, cj, 0), vol.at(ci, cj, vol.nz() - 1));
+}
+
+TEST(CompositeVolume, VacuumLeavesImageUntouched) {
+  VolumeGrid vol(20, 20, 8, 0.0);
+  Image img(40, 40, Rgb{10, 60, 110});
+  composite_volume(img, vol);
+  EXPECT_EQ(img.at(20, 20), (Rgb{10, 60, 110}));
+}
+
+TEST(CompositeVolume, OpaqueSlabSaturatesToCloudColor) {
+  VolumeGrid vol(20, 20, 8, 50.0);  // extremely dense everywhere
+  Image img(40, 40, Rgb{0, 0, 0});
+  VolumeRenderOptions opt;
+  opt.shear_cells = 0.0;
+  composite_volume(img, vol, opt);
+  const Rgb c = img.at(20, 20);
+  EXPECT_GT(c.r, 235);
+  EXPECT_GT(c.g, 235);
+}
+
+TEST(CompositeVolume, KnownOpticalDepth) {
+  // One level of density rho: opacity = 1 - exp(-extinction * rho) exactly
+  // (plus the zero levels above).
+  VolumeGrid vol(10, 10, 2, 0.0);
+  for (std::size_t j = 0; j < 10; ++j)
+    for (std::size_t i = 0; i < 10; ++i) vol.at(i, j, 0) = 2.0;
+  Image img(10, 10, Rgb{0, 0, 0});
+  VolumeRenderOptions opt;
+  opt.shear_cells = 0.0;
+  opt.extinction = 0.35;
+  composite_volume(img, vol, opt);
+  const double alpha = 1.0 - std::exp(-0.35 * 2.0);
+  const int expected = static_cast<int>(std::lround(alpha * 245));
+  EXPECT_NEAR(img.at(5, 5).r, expected, 2);
+}
+
+TEST(CompositeVolume, ShearDisplacesCloudTopsNorthInImage) {
+  // A tall thin column: with shear, its projection lands south (larger
+  // image y) of the straight-down projection.
+  VolumeGrid vol(30, 30, 10, 0.0);
+  for (std::size_t k = 0; k < 10; ++k) vol.at(15, 15, k) = 60.0;
+  Image straight(30, 30, Rgb{0, 0, 0});
+  Image sheared(30, 30, Rgb{0, 0, 0});
+  VolumeRenderOptions opt;
+  opt.shear_cells = 0.0;
+  composite_volume(straight, vol, opt);
+  opt.shear_cells = 6.0;
+  composite_volume(sheared, vol, opt);
+
+  auto centroid_y = [](const Image& img) {
+    double sum = 0.0;
+    double weight = 0.0;
+    for (std::size_t y = 0; y < img.height(); ++y)
+      for (std::size_t x = 0; x < img.width(); ++x) {
+        weight += img.at(x, y).r;
+        sum += img.at(x, y).r * static_cast<double>(y);
+      }
+    return sum / weight;
+  };
+  // Tops are displaced toward the image top (north) by the oblique view.
+  EXPECT_LT(centroid_y(sheared), centroid_y(straight) - 1.0);
+}
+
+}  // namespace
+}  // namespace adaptviz
