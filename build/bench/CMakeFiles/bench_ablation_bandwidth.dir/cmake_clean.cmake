@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bandwidth.dir/bench_ablation_bandwidth.cpp.o"
+  "CMakeFiles/bench_ablation_bandwidth.dir/bench_ablation_bandwidth.cpp.o.d"
+  "bench_ablation_bandwidth"
+  "bench_ablation_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decision_period.dir/bench_ablation_decision_period.cpp.o"
+  "CMakeFiles/bench_ablation_decision_period.dir/bench_ablation_decision_period.cpp.o.d"
+  "bench_ablation_decision_period"
+  "bench_ablation_decision_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decision_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

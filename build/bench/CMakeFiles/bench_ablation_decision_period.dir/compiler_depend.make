@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_decision_period.
+# This may be replaced when dependencies are built.

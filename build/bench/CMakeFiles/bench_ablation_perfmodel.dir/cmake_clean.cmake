@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_perfmodel.dir/bench_ablation_perfmodel.cpp.o"
+  "CMakeFiles/bench_ablation_perfmodel.dir/bench_ablation_perfmodel.cpp.o.d"
+  "bench_ablation_perfmodel"
+  "bench_ablation_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vis_workers.dir/bench_ablation_vis_workers.cpp.o"
+  "CMakeFiles/bench_ablation_vis_workers.dir/bench_ablation_vis_workers.cpp.o.d"
+  "bench_ablation_vis_workers"
+  "bench_ablation_vis_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vis_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig34_renders.dir/bench_fig34_renders.cpp.o"
+  "CMakeFiles/bench_fig34_renders.dir/bench_fig34_renders.cpp.o.d"
+  "bench_fig34_renders"
+  "bench_fig34_renders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig34_renders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_sim_progress.dir/bench_fig5_sim_progress.cpp.o"
+  "CMakeFiles/bench_fig5_sim_progress.dir/bench_fig5_sim_progress.cpp.o.d"
+  "bench_fig5_sim_progress"
+  "bench_fig5_sim_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_sim_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

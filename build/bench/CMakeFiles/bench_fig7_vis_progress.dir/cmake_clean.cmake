@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_vis_progress.dir/bench_fig7_vis_progress.cpp.o"
+  "CMakeFiles/bench_fig7_vis_progress.dir/bench_fig7_vis_progress.cpp.o.d"
+  "bench_fig7_vis_progress"
+  "bench_fig7_vis_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_vis_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

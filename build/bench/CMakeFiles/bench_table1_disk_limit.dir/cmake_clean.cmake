@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_disk_limit.dir/bench_table1_disk_limit.cpp.o"
+  "CMakeFiles/bench_table1_disk_limit.dir/bench_table1_disk_limit.cpp.o.d"
+  "bench_table1_disk_limit"
+  "bench_table1_disk_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_disk_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_resolution_ladder.dir/bench_table3_resolution_ladder.cpp.o"
+  "CMakeFiles/bench_table3_resolution_ladder.dir/bench_table3_resolution_ladder.cpp.o.d"
+  "bench_table3_resolution_ladder"
+  "bench_table3_resolution_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_resolution_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_decision_algorithm.cpp" "examples/CMakeFiles/custom_decision_algorithm.dir/custom_decision_algorithm.cpp.o" "gcc" "examples/CMakeFiles/custom_decision_algorithm.dir/custom_decision_algorithm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adaptviz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/adaptviz_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adaptviz_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/vis/CMakeFiles/adaptviz_vis.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/adaptviz_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataio/CMakeFiles/adaptviz_dataio.dir/DependInfo.cmake"
+  "/root/repo/build/src/steering/CMakeFiles/adaptviz_steering.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/adaptviz_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/adaptviz_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/adaptviz_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adaptviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_decision_algorithm.dir/custom_decision_algorithm.cpp.o"
+  "CMakeFiles/custom_decision_algorithm.dir/custom_decision_algorithm.cpp.o.d"
+  "custom_decision_algorithm"
+  "custom_decision_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_decision_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

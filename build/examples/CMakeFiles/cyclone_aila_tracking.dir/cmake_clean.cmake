@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyclone_aila_tracking.dir/cyclone_aila_tracking.cpp.o"
+  "CMakeFiles/cyclone_aila_tracking.dir/cyclone_aila_tracking.cpp.o.d"
+  "cyclone_aila_tracking"
+  "cyclone_aila_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyclone_aila_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_steering.dir/interactive_steering.cpp.o"
+  "CMakeFiles/interactive_steering.dir/interactive_steering.cpp.o.d"
+  "interactive_steering"
+  "interactive_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_viz_cross_continent.dir/remote_viz_cross_continent.cpp.o"
+  "CMakeFiles/remote_viz_cross_continent.dir/remote_viz_cross_continent.cpp.o.d"
+  "remote_viz_cross_continent"
+  "remote_viz_cross_continent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_viz_cross_continent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

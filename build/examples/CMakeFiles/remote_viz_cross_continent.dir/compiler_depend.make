@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for remote_viz_cross_continent.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_config.cpp" "src/core/CMakeFiles/adaptviz_core.dir/app_config.cpp.o" "gcc" "src/core/CMakeFiles/adaptviz_core.dir/app_config.cpp.o.d"
+  "/root/repo/src/core/application_manager.cpp" "src/core/CMakeFiles/adaptviz_core.dir/application_manager.cpp.o" "gcc" "src/core/CMakeFiles/adaptviz_core.dir/application_manager.cpp.o.d"
+  "/root/repo/src/core/decision.cpp" "src/core/CMakeFiles/adaptviz_core.dir/decision.cpp.o" "gcc" "src/core/CMakeFiles/adaptviz_core.dir/decision.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/adaptviz_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/adaptviz_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/greedy_threshold.cpp" "src/core/CMakeFiles/adaptviz_core.dir/greedy_threshold.cpp.o" "gcc" "src/core/CMakeFiles/adaptviz_core.dir/greedy_threshold.cpp.o.d"
+  "/root/repo/src/core/job_handler.cpp" "src/core/CMakeFiles/adaptviz_core.dir/job_handler.cpp.o" "gcc" "src/core/CMakeFiles/adaptviz_core.dir/job_handler.cpp.o.d"
+  "/root/repo/src/core/lp_optimizer.cpp" "src/core/CMakeFiles/adaptviz_core.dir/lp_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/adaptviz_core.dir/lp_optimizer.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/adaptviz_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/adaptviz_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/simulation_process.cpp" "src/core/CMakeFiles/adaptviz_core.dir/simulation_process.cpp.o" "gcc" "src/core/CMakeFiles/adaptviz_core.dir/simulation_process.cpp.o.d"
+  "/root/repo/src/core/static_algorithm.cpp" "src/core/CMakeFiles/adaptviz_core.dir/static_algorithm.cpp.o" "gcc" "src/core/CMakeFiles/adaptviz_core.dir/static_algorithm.cpp.o.d"
+  "/root/repo/src/core/storage_estimate.cpp" "src/core/CMakeFiles/adaptviz_core.dir/storage_estimate.cpp.o" "gcc" "src/core/CMakeFiles/adaptviz_core.dir/storage_estimate.cpp.o.d"
+  "/root/repo/src/core/telemetry.cpp" "src/core/CMakeFiles/adaptviz_core.dir/telemetry.cpp.o" "gcc" "src/core/CMakeFiles/adaptviz_core.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adaptviz_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/adaptviz_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/adaptviz_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataio/CMakeFiles/adaptviz_dataio.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/adaptviz_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/adaptviz_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/adaptviz_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adaptviz_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/vis/CMakeFiles/adaptviz_vis.dir/DependInfo.cmake"
+  "/root/repo/build/src/steering/CMakeFiles/adaptviz_steering.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

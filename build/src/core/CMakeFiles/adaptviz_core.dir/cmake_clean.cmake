@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptviz_core.dir/app_config.cpp.o"
+  "CMakeFiles/adaptviz_core.dir/app_config.cpp.o.d"
+  "CMakeFiles/adaptviz_core.dir/application_manager.cpp.o"
+  "CMakeFiles/adaptviz_core.dir/application_manager.cpp.o.d"
+  "CMakeFiles/adaptviz_core.dir/decision.cpp.o"
+  "CMakeFiles/adaptviz_core.dir/decision.cpp.o.d"
+  "CMakeFiles/adaptviz_core.dir/framework.cpp.o"
+  "CMakeFiles/adaptviz_core.dir/framework.cpp.o.d"
+  "CMakeFiles/adaptviz_core.dir/greedy_threshold.cpp.o"
+  "CMakeFiles/adaptviz_core.dir/greedy_threshold.cpp.o.d"
+  "CMakeFiles/adaptviz_core.dir/job_handler.cpp.o"
+  "CMakeFiles/adaptviz_core.dir/job_handler.cpp.o.d"
+  "CMakeFiles/adaptviz_core.dir/lp_optimizer.cpp.o"
+  "CMakeFiles/adaptviz_core.dir/lp_optimizer.cpp.o.d"
+  "CMakeFiles/adaptviz_core.dir/scenario.cpp.o"
+  "CMakeFiles/adaptviz_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/adaptviz_core.dir/simulation_process.cpp.o"
+  "CMakeFiles/adaptviz_core.dir/simulation_process.cpp.o.d"
+  "CMakeFiles/adaptviz_core.dir/static_algorithm.cpp.o"
+  "CMakeFiles/adaptviz_core.dir/static_algorithm.cpp.o.d"
+  "CMakeFiles/adaptviz_core.dir/storage_estimate.cpp.o"
+  "CMakeFiles/adaptviz_core.dir/storage_estimate.cpp.o.d"
+  "CMakeFiles/adaptviz_core.dir/telemetry.cpp.o"
+  "CMakeFiles/adaptviz_core.dir/telemetry.cpp.o.d"
+  "libadaptviz_core.a"
+  "libadaptviz_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptviz_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

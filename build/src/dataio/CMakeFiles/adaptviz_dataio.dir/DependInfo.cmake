@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataio/frame.cpp" "src/dataio/CMakeFiles/adaptviz_dataio.dir/frame.cpp.o" "gcc" "src/dataio/CMakeFiles/adaptviz_dataio.dir/frame.cpp.o.d"
+  "/root/repo/src/dataio/ncl.cpp" "src/dataio/CMakeFiles/adaptviz_dataio.dir/ncl.cpp.o" "gcc" "src/dataio/CMakeFiles/adaptviz_dataio.dir/ncl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adaptviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptviz_dataio.dir/frame.cpp.o"
+  "CMakeFiles/adaptviz_dataio.dir/frame.cpp.o.d"
+  "CMakeFiles/adaptviz_dataio.dir/ncl.cpp.o"
+  "CMakeFiles/adaptviz_dataio.dir/ncl.cpp.o.d"
+  "libadaptviz_dataio.a"
+  "libadaptviz_dataio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptviz_dataio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

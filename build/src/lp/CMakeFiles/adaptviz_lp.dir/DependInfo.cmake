@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/problem.cpp" "src/lp/CMakeFiles/adaptviz_lp.dir/problem.cpp.o" "gcc" "src/lp/CMakeFiles/adaptviz_lp.dir/problem.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/lp/CMakeFiles/adaptviz_lp.dir/simplex.cpp.o" "gcc" "src/lp/CMakeFiles/adaptviz_lp.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adaptviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

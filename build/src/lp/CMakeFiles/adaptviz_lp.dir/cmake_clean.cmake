@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptviz_lp.dir/problem.cpp.o"
+  "CMakeFiles/adaptviz_lp.dir/problem.cpp.o.d"
+  "CMakeFiles/adaptviz_lp.dir/simplex.cpp.o"
+  "CMakeFiles/adaptviz_lp.dir/simplex.cpp.o.d"
+  "libadaptviz_lp.a"
+  "libadaptviz_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptviz_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/curve_fit.cpp" "src/numerics/CMakeFiles/adaptviz_numerics.dir/curve_fit.cpp.o" "gcc" "src/numerics/CMakeFiles/adaptviz_numerics.dir/curve_fit.cpp.o.d"
+  "/root/repo/src/numerics/interpolation.cpp" "src/numerics/CMakeFiles/adaptviz_numerics.dir/interpolation.cpp.o" "gcc" "src/numerics/CMakeFiles/adaptviz_numerics.dir/interpolation.cpp.o.d"
+  "/root/repo/src/numerics/linalg.cpp" "src/numerics/CMakeFiles/adaptviz_numerics.dir/linalg.cpp.o" "gcc" "src/numerics/CMakeFiles/adaptviz_numerics.dir/linalg.cpp.o.d"
+  "/root/repo/src/numerics/statistics.cpp" "src/numerics/CMakeFiles/adaptviz_numerics.dir/statistics.cpp.o" "gcc" "src/numerics/CMakeFiles/adaptviz_numerics.dir/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adaptviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptviz_numerics.dir/curve_fit.cpp.o"
+  "CMakeFiles/adaptviz_numerics.dir/curve_fit.cpp.o.d"
+  "CMakeFiles/adaptviz_numerics.dir/interpolation.cpp.o"
+  "CMakeFiles/adaptviz_numerics.dir/interpolation.cpp.o.d"
+  "CMakeFiles/adaptviz_numerics.dir/linalg.cpp.o"
+  "CMakeFiles/adaptviz_numerics.dir/linalg.cpp.o.d"
+  "CMakeFiles/adaptviz_numerics.dir/statistics.cpp.o"
+  "CMakeFiles/adaptviz_numerics.dir/statistics.cpp.o.d"
+  "libadaptviz_numerics.a"
+  "libadaptviz_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptviz_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

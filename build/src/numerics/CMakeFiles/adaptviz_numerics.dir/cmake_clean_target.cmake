@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadaptviz_numerics.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptviz_perf.dir/perf_model.cpp.o"
+  "CMakeFiles/adaptviz_perf.dir/perf_model.cpp.o.d"
+  "libadaptviz_perf.a"
+  "libadaptviz_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptviz_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

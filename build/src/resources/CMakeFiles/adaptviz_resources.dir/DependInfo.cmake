@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resources/cluster.cpp" "src/resources/CMakeFiles/adaptviz_resources.dir/cluster.cpp.o" "gcc" "src/resources/CMakeFiles/adaptviz_resources.dir/cluster.cpp.o.d"
+  "/root/repo/src/resources/disk.cpp" "src/resources/CMakeFiles/adaptviz_resources.dir/disk.cpp.o" "gcc" "src/resources/CMakeFiles/adaptviz_resources.dir/disk.cpp.o.d"
+  "/root/repo/src/resources/event_queue.cpp" "src/resources/CMakeFiles/adaptviz_resources.dir/event_queue.cpp.o" "gcc" "src/resources/CMakeFiles/adaptviz_resources.dir/event_queue.cpp.o.d"
+  "/root/repo/src/resources/network.cpp" "src/resources/CMakeFiles/adaptviz_resources.dir/network.cpp.o" "gcc" "src/resources/CMakeFiles/adaptviz_resources.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adaptviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

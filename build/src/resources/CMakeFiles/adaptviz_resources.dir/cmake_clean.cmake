@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptviz_resources.dir/cluster.cpp.o"
+  "CMakeFiles/adaptviz_resources.dir/cluster.cpp.o.d"
+  "CMakeFiles/adaptviz_resources.dir/disk.cpp.o"
+  "CMakeFiles/adaptviz_resources.dir/disk.cpp.o.d"
+  "CMakeFiles/adaptviz_resources.dir/event_queue.cpp.o"
+  "CMakeFiles/adaptviz_resources.dir/event_queue.cpp.o.d"
+  "CMakeFiles/adaptviz_resources.dir/network.cpp.o"
+  "CMakeFiles/adaptviz_resources.dir/network.cpp.o.d"
+  "libadaptviz_resources.a"
+  "libadaptviz_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptviz_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptviz_steering.dir/steering.cpp.o"
+  "CMakeFiles/adaptviz_steering.dir/steering.cpp.o.d"
+  "libadaptviz_steering.a"
+  "libadaptviz_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptviz_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

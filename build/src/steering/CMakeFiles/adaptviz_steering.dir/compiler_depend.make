@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for adaptviz_steering.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/bandwidth_estimator.cpp" "src/transport/CMakeFiles/adaptviz_transport.dir/bandwidth_estimator.cpp.o" "gcc" "src/transport/CMakeFiles/adaptviz_transport.dir/bandwidth_estimator.cpp.o.d"
+  "/root/repo/src/transport/receiver.cpp" "src/transport/CMakeFiles/adaptviz_transport.dir/receiver.cpp.o" "gcc" "src/transport/CMakeFiles/adaptviz_transport.dir/receiver.cpp.o.d"
+  "/root/repo/src/transport/sender.cpp" "src/transport/CMakeFiles/adaptviz_transport.dir/sender.cpp.o" "gcc" "src/transport/CMakeFiles/adaptviz_transport.dir/sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adaptviz_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/adaptviz_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataio/CMakeFiles/adaptviz_dataio.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/adaptviz_resources.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

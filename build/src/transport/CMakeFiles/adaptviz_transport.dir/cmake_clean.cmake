@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptviz_transport.dir/bandwidth_estimator.cpp.o"
+  "CMakeFiles/adaptviz_transport.dir/bandwidth_estimator.cpp.o.d"
+  "CMakeFiles/adaptviz_transport.dir/receiver.cpp.o"
+  "CMakeFiles/adaptviz_transport.dir/receiver.cpp.o.d"
+  "CMakeFiles/adaptviz_transport.dir/sender.cpp.o"
+  "CMakeFiles/adaptviz_transport.dir/sender.cpp.o.d"
+  "libadaptviz_transport.a"
+  "libadaptviz_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptviz_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/calendar.cpp" "src/util/CMakeFiles/adaptviz_util.dir/calendar.cpp.o" "gcc" "src/util/CMakeFiles/adaptviz_util.dir/calendar.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/adaptviz_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/adaptviz_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/ini.cpp" "src/util/CMakeFiles/adaptviz_util.dir/ini.cpp.o" "gcc" "src/util/CMakeFiles/adaptviz_util.dir/ini.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/adaptviz_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/adaptviz_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/parallel_for.cpp" "src/util/CMakeFiles/adaptviz_util.dir/parallel_for.cpp.o" "gcc" "src/util/CMakeFiles/adaptviz_util.dir/parallel_for.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/adaptviz_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/adaptviz_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "src/util/CMakeFiles/adaptviz_util.dir/string_util.cpp.o" "gcc" "src/util/CMakeFiles/adaptviz_util.dir/string_util.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/util/CMakeFiles/adaptviz_util.dir/units.cpp.o" "gcc" "src/util/CMakeFiles/adaptviz_util.dir/units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

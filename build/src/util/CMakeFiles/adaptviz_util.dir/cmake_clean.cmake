@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptviz_util.dir/calendar.cpp.o"
+  "CMakeFiles/adaptviz_util.dir/calendar.cpp.o.d"
+  "CMakeFiles/adaptviz_util.dir/csv.cpp.o"
+  "CMakeFiles/adaptviz_util.dir/csv.cpp.o.d"
+  "CMakeFiles/adaptviz_util.dir/ini.cpp.o"
+  "CMakeFiles/adaptviz_util.dir/ini.cpp.o.d"
+  "CMakeFiles/adaptviz_util.dir/logging.cpp.o"
+  "CMakeFiles/adaptviz_util.dir/logging.cpp.o.d"
+  "CMakeFiles/adaptviz_util.dir/parallel_for.cpp.o"
+  "CMakeFiles/adaptviz_util.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/adaptviz_util.dir/rng.cpp.o"
+  "CMakeFiles/adaptviz_util.dir/rng.cpp.o.d"
+  "CMakeFiles/adaptviz_util.dir/string_util.cpp.o"
+  "CMakeFiles/adaptviz_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/adaptviz_util.dir/units.cpp.o"
+  "CMakeFiles/adaptviz_util.dir/units.cpp.o.d"
+  "libadaptviz_util.a"
+  "libadaptviz_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptviz_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vis/colormap.cpp" "src/vis/CMakeFiles/adaptviz_vis.dir/colormap.cpp.o" "gcc" "src/vis/CMakeFiles/adaptviz_vis.dir/colormap.cpp.o.d"
+  "/root/repo/src/vis/contour.cpp" "src/vis/CMakeFiles/adaptviz_vis.dir/contour.cpp.o" "gcc" "src/vis/CMakeFiles/adaptviz_vis.dir/contour.cpp.o.d"
+  "/root/repo/src/vis/image.cpp" "src/vis/CMakeFiles/adaptviz_vis.dir/image.cpp.o" "gcc" "src/vis/CMakeFiles/adaptviz_vis.dir/image.cpp.o.d"
+  "/root/repo/src/vis/renderer.cpp" "src/vis/CMakeFiles/adaptviz_vis.dir/renderer.cpp.o" "gcc" "src/vis/CMakeFiles/adaptviz_vis.dir/renderer.cpp.o.d"
+  "/root/repo/src/vis/streamlines.cpp" "src/vis/CMakeFiles/adaptviz_vis.dir/streamlines.cpp.o" "gcc" "src/vis/CMakeFiles/adaptviz_vis.dir/streamlines.cpp.o.d"
+  "/root/repo/src/vis/vis_process.cpp" "src/vis/CMakeFiles/adaptviz_vis.dir/vis_process.cpp.o" "gcc" "src/vis/CMakeFiles/adaptviz_vis.dir/vis_process.cpp.o.d"
+  "/root/repo/src/vis/volume.cpp" "src/vis/CMakeFiles/adaptviz_vis.dir/volume.cpp.o" "gcc" "src/vis/CMakeFiles/adaptviz_vis.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adaptviz_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataio/CMakeFiles/adaptviz_dataio.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/adaptviz_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/adaptviz_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/adaptviz_numerics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptviz_vis.dir/colormap.cpp.o"
+  "CMakeFiles/adaptviz_vis.dir/colormap.cpp.o.d"
+  "CMakeFiles/adaptviz_vis.dir/contour.cpp.o"
+  "CMakeFiles/adaptviz_vis.dir/contour.cpp.o.d"
+  "CMakeFiles/adaptviz_vis.dir/image.cpp.o"
+  "CMakeFiles/adaptviz_vis.dir/image.cpp.o.d"
+  "CMakeFiles/adaptviz_vis.dir/renderer.cpp.o"
+  "CMakeFiles/adaptviz_vis.dir/renderer.cpp.o.d"
+  "CMakeFiles/adaptviz_vis.dir/streamlines.cpp.o"
+  "CMakeFiles/adaptviz_vis.dir/streamlines.cpp.o.d"
+  "CMakeFiles/adaptviz_vis.dir/vis_process.cpp.o"
+  "CMakeFiles/adaptviz_vis.dir/vis_process.cpp.o.d"
+  "CMakeFiles/adaptviz_vis.dir/volume.cpp.o"
+  "CMakeFiles/adaptviz_vis.dir/volume.cpp.o.d"
+  "libadaptviz_vis.a"
+  "libadaptviz_vis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptviz_vis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

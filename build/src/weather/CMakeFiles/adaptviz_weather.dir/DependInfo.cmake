@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/weather/analysis.cpp" "src/weather/CMakeFiles/adaptviz_weather.dir/analysis.cpp.o" "gcc" "src/weather/CMakeFiles/adaptviz_weather.dir/analysis.cpp.o.d"
+  "/root/repo/src/weather/domain_io.cpp" "src/weather/CMakeFiles/adaptviz_weather.dir/domain_io.cpp.o" "gcc" "src/weather/CMakeFiles/adaptviz_weather.dir/domain_io.cpp.o.d"
+  "/root/repo/src/weather/dynamics.cpp" "src/weather/CMakeFiles/adaptviz_weather.dir/dynamics.cpp.o" "gcc" "src/weather/CMakeFiles/adaptviz_weather.dir/dynamics.cpp.o.d"
+  "/root/repo/src/weather/geography.cpp" "src/weather/CMakeFiles/adaptviz_weather.dir/geography.cpp.o" "gcc" "src/weather/CMakeFiles/adaptviz_weather.dir/geography.cpp.o.d"
+  "/root/repo/src/weather/grid.cpp" "src/weather/CMakeFiles/adaptviz_weather.dir/grid.cpp.o" "gcc" "src/weather/CMakeFiles/adaptviz_weather.dir/grid.cpp.o.d"
+  "/root/repo/src/weather/model.cpp" "src/weather/CMakeFiles/adaptviz_weather.dir/model.cpp.o" "gcc" "src/weather/CMakeFiles/adaptviz_weather.dir/model.cpp.o.d"
+  "/root/repo/src/weather/nest.cpp" "src/weather/CMakeFiles/adaptviz_weather.dir/nest.cpp.o" "gcc" "src/weather/CMakeFiles/adaptviz_weather.dir/nest.cpp.o.d"
+  "/root/repo/src/weather/physics.cpp" "src/weather/CMakeFiles/adaptviz_weather.dir/physics.cpp.o" "gcc" "src/weather/CMakeFiles/adaptviz_weather.dir/physics.cpp.o.d"
+  "/root/repo/src/weather/state.cpp" "src/weather/CMakeFiles/adaptviz_weather.dir/state.cpp.o" "gcc" "src/weather/CMakeFiles/adaptviz_weather.dir/state.cpp.o.d"
+  "/root/repo/src/weather/track_metrics.cpp" "src/weather/CMakeFiles/adaptviz_weather.dir/track_metrics.cpp.o" "gcc" "src/weather/CMakeFiles/adaptviz_weather.dir/track_metrics.cpp.o.d"
+  "/root/repo/src/weather/tracker.cpp" "src/weather/CMakeFiles/adaptviz_weather.dir/tracker.cpp.o" "gcc" "src/weather/CMakeFiles/adaptviz_weather.dir/tracker.cpp.o.d"
+  "/root/repo/src/weather/vortex.cpp" "src/weather/CMakeFiles/adaptviz_weather.dir/vortex.cpp.o" "gcc" "src/weather/CMakeFiles/adaptviz_weather.dir/vortex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adaptviz_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/adaptviz_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataio/CMakeFiles/adaptviz_dataio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

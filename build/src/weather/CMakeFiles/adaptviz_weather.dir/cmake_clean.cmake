@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptviz_weather.dir/analysis.cpp.o"
+  "CMakeFiles/adaptviz_weather.dir/analysis.cpp.o.d"
+  "CMakeFiles/adaptviz_weather.dir/domain_io.cpp.o"
+  "CMakeFiles/adaptviz_weather.dir/domain_io.cpp.o.d"
+  "CMakeFiles/adaptviz_weather.dir/dynamics.cpp.o"
+  "CMakeFiles/adaptviz_weather.dir/dynamics.cpp.o.d"
+  "CMakeFiles/adaptviz_weather.dir/geography.cpp.o"
+  "CMakeFiles/adaptviz_weather.dir/geography.cpp.o.d"
+  "CMakeFiles/adaptviz_weather.dir/grid.cpp.o"
+  "CMakeFiles/adaptviz_weather.dir/grid.cpp.o.d"
+  "CMakeFiles/adaptviz_weather.dir/model.cpp.o"
+  "CMakeFiles/adaptviz_weather.dir/model.cpp.o.d"
+  "CMakeFiles/adaptviz_weather.dir/nest.cpp.o"
+  "CMakeFiles/adaptviz_weather.dir/nest.cpp.o.d"
+  "CMakeFiles/adaptviz_weather.dir/physics.cpp.o"
+  "CMakeFiles/adaptviz_weather.dir/physics.cpp.o.d"
+  "CMakeFiles/adaptviz_weather.dir/state.cpp.o"
+  "CMakeFiles/adaptviz_weather.dir/state.cpp.o.d"
+  "CMakeFiles/adaptviz_weather.dir/track_metrics.cpp.o"
+  "CMakeFiles/adaptviz_weather.dir/track_metrics.cpp.o.d"
+  "CMakeFiles/adaptviz_weather.dir/tracker.cpp.o"
+  "CMakeFiles/adaptviz_weather.dir/tracker.cpp.o.d"
+  "CMakeFiles/adaptviz_weather.dir/vortex.cpp.o"
+  "CMakeFiles/adaptviz_weather.dir/vortex.cpp.o.d"
+  "libadaptviz_weather.a"
+  "libadaptviz_weather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptviz_weather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for adaptviz_weather.
+# This may be replaced when dependencies are built.

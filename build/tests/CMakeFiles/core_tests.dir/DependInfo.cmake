@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_app_config.cpp" "tests/CMakeFiles/core_tests.dir/test_app_config.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_app_config.cpp.o.d"
+  "/root/repo/tests/test_application_manager.cpp" "tests/CMakeFiles/core_tests.dir/test_application_manager.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_application_manager.cpp.o.d"
+  "/root/repo/tests/test_decision.cpp" "tests/CMakeFiles/core_tests.dir/test_decision.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_decision.cpp.o.d"
+  "/root/repo/tests/test_framework.cpp" "tests/CMakeFiles/core_tests.dir/test_framework.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_framework.cpp.o.d"
+  "/root/repo/tests/test_greedy.cpp" "tests/CMakeFiles/core_tests.dir/test_greedy.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_greedy.cpp.o.d"
+  "/root/repo/tests/test_job_handler.cpp" "tests/CMakeFiles/core_tests.dir/test_job_handler.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_job_handler.cpp.o.d"
+  "/root/repo/tests/test_lp_optimizer.cpp" "tests/CMakeFiles/core_tests.dir/test_lp_optimizer.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_lp_optimizer.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/core_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_simulation_process.cpp" "tests/CMakeFiles/core_tests.dir/test_simulation_process.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_simulation_process.cpp.o.d"
+  "/root/repo/tests/test_steering.cpp" "tests/CMakeFiles/core_tests.dir/test_steering.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_steering.cpp.o.d"
+  "/root/repo/tests/test_storage_estimate.cpp" "tests/CMakeFiles/core_tests.dir/test_storage_estimate.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/test_storage_estimate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adaptviz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/adaptviz_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adaptviz_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/vis/CMakeFiles/adaptviz_vis.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/adaptviz_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataio/CMakeFiles/adaptviz_dataio.dir/DependInfo.cmake"
+  "/root/repo/build/src/steering/CMakeFiles/adaptviz_steering.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/adaptviz_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/adaptviz_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/adaptviz_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adaptviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/test_app_config.cpp.o"
+  "CMakeFiles/core_tests.dir/test_app_config.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_application_manager.cpp.o"
+  "CMakeFiles/core_tests.dir/test_application_manager.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_decision.cpp.o"
+  "CMakeFiles/core_tests.dir/test_decision.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_framework.cpp.o"
+  "CMakeFiles/core_tests.dir/test_framework.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_greedy.cpp.o"
+  "CMakeFiles/core_tests.dir/test_greedy.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_job_handler.cpp.o"
+  "CMakeFiles/core_tests.dir/test_job_handler.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_lp_optimizer.cpp.o"
+  "CMakeFiles/core_tests.dir/test_lp_optimizer.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_scenario.cpp.o"
+  "CMakeFiles/core_tests.dir/test_scenario.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_simulation_process.cpp.o"
+  "CMakeFiles/core_tests.dir/test_simulation_process.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_steering.cpp.o"
+  "CMakeFiles/core_tests.dir/test_steering.cpp.o.d"
+  "CMakeFiles/core_tests.dir/test_storage_estimate.cpp.o"
+  "CMakeFiles/core_tests.dir/test_storage_estimate.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

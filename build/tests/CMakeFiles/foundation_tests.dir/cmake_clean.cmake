@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/foundation_tests.dir/test_curve_fit.cpp.o"
+  "CMakeFiles/foundation_tests.dir/test_curve_fit.cpp.o.d"
+  "CMakeFiles/foundation_tests.dir/test_dataio.cpp.o"
+  "CMakeFiles/foundation_tests.dir/test_dataio.cpp.o.d"
+  "CMakeFiles/foundation_tests.dir/test_ini.cpp.o"
+  "CMakeFiles/foundation_tests.dir/test_ini.cpp.o.d"
+  "CMakeFiles/foundation_tests.dir/test_interpolation.cpp.o"
+  "CMakeFiles/foundation_tests.dir/test_interpolation.cpp.o.d"
+  "CMakeFiles/foundation_tests.dir/test_linalg.cpp.o"
+  "CMakeFiles/foundation_tests.dir/test_linalg.cpp.o.d"
+  "CMakeFiles/foundation_tests.dir/test_lp.cpp.o"
+  "CMakeFiles/foundation_tests.dir/test_lp.cpp.o.d"
+  "CMakeFiles/foundation_tests.dir/test_statistics.cpp.o"
+  "CMakeFiles/foundation_tests.dir/test_statistics.cpp.o.d"
+  "CMakeFiles/foundation_tests.dir/test_units.cpp.o"
+  "CMakeFiles/foundation_tests.dir/test_units.cpp.o.d"
+  "CMakeFiles/foundation_tests.dir/test_util_misc.cpp.o"
+  "CMakeFiles/foundation_tests.dir/test_util_misc.cpp.o.d"
+  "foundation_tests"
+  "foundation_tests.pdb"
+  "foundation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/foundation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

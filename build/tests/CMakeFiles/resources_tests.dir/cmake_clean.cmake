@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resources_tests.dir/test_event_queue.cpp.o"
+  "CMakeFiles/resources_tests.dir/test_event_queue.cpp.o.d"
+  "CMakeFiles/resources_tests.dir/test_perf_model.cpp.o"
+  "CMakeFiles/resources_tests.dir/test_perf_model.cpp.o.d"
+  "CMakeFiles/resources_tests.dir/test_resources.cpp.o"
+  "CMakeFiles/resources_tests.dir/test_resources.cpp.o.d"
+  "CMakeFiles/resources_tests.dir/test_transport.cpp.o"
+  "CMakeFiles/resources_tests.dir/test_transport.cpp.o.d"
+  "resources_tests"
+  "resources_tests.pdb"
+  "resources_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resources_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_colormap.cpp" "tests/CMakeFiles/vis_tests.dir/test_colormap.cpp.o" "gcc" "tests/CMakeFiles/vis_tests.dir/test_colormap.cpp.o.d"
+  "/root/repo/tests/test_contour.cpp" "tests/CMakeFiles/vis_tests.dir/test_contour.cpp.o" "gcc" "tests/CMakeFiles/vis_tests.dir/test_contour.cpp.o.d"
+  "/root/repo/tests/test_image.cpp" "tests/CMakeFiles/vis_tests.dir/test_image.cpp.o" "gcc" "tests/CMakeFiles/vis_tests.dir/test_image.cpp.o.d"
+  "/root/repo/tests/test_renderer.cpp" "tests/CMakeFiles/vis_tests.dir/test_renderer.cpp.o" "gcc" "tests/CMakeFiles/vis_tests.dir/test_renderer.cpp.o.d"
+  "/root/repo/tests/test_streamlines.cpp" "tests/CMakeFiles/vis_tests.dir/test_streamlines.cpp.o" "gcc" "tests/CMakeFiles/vis_tests.dir/test_streamlines.cpp.o.d"
+  "/root/repo/tests/test_volume.cpp" "tests/CMakeFiles/vis_tests.dir/test_volume.cpp.o" "gcc" "tests/CMakeFiles/vis_tests.dir/test_volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adaptviz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/adaptviz_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adaptviz_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/vis/CMakeFiles/adaptviz_vis.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/adaptviz_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataio/CMakeFiles/adaptviz_dataio.dir/DependInfo.cmake"
+  "/root/repo/build/src/steering/CMakeFiles/adaptviz_steering.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/adaptviz_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/adaptviz_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/adaptviz_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adaptviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

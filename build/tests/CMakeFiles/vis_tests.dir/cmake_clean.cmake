@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vis_tests.dir/test_colormap.cpp.o"
+  "CMakeFiles/vis_tests.dir/test_colormap.cpp.o.d"
+  "CMakeFiles/vis_tests.dir/test_contour.cpp.o"
+  "CMakeFiles/vis_tests.dir/test_contour.cpp.o.d"
+  "CMakeFiles/vis_tests.dir/test_image.cpp.o"
+  "CMakeFiles/vis_tests.dir/test_image.cpp.o.d"
+  "CMakeFiles/vis_tests.dir/test_renderer.cpp.o"
+  "CMakeFiles/vis_tests.dir/test_renderer.cpp.o.d"
+  "CMakeFiles/vis_tests.dir/test_streamlines.cpp.o"
+  "CMakeFiles/vis_tests.dir/test_streamlines.cpp.o.d"
+  "CMakeFiles/vis_tests.dir/test_volume.cpp.o"
+  "CMakeFiles/vis_tests.dir/test_volume.cpp.o.d"
+  "vis_tests"
+  "vis_tests.pdb"
+  "vis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

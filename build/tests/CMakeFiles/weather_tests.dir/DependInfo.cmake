@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/weather_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/weather_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_dynamics.cpp" "tests/CMakeFiles/weather_tests.dir/test_dynamics.cpp.o" "gcc" "tests/CMakeFiles/weather_tests.dir/test_dynamics.cpp.o.d"
+  "/root/repo/tests/test_geography.cpp" "tests/CMakeFiles/weather_tests.dir/test_geography.cpp.o" "gcc" "tests/CMakeFiles/weather_tests.dir/test_geography.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/weather_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/weather_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_nest.cpp" "tests/CMakeFiles/weather_tests.dir/test_nest.cpp.o" "gcc" "tests/CMakeFiles/weather_tests.dir/test_nest.cpp.o.d"
+  "/root/repo/tests/test_physics.cpp" "tests/CMakeFiles/weather_tests.dir/test_physics.cpp.o" "gcc" "tests/CMakeFiles/weather_tests.dir/test_physics.cpp.o.d"
+  "/root/repo/tests/test_track_metrics.cpp" "tests/CMakeFiles/weather_tests.dir/test_track_metrics.cpp.o" "gcc" "tests/CMakeFiles/weather_tests.dir/test_track_metrics.cpp.o.d"
+  "/root/repo/tests/test_tracker.cpp" "tests/CMakeFiles/weather_tests.dir/test_tracker.cpp.o" "gcc" "tests/CMakeFiles/weather_tests.dir/test_tracker.cpp.o.d"
+  "/root/repo/tests/test_vortex.cpp" "tests/CMakeFiles/weather_tests.dir/test_vortex.cpp.o" "gcc" "tests/CMakeFiles/weather_tests.dir/test_vortex.cpp.o.d"
+  "/root/repo/tests/test_weather_model.cpp" "tests/CMakeFiles/weather_tests.dir/test_weather_model.cpp.o" "gcc" "tests/CMakeFiles/weather_tests.dir/test_weather_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adaptviz_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/adaptviz_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/adaptviz_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/vis/CMakeFiles/adaptviz_vis.dir/DependInfo.cmake"
+  "/root/repo/build/src/weather/CMakeFiles/adaptviz_weather.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataio/CMakeFiles/adaptviz_dataio.dir/DependInfo.cmake"
+  "/root/repo/build/src/steering/CMakeFiles/adaptviz_steering.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/adaptviz_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/numerics/CMakeFiles/adaptviz_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/adaptviz_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adaptviz_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

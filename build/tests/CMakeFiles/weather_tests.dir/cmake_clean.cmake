@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_tests.dir/test_analysis.cpp.o"
+  "CMakeFiles/weather_tests.dir/test_analysis.cpp.o.d"
+  "CMakeFiles/weather_tests.dir/test_dynamics.cpp.o"
+  "CMakeFiles/weather_tests.dir/test_dynamics.cpp.o.d"
+  "CMakeFiles/weather_tests.dir/test_geography.cpp.o"
+  "CMakeFiles/weather_tests.dir/test_geography.cpp.o.d"
+  "CMakeFiles/weather_tests.dir/test_grid.cpp.o"
+  "CMakeFiles/weather_tests.dir/test_grid.cpp.o.d"
+  "CMakeFiles/weather_tests.dir/test_nest.cpp.o"
+  "CMakeFiles/weather_tests.dir/test_nest.cpp.o.d"
+  "CMakeFiles/weather_tests.dir/test_physics.cpp.o"
+  "CMakeFiles/weather_tests.dir/test_physics.cpp.o.d"
+  "CMakeFiles/weather_tests.dir/test_track_metrics.cpp.o"
+  "CMakeFiles/weather_tests.dir/test_track_metrics.cpp.o.d"
+  "CMakeFiles/weather_tests.dir/test_tracker.cpp.o"
+  "CMakeFiles/weather_tests.dir/test_tracker.cpp.o.d"
+  "CMakeFiles/weather_tests.dir/test_vortex.cpp.o"
+  "CMakeFiles/weather_tests.dir/test_vortex.cpp.o.d"
+  "CMakeFiles/weather_tests.dir/test_weather_model.cpp.o"
+  "CMakeFiles/weather_tests.dir/test_weather_model.cpp.o.d"
+  "weather_tests"
+  "weather_tests.pdb"
+  "weather_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/foundation_tests[1]_include.cmake")
+include("/root/repo/build/tests/resources_tests[1]_include.cmake")
+include("/root/repo/build/tests/weather_tests[1]_include.cmake")
+include("/root/repo/build/tests/vis_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")

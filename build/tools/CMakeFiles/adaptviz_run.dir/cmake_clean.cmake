@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptviz_run.dir/adaptviz_run.cpp.o"
+  "CMakeFiles/adaptviz_run.dir/adaptviz_run.cpp.o.d"
+  "adaptviz_run"
+  "adaptviz_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptviz_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
