@@ -10,6 +10,8 @@
 #include "lp/problem.hpp"
 #include "lp/simplex.hpp"
 #include "perf/perf_model.hpp"
+#include "util/parallel_for.hpp"
+#include "util/thread_pool.hpp"
 #include "vis/renderer.hpp"
 #include "weather/model.hpp"
 
@@ -48,6 +50,62 @@ void BM_SwStep(benchmark::State& state) {
   state.counters["points"] = static_cast<double>(g.point_count());
 }
 BENCHMARK(BM_SwStep)->Arg(300)->Arg(192)->Arg(96);
+
+// --- Parallel scaling: persistent pool vs spawn-per-call ---------------
+//
+// The same 96-km shallow-water step at 1/2/4/8 workers, with the six
+// parallel regions per step dispatched either to the persistent pool
+// (use_thread_pool=true, the production path) or to fresh std::threads
+// per region (the pre-pool behavior, kept as parallel_for_rows_spawn).
+// The pool must win at 4+ workers: spawn-per-call pays ~6*(workers-1)
+// thread creations per step.
+
+void sw_step_scaling(benchmark::State& state, bool use_pool) {
+  const double res = 96.0;
+  GridSpec g(60.0, -10.0, 60.0, 50.0, res);
+  DomainState s(g);
+  SwParams params;
+  params.threads = static_cast<int>(state.range(0));
+  params.use_thread_pool = use_pool;
+  SwSolver solver(params);
+  const double dt = SwSolver::dt_for_resolution_km(res);
+  for (auto _ : state) {
+    solver.step(s, dt, SwForcing{});
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.point_count()));
+}
+
+void BM_SwStepPool(benchmark::State& state) { sw_step_scaling(state, true); }
+BENCHMARK(BM_SwStepPool)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SwStepSpawn(benchmark::State& state) { sw_step_scaling(state, false); }
+BENCHMARK(BM_SwStepSpawn)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Raw fork-join dispatch latency of one near-empty region: the fixed
+// overhead every parallel call pays under each runtime.
+void BM_ParallelForPool(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    parallel_for_rows(0, 64, threads, [&](std::size_t lo, std::size_t hi) {
+      benchmark::DoNotOptimize(sink += hi - lo);
+    });
+  }
+}
+BENCHMARK(BM_ParallelForPool)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ParallelForSpawn(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::size_t sink = 0;
+  for (auto _ : state) {
+    parallel_for_rows_spawn(0, 64, threads,
+                            [&](std::size_t lo, std::size_t hi) {
+                              benchmark::DoNotOptimize(sink += hi - lo);
+                            });
+  }
+}
+BENCHMARK(BM_ParallelForSpawn)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_ModelFullStep(benchmark::State& state) {
   ModelConfig cfg;
@@ -92,6 +150,29 @@ void BM_RenderFrame(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RenderFrame)->Arg(240)->Arg(480);
+
+// Base-layer render scaling: terrain + pseudocolor only (the band-parallel
+// layer), 480 px wide, at 1/2/4/8 pool workers.
+void BM_RenderBaseThreads(benchmark::State& state) {
+  ModelConfig cfg;
+  cfg.compute_scale = 8.0;
+  WeatherModel model(cfg);
+  while (model.sim_time() < SimSeconds::hours(16)) model.step();
+  const NclFile frame = model.make_frame();
+  RenderOptions opts;
+  opts.width = 480;
+  opts.draw_contours = false;
+  opts.draw_glyphs = false;
+  opts.draw_nest_box = false;
+  opts.draw_track = false;
+  opts.draw_eye = false;
+  opts.threads = static_cast<int>(state.range(0));
+  const FrameRenderer renderer(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(renderer.render(frame, nullptr));
+  }
+}
+BENCHMARK(BM_RenderBaseThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 std::shared_ptr<PerformanceModel> micro_perf() {
   GroundTruthMachine machine(inter_department_site().machine, 1);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace adaptviz {
 
@@ -79,9 +80,12 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
     };
   }
   vis_ = std::make_unique<VisualizationProcess>(queue_, vis_opts);
+  // Heavy image rendering runs on the shared pool (one lane per busy
+  // render slot); progress records and steering hooks stay serial.
   receiver_ = std::make_unique<FrameReceiver>(
-      queue_, [this](const Frame& f) { return vis_->visualize(f); },
-      config_.vis_workers);
+      queue_, [this](const Frame& f) { return vis_->record(f); },
+      config_.vis_workers, &ThreadPool::shared(),
+      [this](const Frame& f) { vis_->render_frame(f); });
   sender_ = std::make_unique<FrameSender>(
       queue_, link_, catalog_, disk_, estimator_,
       [this](const Frame& f) { receiver_->on_frame_arrival(f); });

@@ -1,14 +1,18 @@
 #include "transport/receiver.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 namespace adaptviz {
 
 FrameReceiver::FrameReceiver(EventQueue& queue, VisualizeFn visualize,
-                             int worker_count)
+                             int worker_count, ThreadPool* pool,
+                             RenderFn render)
     : queue_(queue),
       visualize_(std::move(visualize)),
-      worker_count_(worker_count) {
+      worker_count_(worker_count),
+      pool_(pool),
+      render_(std::move(render)) {
   if (!visualize_) throw std::invalid_argument("FrameReceiver: null callback");
   if (worker_count < 1) {
     throw std::invalid_argument("FrameReceiver: worker_count must be >= 1");
@@ -23,18 +27,41 @@ void FrameReceiver::on_frame_arrival(const Frame& frame) {
 
 void FrameReceiver::drain() {
   while (rendering_ < worker_count_ && !pending_.empty()) {
-    ++rendering_;
-    Frame frame = std::move(pending_.front());
-    pending_.pop_front();
-    const WallSeconds cost = visualize_(frame);
-    queue_.schedule_after(
-        cost,
-        [this] {
-          --rendering_;
-          ++frames_visualized_;
-          drain();
-        },
-        "receiver.render");
+    // Claim every free render slot up front: these frames are "rendering
+    // concurrently" in virtual time, so their real render work may run
+    // concurrently on the pool too.
+    std::vector<Frame> batch;
+    while (static_cast<int>(batch.size()) < worker_count_ - rendering_ &&
+           !pending_.empty()) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+
+    if (render_) {
+      if (pool_ != nullptr && batch.size() > 1) {
+        pool_->parallel_for_chunked(
+            0, batch.size(), static_cast<int>(batch.size()), /*chunk=*/1,
+            [&](std::size_t lo, std::size_t hi) {
+              for (std::size_t k = lo; k < hi; ++k) render_(batch[k]);
+            });
+      } else {
+        for (const Frame& frame : batch) render_(frame);
+      }
+    }
+
+    // Bookkeeping stays serial and in arrival order.
+    for (Frame& frame : batch) {
+      ++rendering_;
+      const WallSeconds cost = visualize_(frame);
+      queue_.schedule_after(
+          cost,
+          [this] {
+            --rendering_;
+            ++frames_visualized_;
+            drain();
+          },
+          "receiver.render");
+    }
   }
 }
 

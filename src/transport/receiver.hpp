@@ -10,6 +10,13 @@
 // process as well" — is supported through `worker_count`: up to that many
 // frames render concurrently (dispatch stays in arrival order; records are
 // appended at dispatch, so the Fig 7 progress series remains ordered).
+//
+// The render slots are virtual-time constructs of the event queue, but the
+// *real* work behind them (image rendering when frames carry payloads) is
+// real compute. When a pool and a RenderFn are supplied, the slots map
+// onto the persistent thread-pool runtime: every frame dispatched in one
+// drain batch has its RenderFn run concurrently on the pool before the
+// serial bookkeeping callback fires.
 #pragma once
 
 #include <cstdint>
@@ -18,18 +25,28 @@
 
 #include "dataio/frame.hpp"
 #include "resources/event_queue.hpp"
+#include "util/thread_pool.hpp"
 
 namespace adaptviz {
 
 class FrameReceiver {
  public:
   /// Invoked once per frame when the visualization process is ready for it.
-  /// Must return the wall-time cost of visualizing the frame.
+  /// Must return the wall-time cost of visualizing the frame. Always called
+  /// serially, in arrival order, on the event-loop thread.
   using VisualizeFn = std::function<WallSeconds(const Frame&)>;
 
-  /// `worker_count` parallel render slots (>= 1).
+  /// Heavy per-frame work (image rendering). Must be thread-safe across
+  /// distinct frames: concurrently-busy render slots run it in parallel on
+  /// the pool.
+  using RenderFn = std::function<void(const Frame&)>;
+
+  /// `worker_count` parallel render slots (>= 1). When `pool` and `render`
+  /// are given, the real work of concurrently-dispatched slots runs on the
+  /// pool (render first, then the serial `visualize` bookkeeping).
   FrameReceiver(EventQueue& queue, VisualizeFn visualize,
-                int worker_count = 1);
+                int worker_count = 1, ThreadPool* pool = nullptr,
+                RenderFn render = nullptr);
 
   /// Entry point wired into the sender's delivery callback.
   void on_frame_arrival(const Frame& frame);
@@ -50,6 +67,8 @@ class FrameReceiver {
   EventQueue& queue_;
   VisualizeFn visualize_;
   int worker_count_;
+  ThreadPool* pool_;
+  RenderFn render_;
   std::deque<Frame> pending_;
   int rendering_ = 0;  // busy workers
   std::int64_t frames_received_ = 0;

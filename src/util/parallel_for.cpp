@@ -9,6 +9,12 @@ namespace adaptviz {
 void parallel_for_rows(
     std::size_t begin, std::size_t end, int threads,
     const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool::shared().parallel_for(begin, end, threads, body);
+}
+
+void parallel_for_rows_spawn(
+    std::size_t begin, std::size_t end, int threads,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   if (end <= begin) return;
   const std::size_t n = end - begin;
   const std::size_t workers =

@@ -1,19 +1,43 @@
-// Fork-join row parallelism (OpenMP `parallel for`-style, in std::thread).
+// Fork-join row parallelism (OpenMP `parallel for`-style).
 //
-// Used by the dynamical core to split grid rows across workers. The
-// partition is deterministic and each worker writes only its own rows, so
-// results are bitwise identical to the serial loop for any worker count.
+// Used by the dynamical core and the renderer to split grid rows across
+// workers. The partition is deterministic and each worker writes only its
+// own rows, so results are bitwise identical to the serial loop for any
+// worker count.
+//
+// Since the persistent-pool runtime (util/thread_pool.hpp) this is a thin
+// veneer over ThreadPool::shared(): no threads are spawned per call, and
+// the templated overload passes the callable by reference with no
+// std::function allocation.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 
+#include "util/thread_pool.hpp"
+
 namespace adaptviz {
 
 /// Runs body(row_begin, row_end) over a static partition of [begin, end)
-/// across `threads` workers (the calling thread is one of them).
-/// threads <= 1 or a tiny range degenerates to a direct call.
+/// across `threads` workers (the calling thread is one of them), on the
+/// shared persistent pool. threads <= 1 or a tiny range degenerates to a
+/// direct call. Non-allocating: the callable is passed by reference.
+template <typename Body>
+void parallel_for_rows(std::size_t begin, std::size_t end, int threads,
+                       Body&& body) {
+  ThreadPool::shared().parallel_for(begin, end, threads, body);
+}
+
+/// ABI-stable overload for callers that already hold a std::function; thin
+/// wrapper over the templated fast path.
 void parallel_for_rows(std::size_t begin, std::size_t end, int threads,
                        const std::function<void(std::size_t, std::size_t)>& body);
+
+/// The pre-pool implementation: spawns and joins fresh std::threads on
+/// every call. Kept only as the benchmark baseline for the persistent pool
+/// (bench_micro's pool-vs-spawn cases); production code paths use the pool.
+void parallel_for_rows_spawn(
+    std::size_t begin, std::size_t end, int threads,
+    const std::function<void(std::size_t, std::size_t)>& body);
 
 }  // namespace adaptviz

@@ -1,0 +1,100 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace adaptviz {
+
+ThreadPool::ThreadPool(int workers) {
+  const int n = std::max(0, workers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+int ThreadPool::default_worker_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? static_cast<int>(hw) - 1 : 0;
+}
+
+bool& ThreadPool::in_parallel_region() {
+  static thread_local bool flag = false;
+  return flag;
+}
+
+void ThreadPool::run(std::size_t begin, std::size_t end, std::size_t chunk,
+                     int helper_tickets, RangeFnRef body) {
+  // One fork-join job at a time; a second top-level caller parks here.
+  std::lock_guard<std::mutex> run_lock(run_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_.body = body;
+    job_.end = end;
+    job_.chunk = chunk;
+    job_.next.store(begin, std::memory_order_relaxed);
+    tickets_ = std::min(helper_tickets, static_cast<int>(workers_.size()));
+    job_active_ = true;
+    ++generation_;
+  }
+  wake_cv_.notify_all();
+
+  // The caller is a lane too: claim bands until the cursor runs out.
+  in_parallel_region() = true;
+  work(body, end, chunk);
+  in_parallel_region() = false;
+
+  // All bands are claimed once the caller's loop exits (the cursor is
+  // monotonic); wait for the helpers still finishing theirs. Helpers that
+  // wake late see an exhausted cursor and never join.
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return active_ == 0; });
+  job_active_ = false;
+}
+
+void ThreadPool::work(RangeFnRef body, std::size_t end, std::size_t chunk) {
+  for (;;) {
+    const std::size_t b = job_.next.fetch_add(chunk, std::memory_order_relaxed);
+    if (b >= end) break;
+    body(b, std::min(end, b + chunk));
+  }
+}
+
+void ThreadPool::worker_loop() {
+  in_parallel_region() = true;  // nested calls from a worker run inline
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    if (!job_active_ || tickets_ <= 0 ||
+        job_.next.load(std::memory_order_relaxed) >= job_.end) {
+      continue;
+    }
+    --tickets_;
+    ++active_;
+    const RangeFnRef body = job_.body;
+    const std::size_t end = job_.end;
+    const std::size_t chunk = job_.chunk;
+    lock.unlock();
+    work(body, end, chunk);
+    lock.lock();
+    if (--active_ == 0) done_cv_.notify_all();
+  }
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,164 @@
+// Persistent worker-pool runtime for the compute hot paths.
+//
+// Every parallel region in the repo used to spawn and join fresh
+// std::threads per call (six pool spawns per shallow-water step: three
+// tendency regions plus three RK3 update sweeps), which caps scaling and
+// inflates the timing variance the decision algorithms consume. This pool
+// keeps a fixed set of long-lived workers parked on a condition variable
+// and hands them fork-join jobs:
+//
+//   ThreadPool::shared().parallel_for(0, n, threads, body);
+//
+// Scheduling:
+//  * parallel_for — static: the range is cut into exactly
+//    min(threads, n) contiguous bands of ceil(n/W) rows, the same
+//    partition the old spawn-per-call parallel_for_rows used. Each band
+//    is claimed once; which worker runs which band is unspecified, but
+//    bands are disjoint and the boundaries depend only on (range,
+//    threads), so results are bitwise identical to the serial loop for
+//    any worker count and any pool size.
+//  * parallel_for_chunked — dynamic: workers grab fixed-size chunks off
+//    an atomic cursor; use it when per-row cost is uneven (streamline
+//    tracing, batches of whole-frame renders).
+//
+// The calling thread always participates, so `threads == 1` (or a pool
+// built with zero workers) degenerates to the plain serial loop with no
+// synchronization. Nested calls — a body that itself calls into the pool,
+// from a pool worker or from the thread that issued the outer region —
+// run inline serially rather than deadlocking. Concurrent top-level
+// callers serialize on the pool (one fork-join job at a time).
+//
+// The callable is passed by non-owning reference (RangeFnRef): no
+// std::function allocation on the hot path.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace adaptviz {
+
+/// Non-owning reference to a `void(std::size_t begin, std::size_t end)`
+/// callable — the referenced object must outlive the call (true for a
+/// fork-join region, where the caller blocks until the job completes).
+class RangeFnRef {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, RangeFnRef>>>
+  RangeFnRef(F&& f) noexcept  // NOLINT: implicit by design
+      : ctx_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* ctx, std::size_t b, std::size_t e) {
+          (*static_cast<std::remove_reference_t<F>*>(ctx))(b, e);
+        }) {}
+
+  void operator()(std::size_t begin, std::size_t end) const {
+    call_(ctx_, begin, end);
+  }
+
+ private:
+  void* ctx_;
+  void (*call_)(void*, std::size_t, std::size_t);
+};
+
+class ThreadPool {
+ public:
+  /// `workers` long-lived helper threads (the caller of a parallel region
+  /// participates too, so total parallelism is workers + 1). Zero workers
+  /// is valid: every region runs inline on the caller.
+  explicit ThreadPool(int workers = default_worker_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Helper threads + the participating caller.
+  [[nodiscard]] int worker_count() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Process-wide lazily-constructed pool sized for the hardware. All
+  /// subsystems (dynamics, rendering, transport) share it; per-call
+  /// `threads` arguments cap how much of it a region uses.
+  static ThreadPool& shared();
+
+  /// hardware_concurrency - 1 helpers (the caller is the final lane).
+  static int default_worker_count();
+
+  /// Fork-join over [begin, end) with the deterministic static partition:
+  /// min(threads, n) bands of ceil(n / W). threads <= 1, a nested call,
+  /// or a tiny range runs body(begin, end) inline.
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, int threads,
+                    Body&& body) {
+    if (end <= begin) return;
+    const std::size_t n = end - begin;
+    const std::size_t lanes =
+        std::min<std::size_t>(static_cast<std::size_t>(
+                                  threads > 1 ? threads : 1),
+                              n);
+    if (lanes <= 1 || in_parallel_region()) {
+      body(begin, end);
+      return;
+    }
+    const std::size_t band = (n + lanes - 1) / lanes;
+    run(begin, end, band, static_cast<int>(lanes) - 1, RangeFnRef(body));
+  }
+
+  /// Fork-join with dynamic chunk scheduling: up to `threads` lanes grab
+  /// `chunk`-sized pieces off a shared cursor. Chunk boundaries are
+  /// deterministic; claim order is not — use only when the body's writes
+  /// are disjoint per index (which every renderer/solver body here is).
+  template <typename Body>
+  void parallel_for_chunked(std::size_t begin, std::size_t end, int threads,
+                            std::size_t chunk, Body&& body) {
+    if (end <= begin) return;
+    if (chunk == 0) chunk = 1;
+    const std::size_t n = end - begin;
+    const std::size_t pieces = (n + chunk - 1) / chunk;
+    const std::size_t lanes = std::min<std::size_t>(
+        static_cast<std::size_t>(threads > 1 ? threads : 1), pieces);
+    if (lanes <= 1 || in_parallel_region()) {
+      body(begin, end);
+      return;
+    }
+    run(begin, end, chunk, static_cast<int>(lanes) - 1, RangeFnRef(body));
+  }
+
+ private:
+  // One fork-join job: workers fetch-add `next` by `chunk` until the
+  // cursor passes `end`. Lives inside the pool so a late-waking worker
+  // never dereferences a dead stack frame.
+  struct Job {
+    RangeFnRef body{[](std::size_t, std::size_t) {}};
+    std::size_t end = 0;
+    std::size_t chunk = 0;
+    std::atomic<std::size_t> next{0};
+  };
+
+  void run(std::size_t begin, std::size_t end, std::size_t chunk,
+           int helper_tickets, RangeFnRef body);
+  void work(RangeFnRef body, std::size_t end, std::size_t chunk);
+  void worker_loop();
+  static bool& in_parallel_region();
+
+  std::mutex run_mutex_;  // serializes top-level fork-join jobs
+  std::mutex mutex_;      // guards the fields below
+  std::condition_variable wake_cv_;  // workers park here
+  std::condition_variable done_cv_;  // the caller waits here
+  Job job_;
+  std::uint64_t generation_ = 0;  // bumped per job; wakes parked workers
+  int tickets_ = 0;               // helper lanes still allowed to join
+  int active_ = 0;                // helpers currently inside work()
+  bool job_active_ = false;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace adaptviz

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <thread>
 #include <vector>
 
+#include "util/parallel_for.hpp"
 #include "vis/contour.hpp"
 #include "vis/streamlines.hpp"
 #include "vis/volume.hpp"
@@ -116,21 +116,9 @@ Image FrameRenderer::render(const NclFile& frame,
       }
     }
   };
-  const int threads = std::max(1, options_.threads);
-  if (threads == 1 || h < 2 * static_cast<std::size_t>(threads)) {
-    render_rows(0, h);
-  } else {
-    // Disjoint row bands: no synchronization needed.
-    std::vector<std::thread> pool;
-    const std::size_t band = (h + threads - 1) / threads;
-    for (int t = 0; t < threads; ++t) {
-      const std::size_t y0 = static_cast<std::size_t>(t) * band;
-      const std::size_t y1 = std::min(h, y0 + band);
-      if (y0 >= y1) break;
-      pool.emplace_back(render_rows, y0, y1);
-    }
-    for (std::thread& th : pool) th.join();
-  }
+  // Disjoint row bands on the shared persistent pool: no synchronization
+  // needed, and no threads spawned per frame.
+  parallel_for_rows(0, h, options_.threads, render_rows);
 
   // --- Contours of the parent field ---
   if (options_.draw_contours && options_.contour_levels > 0) {
@@ -184,7 +172,8 @@ Image FrameRenderer::render(const NclFile& frame,
 
   // --- Volume-rendered cloud layer ---
   if (options_.draw_cloud_volume) {
-    composite_volume(img, cloud_volume_from_state(parent));
+    composite_volume(img, cloud_volume_from_state(parent), {},
+                     options_.threads);
   }
 
   // --- Wind streamlines ---
@@ -202,7 +191,9 @@ Image FrameRenderer::render(const NclFile& frame,
     };
     for (const Streamline& line :
          streamline_field(parent.u, parent.v,
-                          options_.streamline_spacing_cells)) {
+                          options_.streamline_spacing_cells,
+                          /*min_points=*/8, StreamlineOptions{},
+                          options_.threads)) {
       for (std::size_t k = 1; k < line.size(); ++k) {
         img.draw_line(gx_to_px(line[k - 1].first),
                       gy_to_py(line[k - 1].second), gx_to_px(line[k].first),

@@ -10,8 +10,11 @@ VisualizationProcess::VisualizationProcess(EventQueue& queue, Options options)
     : queue_(queue), options_(std::move(options)) {}
 
 WallSeconds VisualizationProcess::visualize(const Frame& frame) {
-  records_.push_back(VisRecord{queue_.now(), frame.sim_time, frame.sequence,
-                               frame.size});
+  render_frame(frame);
+  return record(frame);
+}
+
+void VisualizationProcess::render_frame(const Frame& frame) const {
   if (options_.render_images && frame.payload != nullptr &&
       !options_.output_dir.empty()) {
     const FrameRenderer renderer(options_.render_options);
@@ -21,6 +24,11 @@ WallSeconds VisualizationProcess::visualize(const Frame& frame) {
                   static_cast<long long>(frame.sequence));
     img.save_ppm(options_.output_dir + name);
   }
+}
+
+WallSeconds VisualizationProcess::record(const Frame& frame) {
+  records_.push_back(VisRecord{queue_.now(), frame.sim_time, frame.sequence,
+                               frame.size});
   ADAPTVIZ_LOG_DEBUG("vis", "frame #%lld visualized at wall %s",
                      static_cast<long long>(frame.sequence),
                      hh_mm(queue_.now()).c_str());

@@ -44,8 +44,20 @@ class VisualizationProcess {
   VisualizationProcess(EventQueue& queue, Options options);
 
   /// FrameReceiver::VisualizeFn: records progress, optionally renders, and
-  /// returns the frame's render cost.
+  /// returns the frame's render cost. Equivalent to render_frame() followed
+  /// by record().
   WallSeconds visualize(const Frame& frame);
+
+  /// The heavy half: renders the frame image to disk when `render_images`
+  /// is set (no-op otherwise). Touches no process state, so concurrent
+  /// calls on different frames are safe — the FrameReceiver runs these on
+  /// the shared thread pool, one per busy render slot.
+  void render_frame(const Frame& frame) const;
+
+  /// The bookkeeping half: appends the progress record, fires steering
+  /// hooks, and returns the frame's modeled render cost. Serial only (call
+  /// from the event loop).
+  WallSeconds record(const Frame& frame);
 
   [[nodiscard]] const std::vector<VisRecord>& records() const {
     return records_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel_for.hpp"
+
 namespace adaptviz {
 
 VolumeGrid::VolumeGrid(std::size_t nx, std::size_t ny, std::size_t nz,
@@ -66,14 +68,17 @@ VolumeGrid cloud_volume_from_state(const DomainState& state,
 }
 
 void composite_volume(Image& image, const VolumeGrid& volume,
-                      const VolumeRenderOptions& opt) {
+                      const VolumeRenderOptions& opt, int threads) {
   const double sx = static_cast<double>(volume.nx() - 1) /
                     static_cast<double>(image.width() - 1);
   const double sy = static_cast<double>(volume.ny() - 1) /
                     static_cast<double>(image.height() - 1);
   const double nz = static_cast<double>(volume.nz() - 1);
 
-  for (std::size_t py = 0; py < image.height(); ++py) {
+  // Each pixel's ray is independent and writes only its own pixel, so row
+  // bands parallelize with no synchronization.
+  auto composite_rows = [&](std::size_t row_begin, std::size_t row_end) {
+  for (std::size_t py = row_begin; py < row_end; ++py) {
     for (std::size_t px = 0; px < image.width(); ++px) {
       const double gx = static_cast<double>(px) * sx;
       // Image rows run north->south; volume j runs south->north.
@@ -100,6 +105,8 @@ void composite_volume(Image& image, const VolumeGrid& volume,
       }
     }
   }
+  };  // composite_rows
+  parallel_for_rows(0, image.height(), threads, composite_rows);
 }
 
 }  // namespace adaptviz

@@ -69,8 +69,11 @@ struct VolumeRenderOptions {
 
 /// Composites the volume over an existing image (which must map 1 image
 /// pixel : (nx/width) grid cells, i.e. the renderer's own geometry; the
-/// image is typically a pseudocolor base layer).
+/// image is typically a pseudocolor base layer). Rays are independent per
+/// pixel; `threads > 1` splits the image rows across the shared pool with
+/// bitwise-identical results.
 void composite_volume(Image& image, const VolumeGrid& volume,
-                      const VolumeRenderOptions& options = {});
+                      const VolumeRenderOptions& options = {},
+                      int threads = 1);
 
 }  // namespace adaptviz

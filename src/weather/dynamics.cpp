@@ -7,6 +7,21 @@
 #include "util/parallel_for.hpp"
 
 namespace adaptviz {
+namespace {
+
+// Routes a parallel region to the persistent pool or, for bench_micro's
+// pool-vs-spawn baseline, to the spawn-per-call implementation.
+template <typename Body>
+void dispatch_rows(const SwParams& p, std::size_t begin, std::size_t end,
+                   const Body& body) {
+  if (p.use_thread_pool) {
+    parallel_for_rows(begin, end, p.threads, body);
+  } else {
+    parallel_for_rows_spawn(begin, end, p.threads, body);
+  }
+}
+
+}  // namespace
 
 SwSolver::SwSolver(SwParams params) : params_(params) {
   if (params_.mean_depth <= 0 || params_.gravity <= 0 ||
@@ -27,15 +42,11 @@ void SwSolver::compute_tendency(const DomainState& s, const SwForcing& f,
   const double grav = params_.gravity;
   const double hbar = params_.mean_depth;
 
-  if (out.dh.nx() != nx || out.dh.ny() != ny) {
-    out.dh = Field2D(nx, ny);
-    out.du = Field2D(nx, ny);
-    out.dv = Field2D(nx, ny);
-  } else {
-    out.dh.fill(0.0);
-    out.du.fill(0.0);
-    out.dv.fill(0.0);
-  }
+  // Zero-filled scratch, reusing allocations even when the solver
+  // alternates between parent- and nest-sized grids.
+  out.dh.resize(nx, ny);
+  out.du.resize(nx, ny);
+  out.dv.resize(nx, ny);
 
   // Coriolis per row (varies with latitude: the beta effect is what makes
   // cyclones drift poleward-westward even in quiescent environments).
@@ -116,7 +127,7 @@ void SwSolver::compute_tendency(const DomainState& s, const SwForcing& f,
     }
   }
   };  // tendency_rows
-  parallel_for_rows(1, ny - 1, params_.threads, tendency_rows);
+  dispatch_rows(params_, 1, ny - 1, tendency_rows);
 }
 
 void SwSolver::step(DomainState& state, double dt, const SwForcing& forcing) const {
@@ -125,16 +136,22 @@ void SwSolver::step(DomainState& state, double dt, const SwForcing& forcing) con
 
   // WRF ARW RK3: phi* = phi + dt/3 F(phi); phi** = phi + dt/2 F(phi*);
   // phi^{n+1} = phi + dt F(phi**).
-  static thread_local Tendency tend;
-  DomainState stage = state;
+  Tendency& tend = tend_scratch_;
+  // Reuse the stage buffers across steps: copy-assign lands in the already
+  // allocated fields instead of allocating three grids per step.
+  if (stage_scratch_) {
+    *stage_scratch_ = state;
+  } else {
+    stage_scratch_.emplace(state);
+  }
+  DomainState& stage = *stage_scratch_;
 
   const double frac[3] = {dt / 3.0, dt / 2.0, dt};
   for (int k = 0; k < 3; ++k) {
     compute_tendency(stage, forcing, dt, tend);
     const double a = frac[k];
     // Write into `stage` for the first two stages, into `state` on the last.
-    // Hoist raw pointers: `tend` is thread_local, and inside the worker
-    // lambda it would name the *worker's* (empty) instance, not this one.
+    // Hoist raw pointers once per stage; the update loop is pure streaming.
     DomainState& dst = (k == 2) ? state : stage;
     double* dh = dst.h.data().data();
     double* du = dst.u.data().data();
@@ -145,14 +162,13 @@ void SwSolver::step(DomainState& state, double dt, const SwForcing& forcing) con
     const double* th = tend.dh.data().data();
     const double* tu = tend.du.data().data();
     const double* tv = tend.dv.data().data();
-    parallel_for_rows(0, n, params_.threads,
-                      [=](std::size_t lo, std::size_t hi) {
-                        for (std::size_t idx = lo; idx < hi; ++idx) {
-                          dh[idx] = h0[idx] + a * th[idx];
-                          du[idx] = u0[idx] + a * tu[idx];
-                          dv[idx] = v0[idx] + a * tv[idx];
-                        }
-                      });
+    dispatch_rows(params_, 0, n, [=](std::size_t lo, std::size_t hi) {
+      for (std::size_t idx = lo; idx < hi; ++idx) {
+        dh[idx] = h0[idx] + a * th[idx];
+        du[idx] = u0[idx] + a * tu[idx];
+        dv[idx] = v0[idx] + a * tv[idx];
+      }
+    });
   }
 }
 

@@ -18,6 +18,8 @@
 // resolution, within RK3's stability region.
 #pragma once
 
+#include <optional>
+
 #include "weather/state.hpp"
 
 namespace adaptviz {
@@ -42,10 +44,19 @@ struct SwParams {
   double sponge_tau_seconds = 1200.0;
   /// Worker threads for the tendency/update loops (row decomposition, the
   /// shared-memory analogue of WRF's MPI domain decomposition). Results are
-  /// bitwise identical for any count.
+  /// bitwise identical for any count. Lanes come from the shared persistent
+  /// pool (util/thread_pool.hpp).
   int threads = 1;
+  /// Benchmark escape hatch: when false, parallel regions spawn and join
+  /// fresh std::threads per call (the pre-pool behavior) instead of using
+  /// the persistent pool. Only bench_micro's pool-vs-spawn cases set this.
+  bool use_thread_pool = true;
 };
 
+/// A solver owns its step scratch (RK3 stage state and tendency fields), so
+/// distinct instances never alias — two solvers on one thread, or one per
+/// thread, are safe. A single instance is NOT safe for concurrent step()
+/// calls; the internal row decomposition is how a step uses many cores.
 class SwSolver {
  public:
   explicit SwSolver(SwParams params = {});
@@ -67,6 +78,11 @@ class SwSolver {
                         Tendency& out) const;
 
   SwParams params_;
+  // Step scratch, reused across steps to kill per-step allocation churn
+  // (and explicitly per-instance: a `static thread_local` here once let two
+  // solvers on one thread alias the same tendency fields).
+  mutable Tendency tend_scratch_;
+  mutable std::optional<DomainState> stage_scratch_;
 };
 
 }  // namespace adaptviz

@@ -79,6 +79,14 @@ class Field2D {
   [[nodiscard]] std::vector<double>& data() { return data_; }
 
   void fill(double v);
+  /// Reshapes to (nx, ny) and zero-fills, reusing the existing allocation
+  /// when capacity allows — for scratch fields that alternate between
+  /// domain sizes (parent vs. nest) every step.
+  void resize(std::size_t nx, std::size_t ny) {
+    nx_ = nx;
+    ny_ = ny;
+    data_.assign(nx * ny, 0.0);
+  }
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double mean() const;

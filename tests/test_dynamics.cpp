@@ -201,8 +201,43 @@ TEST_P(DynamicsThreads, BitwiseEqualToSerial) {
   EXPECT_EQ(a.v, b.v);
 }
 
+// 64 exceeds the interior row count of the test grid: the partition must
+// clamp to one row per lane and stay bitwise identical.
 INSTANTIATE_TEST_SUITE_P(WorkerCounts, DynamicsThreads,
-                         testing::Values(2, 3, 4, 7));
+                         testing::Values(2, 3, 4, 7, 64));
+
+TEST(Dynamics, TwoSolversOnOneThreadDontAliasScratch) {
+  // Regression for the old `static thread_local` step scratch: two solvers
+  // on one thread, alternating between different grids, must produce the
+  // same fields as each solver stepping its state alone.
+  auto vortex_state = [](double res_km) {
+    DomainState s(test_grid(res_km));
+    HollandVortex v{.center = LatLon{14.0, 85.0},
+                    .deficit_hpa = 18.0,
+                    .r_max_km = 220.0,
+                    .b = 1.4};
+    v.deposit(s);
+    return s;
+  };
+  DomainState ref_a = vortex_state(80.0);
+  DomainState ref_b = vortex_state(100.0);
+  DomainState mix_a = vortex_state(80.0);
+  DomainState mix_b = vortex_state(100.0);
+  const double dt_a = SwSolver::dt_for_resolution_km(80.0);
+  const double dt_b = SwSolver::dt_for_resolution_km(100.0);
+
+  SwSolver alone_a, alone_b, inter_a, inter_b;
+  for (int k = 0; k < 6; ++k) alone_a.step(ref_a, dt_a, SwForcing{});
+  for (int k = 0; k < 6; ++k) alone_b.step(ref_b, dt_b, SwForcing{});
+  for (int k = 0; k < 6; ++k) {
+    inter_a.step(mix_a, dt_a, SwForcing{});
+    inter_b.step(mix_b, dt_b, SwForcing{});
+  }
+  EXPECT_EQ(ref_a.h, mix_a.h);
+  EXPECT_EQ(ref_a.u, mix_a.u);
+  EXPECT_EQ(ref_b.h, mix_b.h);
+  EXPECT_EQ(ref_b.v, mix_b.v);
+}
 
 TEST(Dynamics, Validation) {
   EXPECT_THROW(SwSolver(SwParams{.mean_depth = -1.0}), std::invalid_argument);

@@ -126,8 +126,13 @@ TEST(Renderer, StreamlineOverlayDrawsInk) {
 }
 
 TEST(Renderer, ParallelThreadsMatchSerialExactly) {
+  // Streamlines and the cloud volume on: every parallel layer (base bands,
+  // volume compositing, seed-chunked streamline tracing) must be bitwise
+  // identical to its serial result.
   RenderOptions serial_opts;
   serial_opts.width = 180;
+  serial_opts.draw_streamlines = true;
+  serial_opts.draw_cloud_volume = true;
   RenderOptions parallel_opts = serial_opts;
   parallel_opts.threads = 4;
   const Image a = FrameRenderer(serial_opts).render(storm_frame(), nullptr);

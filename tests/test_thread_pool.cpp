@@ -1,0 +1,223 @@
+// Tests for the persistent worker-pool runtime: coverage/disjointness of
+// both schedulers, degenerate inputs, nested-call safety, concurrent
+// callers, and clean shutdown with no leaked threads.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/parallel_for.hpp"
+
+namespace adaptviz {
+namespace {
+
+// Counts this process's OS threads via /proc/self/task (Linux).
+int os_thread_count() {
+  int count = 0;
+  DIR* dir = opendir("/proc/self/task");
+  if (dir == nullptr) return -1;
+  while (dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  closedir(dir);
+  return count;
+}
+
+// Runs a parallel_for and returns how many times each index was visited.
+template <typename Launch>
+std::vector<int> visit_counts(std::size_t n, const Launch& launch) {
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  launch([&](std::size_t lo, std::size_t hi) {
+    ASSERT_LE(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  std::vector<int> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = hits[i].load();
+  return out;
+}
+
+TEST(ThreadPool, EmptyRangeNeverCalls) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, 4, [&](std::size_t, std::size_t) { called = true; });
+  pool.parallel_for(7, 3, 4, [&](std::size_t, std::size_t) { called = true; });
+  pool.parallel_for_chunked(5, 5, 4, 2,
+                            [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  for (const std::size_t n : {1u, 2u, 7u, 64u, 1000u}) {
+    for (const int threads : {1, 2, 3, 8}) {
+      const auto counts = visit_counts(n, [&](auto body) {
+        pool.parallel_for(0, n, threads, body);
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(counts[i], 1) << "n=" << n << " threads=" << threads
+                                << " index=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ChunkedCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  for (const std::size_t chunk : {1u, 3u, 16u, 1000u}) {
+    const std::size_t n = 257;
+    const auto counts = visit_counts(n, [&](auto body) {
+      pool.parallel_for_chunked(10, 10 + n, 4, chunk,
+                                [&](std::size_t lo, std::size_t hi) {
+                                  body(lo - 10, hi - 10);
+                                });
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(counts[i], 1) << "chunk=" << chunk << " index=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, MoreThreadsThanRows) {
+  ThreadPool pool(8);
+  const std::size_t n = 3;
+  const auto counts = visit_counts(
+      n, [&](auto body) { pool.parallel_for(0, n, 64, body); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i], 1);
+}
+
+TEST(ThreadPool, NonPositiveThreadsRunsSerially) {
+  ThreadPool pool(2);
+  for (const int threads : {0, -1, -100}) {
+    int calls = 0;
+    std::size_t lo = 99, hi = 0;
+    pool.parallel_for(2, 12, threads, [&](std::size_t b, std::size_t e) {
+      ++calls;
+      lo = b;
+      hi = e;
+    });
+    EXPECT_EQ(calls, 1);  // one inline call covering the whole range
+    EXPECT_EQ(lo, 2u);
+    EXPECT_EQ(hi, 12u);
+  }
+}
+
+TEST(ThreadPool, ZeroWorkerPoolStillCompletes) {
+  ThreadPool pool(0);
+  const std::size_t n = 100;
+  const auto counts = visit_counts(
+      n, [&](auto body) { pool.parallel_for(0, n, 8, body); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i], 1);
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  ThreadPool pool(3);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 8, 4, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // A nested region must not deadlock; it runs inline on this lane.
+      pool.parallel_for(0, 10, 4, [&](std::size_t b, std::size_t e) {
+        inner_total.fetch_add(static_cast<int>(e - b));
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+}
+
+TEST(ThreadPool, ConcurrentTopLevelCallersSerialize) {
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr std::size_t kN = 512;
+  std::vector<std::atomic<int>> hits(kCallers);
+  for (auto& h : hits) h.store(0);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int rep = 0; rep < 20; ++rep) {
+        pool.parallel_for(0, kN, 4, [&](std::size_t lo, std::size_t hi) {
+          hits[c].fetch_add(static_cast<int>(hi - lo));
+        });
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(hits[c].load(), 20 * static_cast<int>(kN));
+  }
+}
+
+TEST(ThreadPool, RepeatedConstructionLeaksNoThreads) {
+  const int before = os_thread_count();
+  for (int rep = 0; rep < 32; ++rep) {
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    pool.parallel_for(0, 100, 4, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(static_cast<int>(hi - lo));
+    });
+    EXPECT_EQ(total.load(), 100);
+  }
+  // All workers joined in the destructors: the OS thread count is back to
+  // where it started.
+  const int after = os_thread_count();
+  if (before > 0 && after > 0) EXPECT_EQ(after, before);
+}
+
+TEST(ThreadPool, SharedSingletonIsStable) {
+  ThreadPool* a = &ThreadPool::shared();
+  ThreadPool* b = &ThreadPool::shared();
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a->worker_count(), 1);
+}
+
+TEST(ParallelForRows, TemplateAndFunctionOverloadsAgree) {
+  const std::size_t n = 37;
+  const auto lambda_counts = visit_counts(n, [&](auto body) {
+    parallel_for_rows(0, n, 4, body);  // templated fast path
+  });
+  const auto fn_counts = visit_counts(n, [&](auto body) {
+    const std::function<void(std::size_t, std::size_t)> f = body;
+    parallel_for_rows(0, n, 4, f);  // ABI-stable wrapper
+  });
+  EXPECT_EQ(lambda_counts, fn_counts);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(lambda_counts[i], 1);
+}
+
+TEST(ParallelForRows, SpawnBaselineCoversRange) {
+  const std::size_t n = 53;
+  const auto counts = visit_counts(n, [&](auto body) {
+    parallel_for_rows_spawn(0, n, 4, body);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(counts[i], 1);
+}
+
+// The static partition must match the historical spawn-per-call partition:
+// min(threads, n) bands of ceil(n / W), in-range, disjoint, ordered.
+TEST(ThreadPool, StaticPartitionMatchesLegacyBands) {
+  ThreadPool pool(7);
+  const std::size_t n = 23;
+  const int threads = 5;
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> bands;
+  pool.parallel_for(0, n, threads, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lock(m);
+    bands.emplace_back(lo, hi);
+  });
+  std::sort(bands.begin(), bands.end());
+  ASSERT_EQ(bands.size(), 5u);  // ceil(23/5)=5 -> bands at 0,5,10,15,20
+  for (std::size_t b = 0; b < bands.size(); ++b) {
+    EXPECT_EQ(bands[b].first, b * 5);
+    EXPECT_EQ(bands[b].second, std::min<std::size_t>(n, (b + 1) * 5));
+  }
+}
+
+}  // namespace
+}  // namespace adaptviz
