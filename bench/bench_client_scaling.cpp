@@ -1,0 +1,201 @@
+// Client-scaling bench for the serving subsystem (src/serve).
+//
+// Part 1 — scaling: the inter-department Aila run fanned out to
+// 1/8/32/128 viewer clients over a sweep of cache capacities. For every
+// cell it reports deliveries, cache hit rate, evictions, re-renders and
+// the peak resident cache bytes, and *fails* (exit 1) if the cache ever
+// exceeded its configured byte cap — the bounded-memory guarantee.
+//
+// Part 2 — determinism: the same synthetic serving workload (late
+// catch-up joiners forcing re-renders whose heavy work runs on the
+// thread pool) is replayed on pools of 1/4/8 lanes; the digest over
+// every client's full delivery series must be bitwise identical, because
+// all virtual-time decisions happen on the event loop and the pool only
+// executes side-effect render work. A fixed-seed full experiment is also
+// run twice and digest-compared.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "experiment_common.hpp"
+#include "serve/session_manager.hpp"
+#include "util/logging.hpp"
+
+using namespace adaptviz;
+using namespace adaptviz::bench;
+
+namespace {
+
+// FNV-1a over raw bytes: digests must capture exact bit patterns.
+struct Digest {
+  std::uint64_t h = 1469598103934665603ull;
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void f64(double v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { bytes(&v, sizeof v); }
+};
+
+std::uint64_t digest_deliveries(const ViewerSessionManager& m) {
+  Digest d;
+  for (int c = 0; c < m.viewer_count(); ++c) {
+    d.i64(c);
+    for (const DeliveryRecord& r : m.deliveries(c)) {
+      d.f64(r.wall_time.seconds());
+      d.f64(r.sim_time.seconds());
+      d.i64(r.sequence);
+      d.i64(r.size.count());
+      d.i64(r.cache_hit ? 1 : 0);
+    }
+  }
+  return d.h;
+}
+
+std::uint64_t digest_result(const ExperimentResult& r) {
+  Digest d;
+  for (const ClientSeries& c : r.clients) {
+    for (const DeliveryRecord& rec : c.records) {
+      d.f64(rec.wall_time.seconds());
+      d.f64(rec.sim_time.seconds());
+      d.i64(rec.sequence);
+      d.i64(rec.size.count());
+      d.i64(rec.cache_hit ? 1 : 0);
+    }
+  }
+  d.i64(r.summary.cache_hits);
+  d.i64(r.summary.cache_misses);
+  d.i64(r.summary.cache_evictions);
+  return d.h;
+}
+
+ExperimentConfig scaling_config(int clients, double cache_gb) {
+  ExperimentConfig cfg;
+  cfg.name = "client-scaling";
+  cfg.site = inter_department_site();
+  cfg.algorithm = AlgorithmKind::kOptimization;
+  cfg.sim_window = SimSeconds::hours(60.0);
+  cfg.max_wall = WallSeconds::hours(60.0);
+  cfg.model.compute_scale = 8.0;
+  cfg.seed = 42;
+  cfg.serve.session.cache.capacity = Bytes::gigabytes(cache_gb);
+  cfg.serve.session.cache.policy = EvictionPolicy::kStrideThinning;
+  cfg.serve.session.rerender_workers = 2;
+  // A quarter of the fleet connects 12 wall hours in and replays the run
+  // from the start — the cache-miss / re-render load.
+  cfg.serve.viewers =
+      make_viewer_fleet(clients, Bandwidth::mbps(100.0),
+                        /*catchup_fraction=*/0.25, SimSeconds(0.0),
+                        /*catchup_join=*/WallSeconds::hours(12.0));
+  return cfg;
+}
+
+/// Synthetic serving rig: a fixed 180-frame stream, 24 mixed clients, a
+/// cache small enough to thin aggressively, and a real compute kernel as
+/// the re-render body. Returns the delivery digest.
+std::uint64_t run_determinism_rig(int pool_workers) {
+  EventQueue queue;
+  ThreadPool pool(pool_workers);
+  std::atomic<std::int64_t> render_work{0};
+
+  ViewerSessionManager::Options opts;
+  opts.cache.capacity = Bytes::megabytes(1500.0);
+  opts.cache.policy = EvictionPolicy::kStrideThinning;
+  opts.rerender_workers = 3;
+  ViewerSessionManager manager(
+      queue, opts, /*seed=*/7, &pool, [&render_work](const Frame& f) {
+        // Real (threaded) work whose result never feeds back into
+        // virtual time.
+        std::int64_t acc = 0;
+        for (int i = 0; i < 20000; ++i) acc += (f.sequence * 31 + i) % 97;
+        render_work.fetch_add(acc, std::memory_order_relaxed);
+      });
+  for (const ViewerConfig& v :
+       make_viewer_fleet(24, Bandwidth::mbps(40.0), /*catchup_fraction=*/0.5,
+                         SimSeconds(0.0),
+                         /*catchup_join=*/WallSeconds(3000.0))) {
+    manager.add_viewer(v);
+  }
+  for (int i = 0; i < 180; ++i) {
+    queue.schedule_at(WallSeconds(60.0 * i), [&manager, i] {
+      Frame f;
+      f.sequence = i;
+      f.sim_time = SimSeconds(1800.0 * i);
+      f.size = Bytes::megabytes(80.0 + 17.0 * (i % 7));
+      manager.on_frame(f);
+    });
+  }
+  queue.run_all();
+  return digest_deliveries(manager);
+}
+
+}  // namespace
+
+int main() {
+  set_log_level(LogLevel::kWarn);
+  bool ok = true;
+
+  std::printf("== client scaling: viewers x cache capacity "
+              "(inter-department, optimization) ==\n");
+  CsvTable table({"clients", "cache_gb", "frames_sent", "frames_served",
+                  "hit_percent", "evictions", "rerenders", "peak_cache_gb",
+                  "bounded", "wall_hours"});
+  for (const int clients : {1, 8, 32, 128}) {
+    for (const double cache_gb : {2.0, 4.0, 16.0}) {
+      const ExperimentConfig cfg = scaling_config(clients, cache_gb);
+      const ExperimentResult r = run_experiment(cfg);
+      const ExperimentSummary& s = r.summary;
+      const double hit_pct =
+          s.cache_hits + s.cache_misses == 0
+              ? 100.0
+              : 100.0 * static_cast<double>(s.cache_hits) /
+                    static_cast<double>(s.cache_hits + s.cache_misses);
+      const bool bounded =
+          s.peak_cache_bytes <= cfg.serve.session.cache.capacity;
+      ok = ok && bounded;
+      std::printf("  %3d clients, %5.1f GB cache: served %6lld frames, "
+                  "%5.1f%% hit, %4lld evictions, %3lld rerenders, peak "
+                  "%5.2f GB %s, wall %.1f h\n",
+                  clients, cache_gb, static_cast<long long>(s.frames_served),
+                  hit_pct, static_cast<long long>(s.cache_evictions),
+                  static_cast<long long>(s.rerenders),
+                  s.peak_cache_bytes.gb(),
+                  bounded ? "(bounded)" : "** CAP EXCEEDED **",
+                  s.wall_elapsed.as_hours());
+      table.add_row({static_cast<long>(clients), cache_gb, s.frames_sent,
+                     s.frames_served, hit_pct, s.cache_evictions,
+                     s.rerenders, s.peak_cache_bytes.gb(),
+                     static_cast<long>(bounded), s.wall_elapsed.as_hours()});
+    }
+  }
+  save_csv(table, "client_scaling");
+
+  std::printf("\n== determinism across thread-pool worker counts ==\n");
+  const std::uint64_t base = run_determinism_rig(0);
+  for (const int workers : {3, 7}) {
+    const std::uint64_t h = run_determinism_rig(workers);
+    const bool same = h == base;
+    ok = ok && same;
+    std::printf("  pool %d lanes vs serial: digest %016llx %s\n", workers + 1,
+                static_cast<unsigned long long>(h),
+                same ? "== identical" : "** DIVERGED **");
+  }
+
+  std::printf("\n== determinism of the full experiment (fixed seed) ==\n");
+  const ExperimentConfig cfg = scaling_config(32, 4.0);
+  const std::uint64_t run1 = digest_result(run_experiment(cfg));
+  const std::uint64_t run2 = digest_result(run_experiment(cfg));
+  ok = ok && run1 == run2;
+  std::printf("  run1 %016llx / run2 %016llx %s\n",
+              static_cast<unsigned long long>(run1),
+              static_cast<unsigned long long>(run2),
+              run1 == run2 ? "== identical" : "** DIVERGED **");
+
+  std::printf("\n%s\n", ok ? "client scaling: all invariants held"
+                           : "client scaling: INVARIANT VIOLATIONS");
+  return ok ? 0 : 1;
+}

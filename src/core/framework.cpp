@@ -80,10 +80,28 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
     };
   }
   vis_ = std::make_unique<VisualizationProcess>(queue_, vis_opts);
+  if (config_.serve.enabled()) {
+    // The frame cache + viewer fan-out behind the receiver. Re-renders for
+    // catch-up clients reuse the visualization process's renderer on the
+    // shared pool.
+    serving_ = std::make_unique<ViewerSessionManager>(
+        queue_, config_.serve.session, config_.seed + 3,
+        &ThreadPool::shared(),
+        [this](const Frame& f) { vis_->render_frame(f); });
+    for (const ViewerConfig& v : config_.serve.viewers) {
+      serving_->add_viewer(v);
+    }
+  }
   // Heavy image rendering runs on the shared pool (one lane per busy
-  // render slot); progress records and steering hooks stay serial.
+  // render slot); progress records, the cache publish, and steering hooks
+  // stay serial.
   receiver_ = std::make_unique<FrameReceiver>(
-      queue_, [this](const Frame& f) { return vis_->record(f); },
+      queue_,
+      [this](const Frame& f) {
+        const WallSeconds cost = vis_->record(f);
+        if (serving_) serving_->on_frame(f);
+        return cost;
+      },
       config_.vis_workers, &ThreadPool::shared(),
       [this](const Frame& f) { vis_->render_frame(f); });
   sender_ = std::make_unique<FrameSender>(
@@ -190,6 +208,11 @@ TelemetrySample AdaptiveFramework::sample_now() {
   s.frames_written = process_->frames_written();
   s.frames_sent = sender_->frames_sent();
   s.frames_visualized = receiver_->frames_visualized();
+  if (serving_) {
+    s.frames_served = serving_->frames_served();
+    s.serve_hit_percent = serving_->cache().stats().hit_rate() * 100.0;
+    s.cache_bytes = serving_->cache().bytes_cached();
+  }
   if (const WeatherModel* m = process_->model()) {
     s.resolution_km = m->modeled_resolution_km();
     s.min_pressure_hpa = m->min_pressure_hpa();
@@ -200,7 +223,8 @@ TelemetrySample AdaptiveFramework::sample_now() {
 bool AdaptiveFramework::drained() const {
   return catalog_.empty() && !sender_->transfer_in_flight() &&
          receiver_->backlog() == 0 &&
-         receiver_->frames_received() == receiver_->frames_visualized();
+         receiver_->frames_received() == receiver_->frames_visualized() &&
+         (serving_ == nullptr || serving_->idle());
 }
 
 ExperimentResult AdaptiveFramework::run() {
@@ -236,6 +260,14 @@ ExperimentResult AdaptiveFramework::run() {
     result.track = process_->model()->tracker().track();
   }
   result.steering = steering_log_;
+  if (serving_) {
+    for (int i = 0; i < serving_->viewer_count(); ++i) {
+      result.clients.push_back(ClientSeries{serving_->viewer(i).name,
+                                            serving_->viewer(i).mode,
+                                            serving_->stats(i),
+                                            serving_->deliveries(i)});
+    }
+  }
 
   ExperimentSummary& sum = result.summary;
   sum.completed = process_->finished();
@@ -249,6 +281,16 @@ ExperimentResult AdaptiveFramework::run() {
   sum.frames_visualized = receiver_->frames_visualized();
   sum.restarts = job_handler_->restarts();
   sum.decision_count = static_cast<int>(manager_->decisions().size());
+  if (serving_) {
+    const FrameCacheStats& cache = serving_->cache().stats();
+    sum.viewers = serving_->viewer_count();
+    sum.frames_served = serving_->frames_served();
+    sum.cache_hits = cache.hits;
+    sum.cache_misses = cache.misses;
+    sum.cache_evictions = cache.evictions;
+    sum.rerenders = serving_->rerenders();
+    sum.peak_cache_bytes = cache.peak_bytes;
+  }
   for (const TelemetrySample& s : result.samples) {
     sum.min_free_disk_percent =
         std::min(sum.min_free_disk_percent, s.free_disk_percent);

@@ -20,6 +20,7 @@
 #include "core/static_algorithm.hpp"
 #include "core/simulation_process.hpp"
 #include "core/telemetry.hpp"
+#include "serve/session_manager.hpp"
 #include "steering/steering.hpp"
 #include "transport/receiver.hpp"
 #include "vis/vis_process.hpp"
@@ -30,6 +31,16 @@ namespace adaptviz {
 enum class AlgorithmKind { kGreedyThreshold, kOptimization, kStatic };
 
 const char* to_string(AlgorithmKind k);
+
+/// Multi-client serving at the visualization site (src/serve): an empty
+/// viewer list disables the subsystem and reproduces the paper's
+/// single-scientist setup exactly.
+struct ServeOptions {
+  ViewerSessionManager::Options session{};
+  std::vector<ViewerConfig> viewers;
+
+  [[nodiscard]] bool enabled() const { return !viewers.empty(); }
+};
 
 struct ExperimentConfig {
   std::string name = "inter-department";
@@ -53,6 +64,8 @@ struct ExperimentConfig {
 
   /// Attach real field payloads to frames (examples render them).
   bool keep_payloads = false;
+  /// Visualization-site frame cache + viewer fan-out.
+  ServeOptions serve{};
   /// Parallel render slots at the visualization site (future work:
   /// "parallelize the visualization process").
   int vis_workers = 1;
@@ -85,11 +98,28 @@ struct ExperimentSummary {
   std::int64_t frames_visualized = 0;
   int restarts = 0;
   int decision_count = 0;
+
+  // Serving subsystem (zero when no viewers are configured).
+  int viewers = 0;
+  std::int64_t frames_served = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_evictions = 0;
+  std::int64_t rerenders = 0;
+  Bytes peak_cache_bytes{};
 };
 
 struct SteeringRecord {
   WallSeconds delivered_at{};
   SteeringCommand command;
+};
+
+/// One client's delivery series plus its terminal stats (CSV + figures).
+struct ClientSeries {
+  std::string name;
+  ViewerMode mode{};
+  ViewerStats stats{};
+  std::vector<DeliveryRecord> records;
 };
 
 struct ExperimentResult {
@@ -100,6 +130,7 @@ struct ExperimentResult {
   std::vector<DecisionRecord> decisions;
   std::vector<TrackPoint> track;
   std::vector<SteeringRecord> steering;
+  std::vector<ClientSeries> clients;
 };
 
 class AdaptiveFramework {
@@ -122,6 +153,10 @@ class AdaptiveFramework {
   [[nodiscard]] const PerformanceModel& performance_model() const {
     return *perf_;
   }
+  /// Null when no viewers are configured.
+  [[nodiscard]] const ViewerSessionManager* serving() const {
+    return serving_.get();
+  }
 
  private:
   [[nodiscard]] TelemetrySample sample_now();
@@ -143,6 +178,7 @@ class AdaptiveFramework {
 
   std::unique_ptr<DecisionAlgorithm> algorithm_;
   std::unique_ptr<VisualizationProcess> vis_;
+  std::unique_ptr<ViewerSessionManager> serving_;
   std::unique_ptr<FrameReceiver> receiver_;
   std::unique_ptr<FrameSender> sender_;
   std::unique_ptr<SimulationProcess> process_;

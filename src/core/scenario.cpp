@@ -137,6 +137,43 @@ ExperimentConfig scenario_from_ini(const IniDocument& doc) {
     cfg.wan_outages = parse_outages(*v);
   }
 
+  // [serve] — visualization-site frame cache + viewer fan-out.
+  if (doc.has_section("serve")) {
+    const int viewers =
+        static_cast<int>(doc.get_int("serve", "viewers").value_or(0));
+    if (viewers < 0) {
+      throw std::runtime_error("scenario: serve.viewers must be >= 0");
+    }
+    const Bandwidth downlink = Bandwidth::mbps(
+        doc.get_double("serve", "viewer_downlink_mbps").value_or(100.0));
+    const double catchup_fraction =
+        doc.get_double("serve", "catchup_fraction").value_or(0.0);
+    const SimSeconds catchup_start = SimSeconds::hours(
+        doc.get_double("serve", "catchup_start_hours").value_or(0.0));
+    const WallSeconds catchup_join = WallSeconds::hours(
+        doc.get_double("serve", "catchup_join_wall_hours").value_or(0.0));
+    cfg.serve.viewers = make_viewer_fleet(viewers, downlink, catchup_fraction,
+                                          catchup_start, catchup_join);
+    if (auto v = doc.get_double("serve", "cache_gb")) {
+      cfg.serve.session.cache.capacity = Bytes::gigabytes(*v);
+    }
+    if (auto v = doc.get_int("serve", "cache_frames")) {
+      cfg.serve.session.cache.max_frames = static_cast<std::size_t>(*v);
+    }
+    if (auto v = doc.get("serve", "cache_policy")) {
+      cfg.serve.session.cache.policy = eviction_policy_from(*v);
+    }
+    if (auto v = doc.get_int("serve", "rerender_workers")) {
+      cfg.serve.session.rerender_workers = static_cast<int>(*v);
+    }
+    if (auto v = doc.get_double("serve", "rerender_fixed_seconds")) {
+      cfg.serve.session.rerender_fixed_seconds = *v;
+    }
+    if (auto v = doc.get_double("serve", "rerender_seconds_per_gb")) {
+      cfg.serve.session.rerender_seconds_per_gb = *v;
+    }
+  }
+
   // Sanity.
   if (cfg.model.compute_scale < 1.0) {
     throw std::runtime_error("scenario: compute_scale must be >= 1");
@@ -160,7 +197,8 @@ void write_result(const ExperimentResult& result, const std::string& dir) {
                     "free_disk_percent", "processors",
                     "output_interval_min", "resolution_km",
                     "min_pressure_hpa", "stalled", "critical", "paused",
-                    "frames_written", "frames_sent", "frames_visualized"});
+                    "frames_written", "frames_sent", "frames_visualized",
+                    "frames_served", "serve_hit_percent", "cache_mb"});
   for (const TelemetrySample& s : result.samples) {
     samples.add_row({s.wall_time.as_hours(), epoch.label(s.sim_time),
                      s.sim_time.as_hours(), s.free_disk_percent,
@@ -169,7 +207,8 @@ void write_result(const ExperimentResult& result, const std::string& dir) {
                      s.min_pressure_hpa, static_cast<long>(s.stalled),
                      static_cast<long>(s.critical),
                      static_cast<long>(s.paused), s.frames_written,
-                     s.frames_sent, s.frames_visualized});
+                     s.frames_sent, s.frames_visualized, s.frames_served,
+                     s.serve_hit_percent, s.cache_bytes.mb()});
   }
   samples.save(base + "_samples.csv");
 
@@ -203,6 +242,22 @@ void write_result(const ExperimentResult& result, const std::string& dir) {
   }
   track.save(base + "_track.csv");
 
+  if (!result.clients.empty()) {
+    // Per-client delivery series: viewer-side progress (Fig 7, one curve
+    // per client) plus the cache-hit flag behind each delivery.
+    CsvTable clients({"client", "mode", "wall_hours", "frame_sim_label",
+                      "frame_sim_hours", "sequence", "size_mb", "cache_hit"});
+    for (const ClientSeries& c : result.clients) {
+      for (const DeliveryRecord& d : c.records) {
+        clients.add_row({c.name, std::string(to_string(c.mode)),
+                         d.wall_time.as_hours(), epoch.label(d.sim_time),
+                         d.sim_time.as_hours(), static_cast<long>(d.sequence),
+                         d.size.mb(), static_cast<long>(d.cache_hit)});
+      }
+    }
+    clients.save(base + "_clients.csv");
+  }
+
   IniDocument summary;
   const ExperimentSummary& s = result.summary;
   summary.set("summary", "name", result.config.name);
@@ -221,6 +276,15 @@ void write_result(const ExperimentResult& result, const std::string& dir) {
   summary.set_int("summary", "frames_visualized", s.frames_visualized);
   summary.set_int("summary", "restarts", s.restarts);
   summary.set_int("summary", "decisions", s.decision_count);
+  if (s.viewers > 0) {
+    summary.set_int("serve", "viewers", s.viewers);
+    summary.set_int("serve", "frames_served", s.frames_served);
+    summary.set_int("serve", "cache_hits", s.cache_hits);
+    summary.set_int("serve", "cache_misses", s.cache_misses);
+    summary.set_int("serve", "cache_evictions", s.cache_evictions);
+    summary.set_int("serve", "rerenders", s.rerenders);
+    summary.set_double("serve", "peak_cache_gb", s.peak_cache_bytes.gb());
+  }
   summary.save(base + "_summary.ini");
 }
 

@@ -33,6 +33,17 @@
 //
 //   [outages]                          ; optional failure injection
 //   windows = 10-14, 30-31.5           ; wall hours
+//
+//   [serve]                            ; optional multi-client fan-out
+//   viewers = 32                       ; 0 / absent section = paper setup
+//   viewer_downlink_mbps = 100
+//   cache_gb = 4
+//   cache_frames = 0                   ; 0 = bytes-only bound
+//   cache_policy = lru                 ; lru | stride-thin
+//   catchup_fraction = 0.25            ; share of viewers replaying history
+//   catchup_start_hours = 0            ; sim time catch-up viewers start at
+//   catchup_join_wall_hours = 12       ; wall time catch-up viewers connect
+//   rerender_workers = 2
 #pragma once
 
 #include <string>
@@ -51,7 +62,8 @@ ExperimentConfig load_scenario(const std::string& path);
 
 /// Writes an ExperimentResult as CSV files under `dir`:
 /// <name>_samples.csv, <name>_visualization.csv, <name>_decisions.csv,
-/// <name>_track.csv, and <name>_summary.ini.
+/// <name>_track.csv, <name>_summary.ini, and — when viewer clients were
+/// configured — <name>_clients.csv with the per-client delivery series.
 void write_result(const ExperimentResult& result, const std::string& dir);
 
 }  // namespace adaptviz

@@ -4,6 +4,9 @@
 //  * Fig 6 (free disk):           (wall_time, free_disk_percent)
 //  * Fig 7 (visualization):       VisRecord series from the vis process
 //  * Fig 8 (adaptivity):          (wall_time, processors, output_interval)
+//  * Serving (beyond the paper):  (wall_time, frames_served, cache hit
+//    rate, resident cache bytes) — viewer-side progress of the
+//    multi-client fan-out (src/serve)
 #pragma once
 
 #include <functional>
@@ -28,6 +31,10 @@ struct TelemetrySample {
   std::int64_t frames_written = 0;
   std::int64_t frames_sent = 0;
   std::int64_t frames_visualized = 0;
+  // Serving subsystem (all zero / 100 when no viewers are configured).
+  std::int64_t frames_served = 0;
+  double serve_hit_percent = 100.0;
+  Bytes cache_bytes{};
 };
 
 class TelemetryRecorder {

@@ -1,0 +1,126 @@
+#include "serve/frame_cache.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace adaptviz {
+
+const char* to_string(EvictionPolicy p) {
+  switch (p) {
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kStrideThinning:
+      return "stride-thin";
+  }
+  return "?";
+}
+
+EvictionPolicy eviction_policy_from(const std::string& name) {
+  if (name == "lru") return EvictionPolicy::kLru;
+  if (name == "stride-thin") return EvictionPolicy::kStrideThinning;
+  throw std::runtime_error("frame cache: unknown eviction policy '" + name +
+                           "' (expected lru | stride-thin)");
+}
+
+FrameCache::FrameCache(FrameCacheConfig config) : config_(config) {
+  if (config_.capacity <= Bytes(0)) {
+    throw std::invalid_argument("FrameCache: capacity must be > 0");
+  }
+}
+
+bool FrameCache::insert(const Frame& frame) {
+  if (auto it = entries_.find(frame.sequence); it != entries_.end()) {
+    // Already resident: refresh recency only.
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(frame.sequence);
+    it->second.lru_it = lru_.begin();
+    return true;
+  }
+  if (frame.size > config_.capacity) {
+    ++stats_.rejected;
+    return false;
+  }
+  // Make room *before* admitting so resident bytes never exceed capacity.
+  while (bytes_ + frame.size > config_.capacity ||
+         (config_.max_frames != 0 && entries_.size() >= config_.max_frames)) {
+    evict_one();
+  }
+  lru_.push_front(frame.sequence);
+  entries_.emplace(frame.sequence, Entry{frame, lru_.begin()});
+  bytes_ += frame.size;
+  ++stats_.insertions;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, bytes_);
+  return true;
+}
+
+std::optional<Frame> FrameCache::lookup(std::int64_t sequence) {
+  auto it = entries_.find(sequence);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(sequence);
+  it->second.lru_it = lru_.begin();
+  return it->second.frame;
+}
+
+bool FrameCache::contains(std::int64_t sequence) const {
+  return entries_.find(sequence) != entries_.end();
+}
+
+std::vector<std::int64_t> FrameCache::resident_sequences() const {
+  std::vector<std::int64_t> out;
+  out.reserve(entries_.size());
+  for (const auto& [seq, entry] : entries_) out.push_back(seq);
+  return out;
+}
+
+void FrameCache::evict_one() {
+  if (entries_.empty()) {
+    throw std::logic_error("FrameCache: eviction from an empty cache");
+  }
+  std::int64_t victim = 0;
+  switch (config_.policy) {
+    case EvictionPolicy::kLru:
+      victim = lru_.back();
+      break;
+    case EvictionPolicy::kStrideThinning:
+      victim = stride_victim();
+      break;
+  }
+  erase_entry(entries_.find(victim));
+  ++stats_.evictions;
+}
+
+std::int64_t FrameCache::stride_victim() const {
+  // The frame whose removal closes the smallest simulated-time gap between
+  // its neighbours; the first and last resident frames anchor the span and
+  // are only evicted when nothing else remains. Ties break toward the lower
+  // sequence so eviction order is fully deterministic.
+  if (entries_.size() <= 2) return entries_.begin()->first;
+  double best_gap = std::numeric_limits<double>::infinity();
+  std::int64_t best_seq = entries_.begin()->first;
+  auto prev = entries_.begin();
+  auto cur = std::next(prev);
+  for (auto next = std::next(cur); next != entries_.end();
+       prev = cur, cur = next, ++next) {
+    const double gap = (next->second.frame.sim_time -
+                        prev->second.frame.sim_time)
+                           .seconds();
+    if (gap < best_gap) {
+      best_gap = gap;
+      best_seq = cur->first;
+    }
+  }
+  return best_seq;
+}
+
+void FrameCache::erase_entry(std::map<std::int64_t, Entry>::iterator it) {
+  bytes_ -= it->second.frame.size;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,268 @@
+#include "serve/session_manager.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace adaptviz {
+
+const char* to_string(ViewerMode m) {
+  switch (m) {
+    case ViewerMode::kLiveTail:
+      return "live-tail";
+    case ViewerMode::kCatchUp:
+      return "catch-up";
+  }
+  return "?";
+}
+
+std::vector<ViewerConfig> make_viewer_fleet(int count, Bandwidth downlink,
+                                            double catchup_fraction,
+                                            SimSeconds catchup_start,
+                                            WallSeconds catchup_join) {
+  if (count < 0) throw std::invalid_argument("viewer fleet: count < 0");
+  const int catchup = std::clamp(
+      static_cast<int>(std::lround(catchup_fraction * count)), 0, count);
+  std::vector<ViewerConfig> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ViewerConfig v;
+    char name[32];
+    std::snprintf(name, sizeof name, "viewer%03d", i);
+    v.name = name;
+    v.downlink.nominal = downlink;
+    v.mode = i < catchup ? ViewerMode::kCatchUp : ViewerMode::kLiveTail;
+    v.catchup_start = catchup_start;
+    if (v.mode == ViewerMode::kCatchUp) v.join_wall = catchup_join;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+ViewerSessionManager::ViewerSessionManager(EventQueue& queue, Options options,
+                                           std::uint64_t seed, ThreadPool* pool,
+                                           RenderFn rerender)
+    : queue_(queue),
+      options_(std::move(options)),
+      pool_(pool),
+      rerender_fn_(std::move(rerender)),
+      cache_(options_.cache),
+      seed_(seed) {
+  if (options_.rerender_workers < 1) {
+    throw std::invalid_argument(
+        "ViewerSessionManager: rerender_workers must be >= 1");
+  }
+  if (options_.rerender_fixed_seconds < 0 ||
+      options_.rerender_seconds_per_gb < 0) {
+    throw std::invalid_argument(
+        "ViewerSessionManager: re-render costs must be >= 0");
+  }
+}
+
+int ViewerSessionManager::add_viewer(const ViewerConfig& config) {
+  const int idx = viewer_count();
+  Session s;
+  s.config = config;
+  // Each client rides its own link instance with its own noise stream.
+  s.downlink = std::make_unique<NetworkLink>(
+      config.downlink, seed_ + 101 * static_cast<std::uint64_t>(idx + 1));
+  sessions_.push_back(std::move(s));
+  if (config.join_wall <= queue_.now()) {
+    sessions_.back().active = true;
+    pump(idx);
+  } else {
+    queue_.schedule_at(
+        config.join_wall,
+        [this, idx] {
+          sessions_[static_cast<std::size_t>(idx)].active = true;
+          pump(idx);
+        },
+        "serve.join");
+  }
+  return idx;
+}
+
+void ViewerSessionManager::on_frame(const Frame& frame) {
+  if (!index_.empty() && frame.sequence <= index_.back().sequence) {
+    throw std::invalid_argument(
+        "ViewerSessionManager: sequences must be increasing");
+  }
+  Frame m = frame;
+  m.payload.reset();  // the index keeps metadata only
+  index_.push_back(std::move(m));
+  cache_.insert(frame);
+  for (int i = 0; i < viewer_count(); ++i) pump(i);
+}
+
+bool ViewerSessionManager::idle() const {
+  if (rerendering_ != 0 || !rerender_fifo_.empty()) return false;
+  for (const Session& s : sessions_) {
+    if (!s.active) return false;  // still waiting on its join event
+    if (s.in_flight || s.waiting_rerender) return false;
+    if (next_sequence(s).has_value()) return false;
+  }
+  return true;
+}
+
+std::optional<std::int64_t> ViewerSessionManager::next_sequence(
+    const Session& s) const {
+  if (index_.empty()) return std::nullopt;
+  if (s.config.mode == ViewerMode::kLiveTail) {
+    const std::int64_t newest = index_.back().sequence;
+    if (newest <= s.cursor) return std::nullopt;
+    return newest;
+  }
+  // Catch-up: before the first delivery, locate the start point by
+  // simulated time; afterwards, replay strictly in sequence order.
+  if (s.cursor < 0) {
+    auto it = std::lower_bound(
+        index_.begin(), index_.end(), s.config.catchup_start,
+        [](const Frame& f, SimSeconds t) { return f.sim_time < t; });
+    if (it == index_.end()) return std::nullopt;
+    return it->sequence;
+  }
+  auto it = std::upper_bound(
+      index_.begin(), index_.end(), s.cursor,
+      [](std::int64_t seq, const Frame& f) { return seq < f.sequence; });
+  if (it == index_.end()) return std::nullopt;
+  return it->sequence;
+}
+
+const Frame& ViewerSessionManager::meta(std::int64_t sequence) const {
+  auto it = std::lower_bound(
+      index_.begin(), index_.end(), sequence,
+      [](const Frame& f, std::int64_t seq) { return f.sequence < seq; });
+  if (it == index_.end() || it->sequence != sequence) {
+    throw std::logic_error("ViewerSessionManager: unknown sequence");
+  }
+  return *it;
+}
+
+void ViewerSessionManager::pump(int idx) {
+  Session& s = sessions_[static_cast<std::size_t>(idx)];
+  // Per-client backpressure: one frame in flight per downlink, one pending
+  // re-render wait. A stalled client parks here without touching anyone
+  // else's progress.
+  if (!s.active || s.in_flight || s.waiting_rerender) return;
+  const std::optional<std::int64_t> seq = next_sequence(s);
+  if (!seq.has_value()) return;  // caught up; the next on_frame re-pumps
+
+  if (s.config.mode == ViewerMode::kLiveTail && s.cursor >= 0) {
+    // Frames superseded while the downlink was busy are dropped, like any
+    // live stream tail; count them.
+    auto first = std::upper_bound(
+        index_.begin(), index_.end(), s.cursor,
+        [](std::int64_t c, const Frame& f) { return c < f.sequence; });
+    auto chosen = std::lower_bound(
+        index_.begin(), index_.end(), *seq,
+        [](const Frame& f, std::int64_t c) { return f.sequence < c; });
+    s.stats.frames_skipped += chosen - first;
+  }
+
+  if (std::optional<Frame> frame = cache_.lookup(*seq)) {
+    ++s.stats.cache_hits;
+    start_transfer(idx, *frame, /*cache_hit=*/true);
+  } else {
+    s.waiting_rerender = true;
+    ++s.stats.rerender_waits;
+    request_rerender(idx, *seq);
+  }
+}
+
+void ViewerSessionManager::start_transfer(int idx, const Frame& frame,
+                                          bool cache_hit) {
+  Session& s = sessions_[static_cast<std::size_t>(idx)];
+  s.in_flight = true;
+  const WallSeconds duration =
+      s.downlink->transfer_duration(frame.size, queue_.now());
+  queue_.schedule_after(
+      duration,
+      [this, idx, sequence = frame.sequence, sim_time = frame.sim_time,
+       size = frame.size, cache_hit] {
+        Session& session = sessions_[static_cast<std::size_t>(idx)];
+        session.in_flight = false;
+        session.cursor = std::max(session.cursor, sequence);
+        session.records.push_back(
+            DeliveryRecord{queue_.now(), sim_time, sequence, size, cache_hit});
+        ++session.stats.frames_delivered;
+        session.stats.bytes_delivered += size;
+        session.stats.latest_sim_time =
+            std::max(session.stats.latest_sim_time, sim_time);
+        ++frames_served_;
+        pump(idx);
+      },
+      "serve.deliver");
+}
+
+void ViewerSessionManager::request_rerender(int idx, std::int64_t sequence) {
+  std::vector<int>& waiters = rerender_waiters_[sequence];
+  waiters.push_back(idx);
+  // First waiter enqueues the work; later ones piggyback on the same
+  // re-render whether it is still queued or already in a slot.
+  if (waiters.size() == 1 && rerender_in_service_.count(sequence) == 0) {
+    rerender_fifo_.push_back(sequence);
+  }
+  drain_rerenders();
+}
+
+void ViewerSessionManager::drain_rerenders() {
+  while (rerendering_ < options_.rerender_workers && !rerender_fifo_.empty()) {
+    // Claim every free slot: these re-renders run concurrently in virtual
+    // time, so their real work may run concurrently on the pool too
+    // (mirrors FrameReceiver::drain).
+    std::vector<Frame> batch;
+    while (static_cast<int>(batch.size()) <
+               options_.rerender_workers - rerendering_ &&
+           !rerender_fifo_.empty()) {
+      batch.push_back(meta(rerender_fifo_.front()));
+      rerender_fifo_.pop_front();
+    }
+    for (const Frame& f : batch) rerender_in_service_.insert(f.sequence);
+
+    if (rerender_fn_) {
+      if (pool_ != nullptr && batch.size() > 1) {
+        pool_->parallel_for_chunked(
+            0, batch.size(), static_cast<int>(batch.size()), /*chunk=*/1,
+            [&](std::size_t lo, std::size_t hi) {
+              for (std::size_t k = lo; k < hi; ++k) rerender_fn_(batch[k]);
+            });
+      } else {
+        for (const Frame& f : batch) rerender_fn_(f);
+      }
+    }
+
+    for (const Frame& f : batch) {
+      ++rerendering_;
+      ++rerenders_;
+      const WallSeconds cost(options_.rerender_fixed_seconds +
+                             options_.rerender_seconds_per_gb * f.size.gb());
+      queue_.schedule_after(
+          cost,
+          [this, f] {
+            --rerendering_;
+            rerender_in_service_.erase(f.sequence);
+            // Back into the cache: the next session replaying this era
+            // hits instead of re-rendering again.
+            cache_.insert(f);
+            std::vector<int> waiters = std::move(rerender_waiters_[f.sequence]);
+            rerender_waiters_.erase(f.sequence);
+            ADAPTVIZ_LOG_DEBUG("serve",
+                               "frame #%lld re-rendered for %zu client(s)",
+                               static_cast<long long>(f.sequence),
+                               waiters.size());
+            for (int idx : waiters) {
+              sessions_[static_cast<std::size_t>(idx)].waiting_rerender =
+                  false;
+              start_transfer(idx, f, /*cache_hit=*/false);
+            }
+            drain_rerenders();
+          },
+          "serve.rerender");
+    }
+  }
+}
+
+}  // namespace adaptviz

@@ -1,0 +1,196 @@
+// Multi-client frame serving at the visualization site.
+//
+// The paper's receiver feeds exactly one VisIt session. The serving
+// subsystem fans the received stream out to N viewer clients instead: every
+// frame the receiver hands over is published into the bounded FrameCache,
+// and each ViewerSession replays cached frames over its *own* downlink at
+// its own pace. Two session modes:
+//
+//  * live-tail — always deliver the newest frame the client has not seen.
+//    A slow downlink simply skips intermediate frames (counted), exactly
+//    like tailing a live stream; its lag is bounded by one frame.
+//  * catch-up — join at an arbitrary simulated time and replay every frame
+//    from there forward, in order, until the cursor reaches the live head.
+//
+// Backpressure is per client: a session has at most one frame in flight on
+// its downlink, so a 60 Kbps straggler holds only its own cursor back —
+// never the receiver, never the other sessions, and never the WAN transfer
+// from the simulation site.
+//
+// Catch-up sessions are the cache-miss generators: when their cursor points
+// at an evicted frame, the frame is re-rendered at the visualization site
+// (bounded re-render slots; the heavy work of concurrently-busy slots runs
+// on the shared thread pool, mirroring FrameReceiver), re-inserted into the
+// cache, and then delivered to every session that was waiting on it. All
+// ordering decisions happen on the event loop, so results are bitwise
+// identical for any pool size.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dataio/frame.hpp"
+#include "resources/event_queue.hpp"
+#include "resources/network.hpp"
+#include "serve/frame_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace adaptviz {
+
+enum class ViewerMode { kLiveTail, kCatchUp };
+
+const char* to_string(ViewerMode m);
+
+inline LinkSpec default_viewer_downlink() {
+  LinkSpec spec;
+  spec.nominal = Bandwidth::mbps(100.0);
+  return spec;
+}
+
+struct ViewerConfig {
+  std::string name = "viewer";
+  /// Downlink from the visualization site to this client (per-client link:
+  /// campus LAN, home DSL, ...). Latency/outages/fluctuation all apply.
+  LinkSpec downlink = default_viewer_downlink();
+  ViewerMode mode = ViewerMode::kLiveTail;
+  /// Catch-up sessions start replaying at the first frame with
+  /// sim_time >= catchup_start; ignored for live-tail.
+  SimSeconds catchup_start{0.0};
+  /// Wall time the client connects. A catch-up client joining late replays
+  /// an era the cache may already have thinned — the cache-miss /
+  /// re-render path.
+  WallSeconds join_wall{0.0};
+};
+
+/// One completed delivery to one client (the viewer-side progress series —
+/// the multi-client analogue of the paper's Fig 7 records).
+struct DeliveryRecord {
+  WallSeconds wall_time{};  // when the last byte reached the client
+  SimSeconds sim_time{};    // simulated time of the delivered frame
+  std::int64_t sequence = 0;
+  Bytes size{};
+  /// False when the frame had been evicted and was served via re-render.
+  bool cache_hit = true;
+};
+
+struct ViewerStats {
+  std::int64_t frames_delivered = 0;
+  Bytes bytes_delivered{};
+  std::int64_t cache_hits = 0;
+  std::int64_t rerender_waits = 0;
+  /// Live-tail only: frames skipped because a newer one superseded them
+  /// before the downlink freed up.
+  std::int64_t frames_skipped = 0;
+  SimSeconds latest_sim_time{};
+};
+
+/// Convenience builder for benches/scenarios: `count` viewers sharing one
+/// downlink spec; the first round(count * catchup_fraction) replay from
+/// `catchup_start` after connecting at wall time `catchup_join`, the rest
+/// live-tail from the start. Names are viewer000, viewer001, ...
+std::vector<ViewerConfig> make_viewer_fleet(
+    int count, Bandwidth downlink, double catchup_fraction,
+    SimSeconds catchup_start, WallSeconds catchup_join = WallSeconds(0.0));
+
+class ViewerSessionManager {
+ public:
+  /// Heavy re-render work (same contract as FrameReceiver::RenderFn): must
+  /// be thread-safe across distinct frames.
+  using RenderFn = std::function<void(const Frame&)>;
+
+  struct Options {
+    FrameCacheConfig cache{};
+    /// Re-render cost model for evicted frames (the visualization site
+    /// regenerates the image from its archived fields): fixed setup plus
+    /// per-gigabyte scan, like VisualizationProcess.
+    double rerender_fixed_seconds = 0.5;
+    double rerender_seconds_per_gb = 3.0;
+    /// Parallel re-render slots (>= 1); concurrently-busy slots run their
+    /// heavy work on the pool.
+    int rerender_workers = 1;
+  };
+
+  ViewerSessionManager(EventQueue& queue, Options options, std::uint64_t seed,
+                       ThreadPool* pool = nullptr, RenderFn rerender = nullptr);
+
+  /// Registers a client; returns its index. Sessions added mid-run join the
+  /// stream from the current head (live-tail) or their catch-up point.
+  int add_viewer(const ViewerConfig& config);
+
+  /// Ingest from the FrameReceiver: publishes into the cache and wakes
+  /// every session. Sequences must be strictly increasing.
+  void on_frame(const Frame& frame);
+
+  [[nodiscard]] const FrameCache& cache() const { return cache_; }
+  [[nodiscard]] int viewer_count() const {
+    return static_cast<int>(sessions_.size());
+  }
+  [[nodiscard]] const ViewerConfig& viewer(int client) const {
+    return sessions_[static_cast<std::size_t>(client)].config;
+  }
+  [[nodiscard]] const ViewerStats& stats(int client) const {
+    return sessions_[static_cast<std::size_t>(client)].stats;
+  }
+  [[nodiscard]] const std::vector<DeliveryRecord>& deliveries(
+      int client) const {
+    return sessions_[static_cast<std::size_t>(client)].records;
+  }
+
+  /// Total deliveries across all clients.
+  [[nodiscard]] std::int64_t frames_served() const { return frames_served_; }
+  /// Total re-renders performed for evicted frames.
+  [[nodiscard]] std::int64_t rerenders() const { return rerenders_; }
+  /// True when every session is caught up and nothing is in flight — the
+  /// framework's drain condition.
+  [[nodiscard]] bool idle() const;
+
+ private:
+  struct Session {
+    ViewerConfig config;
+    std::unique_ptr<NetworkLink> downlink;
+    std::int64_t cursor = -1;  // last delivered sequence
+    bool active = false;       // false until join_wall passes
+    bool in_flight = false;
+    bool waiting_rerender = false;
+    ViewerStats stats;
+    std::vector<DeliveryRecord> records;
+  };
+
+  void pump(int idx);
+  void start_transfer(int idx, const Frame& frame, bool cache_hit);
+  void request_rerender(int idx, std::int64_t sequence);
+  void drain_rerenders();
+  /// Next sequence the session should receive, or nullopt when caught up.
+  [[nodiscard]] std::optional<std::int64_t> next_sequence(
+      const Session& s) const;
+  [[nodiscard]] const Frame& meta(std::int64_t sequence) const;
+
+  EventQueue& queue_;
+  Options options_;
+  ThreadPool* pool_;
+  RenderFn rerender_fn_;
+  FrameCache cache_;
+  std::uint64_t seed_;
+
+  /// Every frame ever received, payload dropped: the replay index catch-up
+  /// cursors walk and the metadata source for re-renders. Ordered by
+  /// sequence (== arrival order == simulated-time order).
+  std::vector<Frame> index_;
+  std::vector<Session> sessions_;
+
+  std::deque<std::int64_t> rerender_fifo_;        // pending, FIFO
+  std::map<std::int64_t, std::vector<int>> rerender_waiters_;
+  std::set<std::int64_t> rerender_in_service_;
+  int rerendering_ = 0;  // busy re-render slots
+  std::int64_t frames_served_ = 0;
+  std::int64_t rerenders_ = 0;
+};
+
+}  // namespace adaptviz

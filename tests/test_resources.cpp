@@ -164,6 +164,58 @@ TEST(Network, TransferSpansMultipleOutages) {
               11.0, 1e-9);
 }
 
+TEST(Network, ProbeDuringOutageWaitsAndMeasuresLow) {
+  // 1 MB/s link, outage [5, 10). A probe launched at t=6 waits out the
+  // remaining 4 s of blackout before its 1 MB moves: the measurement is
+  // honest about the wait (0.2 MB/s), exactly what collapses the paper's
+  // bandwidth estimate during a storm.
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::mbps(8),
+                            .outages = {{WallSeconds(5.0), WallSeconds(10.0)}},
+                            .latency = WallSeconds(0.0)},
+                   1);
+  const auto during = link.probe(WallSeconds(6.0), Bytes::megabytes(1));
+  EXPECT_NEAR(during.elapsed.seconds(), 5.0, 1e-9);
+  EXPECT_NEAR(during.measured.bytes_per_sec(), 0.2e6, 1e-3);
+  // The same probe after the window sees the true rate again.
+  const auto after = link.probe(WallSeconds(10.0), Bytes::megabytes(1));
+  EXPECT_NEAR(after.elapsed.seconds(), 1.0, 1e-9);
+  EXPECT_NEAR(after.measured.bytes_per_sec(), 1e6, 1e-3);
+}
+
+TEST(Network, OutageStormWindowsAtUnitLevel) {
+  // The outage_storm scenario's failure injection: blackouts at wall hours
+  // [6, 10) and [14, 16). Unit-level on a 1 MB/s link.
+  NetworkLink link(
+      LinkSpec{.nominal = Bandwidth::mbps(8),
+               .outages = {{WallSeconds::hours(6), WallSeconds::hours(10)},
+                           {WallSeconds::hours(14), WallSeconds::hours(16)}},
+               .latency = WallSeconds(0.0)},
+      1);
+  // Dead inside both windows, live between and after them.
+  EXPECT_EQ(link.current_bandwidth(WallSeconds::hours(7)).bytes_per_sec(), 0.0);
+  EXPECT_EQ(link.current_bandwidth(WallSeconds::hours(15)).bytes_per_sec(),
+            0.0);
+  EXPECT_NEAR(link.current_bandwidth(WallSeconds::hours(12)).bytes_per_sec(),
+              1e6, 1e-3);
+  EXPECT_NEAR(link.current_bandwidth(WallSeconds::hours(20)).bytes_per_sec(),
+              1e6, 1e-3);
+  // A transfer spanning *both* windows: 53 000 MB started at t=0 moves
+  // 21 600 MB before hour 6, resumes at hour 10 and moves 14 400 MB more by
+  // hour 14, waits again, and finishes the last 17 000 MB after hour 16:
+  // done at 57 600 s + 17 000 s.
+  EXPECT_NEAR(
+      link.transfer_duration(Bytes::megabytes(53000), WallSeconds(0.0))
+          .seconds(),
+      74600.0, 1e-6);
+  // Started inside the first window, big enough to reach into the second.
+  EXPECT_NEAR(
+      link.transfer_duration(Bytes::megabytes(15000), WallSeconds::hours(8))
+          .seconds(),
+      // Waits [8h, 10h) = 7200 s, serves 14 400 MB by hour 14, waits
+      // [14h, 16h) = 7200 s, serves the last 600 MB.
+      7200.0 + 14400.0 + 7200.0 + 600.0, 1e-6);
+}
+
 TEST(Network, OutageValidation) {
   EXPECT_THROW(NetworkLink(LinkSpec{.nominal = Bandwidth::mbps(1),
                                     .outages = {{WallSeconds(5.0),

@@ -111,6 +111,64 @@ TEST(Sender, StopHaltsAfterInFlightTransfer) {
   EXPECT_EQ(rig.catalog.count(), 1u);
 }
 
+TEST(Sender, KickStormWhileIdleKeepsASinglePollChain) {
+  // kick() and poll_event() both funnel into try_send(); the
+  // poll_scheduled_ guard must keep any number of kicks from stacking up
+  // duplicate poll chains.
+  Rig rig;
+  rig.sender->start();  // empty catalog: one poll pending
+  EXPECT_EQ(rig.queue.pending(), 1u);
+  for (int i = 0; i < 20; ++i) rig.sender->kick();
+  EXPECT_EQ(rig.queue.pending(), 1u);
+  rig.queue.run_until(WallSeconds(95.0));  // nine empty polls re-arm
+  EXPECT_EQ(rig.queue.pending(), 1u);
+  // The cadence is intact: a frame written now waits for the t=100 poll.
+  rig.catalog.push(rig.frame(0, 1));
+  rig.queue.run_until(WallSeconds(200.0));
+  ASSERT_EQ(rig.delivered.size(), 1u);
+  EXPECT_NEAR(rig.delivered[0].first, 101.0, 1e-9);
+}
+
+TEST(Sender, KickStormMidTransferNeitherDuplicatesNorReorders) {
+  Rig rig;
+  rig.catalog.push(rig.frame(0, 5));
+  rig.catalog.push(rig.frame(1, 3));
+  rig.sender->start();
+  EXPECT_TRUE(rig.sender->transfer_in_flight());
+  for (int i = 0; i < 50; ++i) rig.sender->kick();
+  // Only the in-flight completion is scheduled; kicks were no-ops.
+  EXPECT_EQ(rig.queue.pending(), 1u);
+  rig.queue.run_until(WallSeconds(100.0));
+  ASSERT_EQ(rig.delivered.size(), 2u);
+  EXPECT_NEAR(rig.delivered[0].first, 5.0, 1e-9);
+  EXPECT_NEAR(rig.delivered[1].first, 8.0, 1e-9);
+  EXPECT_EQ(rig.sender->frames_sent(), 2);
+}
+
+TEST(Sender, StalePollDuringKickStartedTransferStaysHarmless) {
+  // A kick can start a transfer while an idle-poll is already pending. The
+  // stale poll then fires mid-flight (or after): it must neither start a
+  // second transfer nor orphan the poll chain.
+  Rig rig;
+  rig.sender->start();  // poll armed for t=10
+  rig.queue.run_until(WallSeconds(2.0));
+  rig.catalog.push(rig.frame(0, 6));
+  rig.catalog.push(rig.frame(1, 1));
+  rig.sender->kick();  // transfer #0 runs [2, 8), #1 runs [8, 9)
+  rig.queue.run_until(WallSeconds(9.5));
+  ASSERT_EQ(rig.delivered.size(), 2u);
+  EXPECT_NEAR(rig.delivered[0].first, 8.0, 1e-9);
+  EXPECT_NEAR(rig.delivered[1].first, 9.0, 1e-9);
+  // The t=10 poll fired into an idle sender and re-armed the chain: a
+  // frame written at t=15 is picked up by the t=20 poll, exactly once.
+  rig.queue.run_until(WallSeconds(15.0));
+  rig.catalog.push(rig.frame(2, 1));
+  rig.queue.run_until(WallSeconds(100.0));
+  ASSERT_EQ(rig.delivered.size(), 3u);
+  EXPECT_NEAR(rig.delivered[2].first, 21.0, 1e-9);
+  EXPECT_EQ(rig.sender->frames_sent(), 3);
+}
+
 TEST(Sender, Validation) {
   Rig rig;
   EXPECT_THROW(FrameSender(rig.queue, rig.link, rig.catalog, rig.disk,
@@ -219,6 +277,52 @@ TEST(Receiver, PooledRenderRunsOncePerFrameBeforeBookkeeping) {
   EXPECT_EQ(order, (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5}));
   for (const auto& r : rendered) EXPECT_EQ(r.load(), 1);
   EXPECT_DOUBLE_EQ(queue.now().seconds(), 4.0);  // two batches of 3 at 2 s
+}
+
+TEST(Receiver, BurstyArrivalsKeepBacklogAndBusyAccountsExact) {
+  // Two workers, 4 s renders, a burst of five frames at t=0 and three more
+  // landing mid-render at t=6: backlog() and workers_busy() must track the
+  // queue through every dispatch batch.
+  EventQueue queue;
+  std::vector<std::int64_t> order;
+  FrameReceiver receiver(
+      queue,
+      [&order](const Frame& f) {
+        order.push_back(f.sequence);
+        return WallSeconds(4.0);
+      },
+      2);
+  for (int i = 0; i < 5; ++i) {
+    Frame f;
+    f.sequence = i;
+    receiver.on_frame_arrival(f);
+  }
+  EXPECT_EQ(receiver.workers_busy(), 2);
+  EXPECT_EQ(receiver.backlog(), 3u);
+  queue.schedule_at(WallSeconds(5.0), [&] {
+    // #0/#1 finished at t=4 and #2/#3 dispatched immediately.
+    EXPECT_EQ(receiver.workers_busy(), 2);
+    EXPECT_EQ(receiver.backlog(), 1u);
+    EXPECT_EQ(receiver.frames_visualized(), 2);
+  });
+  queue.schedule_at(WallSeconds(6.0), [&] {
+    for (int i = 5; i < 8; ++i) {
+      Frame f;
+      f.sequence = i;
+      receiver.on_frame_arrival(f);
+    }
+    EXPECT_EQ(receiver.workers_busy(), 2);  // burst queues, doesn't preempt
+    EXPECT_EQ(receiver.backlog(), 4u);
+  });
+  queue.run_all();
+  EXPECT_EQ(receiver.frames_received(), 8);
+  EXPECT_EQ(receiver.frames_visualized(), 8);
+  EXPECT_EQ(receiver.workers_busy(), 0);
+  EXPECT_EQ(receiver.backlog(), 0u);
+  // Dispatch stayed in arrival order across both bursts.
+  EXPECT_EQ(order, (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+  // Batches of two every 4 s: {0,1}@0 {2,3}@4 {4,5}@8 {6,7}@12, done at 16.
+  EXPECT_DOUBLE_EQ(queue.now().seconds(), 16.0);
 }
 
 TEST(Estimator, EmaSmoothsAndProbeCounts) {

@@ -5,7 +5,9 @@
 // Loads an INI scenario (see src/core/scenario.hpp for the schema), runs
 // the full adaptive framework, prints the summary, and writes the result
 // series (samples / visualization / decisions / track CSVs + summary INI)
-// into the output directory (default: results/).
+// into the output directory (default: results/). Scenarios with a [serve]
+// section additionally emit <name>_clients.csv — one delivery row per
+// frame per viewer client — and print the serving summary.
 #include <cstdio>
 
 #include "core/scenario.hpp"
@@ -54,6 +56,23 @@ int main(int argc, char** argv) {
         static_cast<long long>(s.frames_written),
         static_cast<long long>(s.frames_sent),
         static_cast<long long>(s.frames_visualized), s.restarts);
+    if (s.viewers > 0) {
+      std::printf(
+          "serve: %d clients, %lld deliveries, cache hits/misses=%lld/%lld "
+          "(%.1f%% hit), evictions=%lld, rerenders=%lld, peak cache %s\n",
+          s.viewers, static_cast<long long>(s.frames_served),
+          static_cast<long long>(s.cache_hits),
+          static_cast<long long>(s.cache_misses),
+          s.cache_hits + s.cache_misses == 0
+              ? 100.0
+              : 100.0 * static_cast<double>(s.cache_hits) /
+                    static_cast<double>(s.cache_hits + s.cache_misses),
+          static_cast<long long>(s.cache_evictions),
+          static_cast<long long>(s.rerenders),
+          to_string(s.peak_cache_bytes).c_str());
+      std::printf("per-client deliveries written to %s/%s_clients.csv\n",
+                  out_dir.c_str(), cfg.name.c_str());
+    }
     std::printf("results written to %s/%s_*.csv\n", out_dir.c_str(),
                 cfg.name.c_str());
     return s.completed ? 0 : 1;
