@@ -80,6 +80,7 @@ void ApplicationManager::invoke() {
   in.disk_capacity = disk_.capacity();
   in.observed_bandwidth = measure_bandwidth();
   in.io_bandwidth = disk_.io_bandwidth();
+  in.link_degraded = st.link_degraded;
   in.work_units = st.work_units;
   in.frame_bytes = st.frame_bytes;
   in.integration_step = st.integration_step;
@@ -103,8 +104,9 @@ void ApplicationManager::invoke() {
     d.critical = true;  // hold until clear threshold
   }
 
-  ADAPTVIZ_LOG_INFO("app-manager", "[%s] %s%s", hh_mm(queue_.now()).c_str(),
-                    d.note.c_str(), d.critical ? " [CRITICAL]" : "");
+  ADAPTVIZ_LOG_INFO("app-manager", "[%s] %s%s%s", hh_mm(queue_.now()).c_str(),
+                    d.note.c_str(), d.critical ? " [CRITICAL]" : "",
+                    in.link_degraded ? " [LINK DEGRADED]" : "");
 
   const bool changed = d.processors != config_.processors ||
                        d.output_interval != config_.output_interval ||

@@ -37,6 +37,9 @@ struct ApplicationStatus {
   double resolution_km = 24.0;
   int max_usable_processors = 1;
   bool finished = false;
+  /// Frame sender escalation: N consecutive transfer failures (the
+  /// transport analogue of the CRITICAL disk flag).
+  bool link_degraded = false;
 };
 
 struct DecisionRecord {

@@ -31,6 +31,10 @@ struct DecisionInput {
   Bytes disk_capacity{};
   Bandwidth observed_bandwidth{};     // smoothed sim->vis estimate
   Bandwidth io_bandwidth{};           // parallel file system write rate
+  /// Frame-sender escalation: true after N consecutive transfer failures
+  /// (exponential-backoff retries are in progress and the bandwidth
+  /// estimate is stale). Algorithms may treat this like an outage.
+  bool link_degraded = false;
 
   // --- Application state ---
   double work_units = 1.0;            // per-step cost at current resolution

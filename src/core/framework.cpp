@@ -44,7 +44,9 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
       link_(LinkSpec{.nominal = config_.site.wan_nominal,
                      .outages = config_.wan_outages,
                      .efficiency = config_.site.wan_efficiency,
-                     .fluctuation_sigma = config_.site.wan_fluctuation_sigma},
+                     .fluctuation_sigma = config_.site.wan_fluctuation_sigma,
+                     .failure_probability =
+                         config_.faults.transfer_failure_rate},
             config_.seed + 1) {
   // Profile the machine and fit the performance model — the framework's
   // decision algorithms only ever see this fitted curve, never the ground
@@ -104,9 +106,13 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
       },
       config_.vis_workers, &ThreadPool::shared(),
       [this](const Frame& f) { vis_->render_frame(f); });
+  FrameSender::Options sender_opts;
+  sender_opts.retry = config_.faults.retry;
+  sender_opts.seed = config_.seed + 4;
   sender_ = std::make_unique<FrameSender>(
       queue_, link_, catalog_, disk_, estimator_,
-      [this](const Frame& f) { receiver_->on_frame_arrival(f); });
+      [this](const Frame& f) { receiver_->on_frame_arrival(f); },
+      sender_opts);
 
   SimulationProcess::Options sim_opts;
   sim_opts.end_time = config_.sim_window;
@@ -192,6 +198,7 @@ ApplicationStatus AdaptiveFramework::status_now() {
   st.max_usable_processors =
       std::min(config_.site.machine.max_cores, m->max_usable_processors());
   st.finished = process_->finished();
+  st.link_degraded = sender_->link_degraded();
   return st;
 }
 
@@ -208,6 +215,10 @@ TelemetrySample AdaptiveFramework::sample_now() {
   s.frames_written = process_->frames_written();
   s.frames_sent = sender_->frames_sent();
   s.frames_visualized = receiver_->frames_visualized();
+  s.transfer_failures = sender_->transfer_failures();
+  s.transfer_retries = sender_->transfer_retries();
+  s.link_degraded = sender_->link_degraded();
+  s.retry_backoff_seconds = sender_->current_backoff().seconds();
   if (serving_) {
     s.frames_served = serving_->frames_served();
     s.serve_hit_percent = serving_->cache().stats().hit_rate() * 100.0;
@@ -279,6 +290,8 @@ ExperimentResult AdaptiveFramework::run() {
   sum.frames_written = process_->frames_written();
   sum.frames_sent = sender_->frames_sent();
   sum.frames_visualized = receiver_->frames_visualized();
+  sum.transfer_failures = sender_->transfer_failures();
+  sum.transfer_retries = sender_->transfer_retries();
   sum.restarts = job_handler_->restarts();
   sum.decision_count = static_cast<int>(manager_->decisions().size());
   if (serving_) {

@@ -23,6 +23,7 @@
 #include "serve/session_manager.hpp"
 #include "steering/steering.hpp"
 #include "transport/receiver.hpp"
+#include "transport/sender.hpp"
 #include "vis/vis_process.hpp"
 #include "weather/model.hpp"
 
@@ -40,6 +41,14 @@ struct ServeOptions {
   std::vector<ViewerConfig> viewers;
 
   [[nodiscard]] bool enabled() const { return !viewers.empty(); }
+};
+
+/// Transport failure injection and the sender's retry policy. The default
+/// (rate 0) reproduces the seed's always-succeeds WAN exactly.
+struct FaultOptions {
+  /// Probability in [0, 1] that one transfer attempt aborts mid-flight.
+  double transfer_failure_rate = 0.0;
+  FrameSender::RetryPolicy retry{};
 };
 
 struct ExperimentConfig {
@@ -73,6 +82,8 @@ struct ExperimentConfig {
   /// non-overlapping). Transfers pause across them; the bandwidth
   /// estimator and the decision algorithms must ride them out.
   std::vector<LinkOutage> wan_outages;
+  /// Failure injection: per-transfer abort probability + retry policy.
+  FaultOptions faults{};
   std::uint64_t seed = 42;
 
   /// Computational steering (paper future work): when set, this policy is
@@ -96,6 +107,9 @@ struct ExperimentSummary {
   std::int64_t frames_written = 0;
   std::int64_t frames_sent = 0;
   std::int64_t frames_visualized = 0;
+  // Transport reliability (zero on a failure-free link).
+  std::int64_t transfer_failures = 0;
+  std::int64_t transfer_retries = 0;
   int restarts = 0;
   int decision_count = 0;
 

@@ -137,6 +137,32 @@ ExperimentConfig scenario_from_ini(const IniDocument& doc) {
     cfg.wan_outages = parse_outages(*v);
   }
 
+  // [faults] — transport failure injection + the sender's retry policy.
+  if (doc.has_section("faults")) {
+    if (auto v = doc.get_double("faults", "transfer_failure_rate")) {
+      if (*v < 0.0 || *v > 1.0) {
+        throw std::runtime_error(
+            "scenario: faults.transfer_failure_rate must be in [0, 1]");
+      }
+      cfg.faults.transfer_failure_rate = *v;
+    }
+    if (auto v = doc.get_double("faults", "retry_initial_seconds")) {
+      cfg.faults.retry.initial_backoff = WallSeconds(*v);
+    }
+    if (auto v = doc.get_double("faults", "retry_multiplier")) {
+      cfg.faults.retry.multiplier = *v;
+    }
+    if (auto v = doc.get_double("faults", "retry_cap_seconds")) {
+      cfg.faults.retry.max_backoff = WallSeconds(*v);
+    }
+    if (auto v = doc.get_double("faults", "retry_jitter")) {
+      cfg.faults.retry.jitter = *v;
+    }
+    if (auto v = doc.get_int("faults", "degrade_after")) {
+      cfg.faults.retry.degrade_after = static_cast<int>(*v);
+    }
+  }
+
   // [serve] — visualization-site frame cache + viewer fan-out.
   if (doc.has_section("serve")) {
     const int viewers =
@@ -198,7 +224,9 @@ void write_result(const ExperimentResult& result, const std::string& dir) {
                     "output_interval_min", "resolution_km",
                     "min_pressure_hpa", "stalled", "critical", "paused",
                     "frames_written", "frames_sent", "frames_visualized",
-                    "frames_served", "serve_hit_percent", "cache_mb"});
+                    "transfer_failures", "transfer_retries", "link_degraded",
+                    "retry_backoff_s", "frames_served", "serve_hit_percent",
+                    "cache_mb"});
   for (const TelemetrySample& s : result.samples) {
     samples.add_row({s.wall_time.as_hours(), epoch.label(s.sim_time),
                      s.sim_time.as_hours(), s.free_disk_percent,
@@ -207,7 +235,9 @@ void write_result(const ExperimentResult& result, const std::string& dir) {
                      s.min_pressure_hpa, static_cast<long>(s.stalled),
                      static_cast<long>(s.critical),
                      static_cast<long>(s.paused), s.frames_written,
-                     s.frames_sent, s.frames_visualized, s.frames_served,
+                     s.frames_sent, s.frames_visualized, s.transfer_failures,
+                     s.transfer_retries, static_cast<long>(s.link_degraded),
+                     s.retry_backoff_seconds, s.frames_served,
                      s.serve_hit_percent, s.cache_bytes.mb()});
   }
   samples.save(base + "_samples.csv");
@@ -274,6 +304,8 @@ void write_result(const ExperimentResult& result, const std::string& dir) {
   summary.set_int("summary", "frames_written", s.frames_written);
   summary.set_int("summary", "frames_sent", s.frames_sent);
   summary.set_int("summary", "frames_visualized", s.frames_visualized);
+  summary.set_int("summary", "transfer_failures", s.transfer_failures);
+  summary.set_int("summary", "transfer_retries", s.transfer_retries);
   summary.set_int("summary", "restarts", s.restarts);
   summary.set_int("summary", "decisions", s.decision_count);
   if (s.viewers > 0) {

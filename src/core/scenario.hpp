@@ -34,6 +34,14 @@
 //   [outages]                          ; optional failure injection
 //   windows = 10-14, 30-31.5           ; wall hours
 //
+//   [faults]                           ; optional transport failure model
+//   transfer_failure_rate = 0.15       ; P(one transfer attempt aborts)
+//   retry_initial_seconds = 5          ; first backoff delay
+//   retry_multiplier = 2.0             ; exponential growth per failure
+//   retry_cap_seconds = 300            ; backoff ceiling
+//   retry_jitter = 0.2                 ; +/- fraction drawn per retry
+//   degrade_after = 5                  ; consecutive failures -> degraded
+//
 //   [serve]                            ; optional multi-client fan-out
 //   viewers = 32                       ; 0 / absent section = paper setup
 //   viewer_downlink_mbps = 100

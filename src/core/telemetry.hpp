@@ -31,6 +31,12 @@ struct TelemetrySample {
   std::int64_t frames_written = 0;
   std::int64_t frames_sent = 0;
   std::int64_t frames_visualized = 0;
+  // Transport reliability (all zero on a failure-free link).
+  std::int64_t transfer_failures = 0;
+  std::int64_t transfer_retries = 0;
+  bool link_degraded = false;
+  /// Backoff delay of the retry pending at sample time (0 when healthy).
+  double retry_backoff_seconds = 0.0;
   // Serving subsystem (all zero / 100 when no viewers are configured).
   std::int64_t frames_served = 0;
   double serve_hit_percent = 100.0;

@@ -15,6 +15,18 @@ void FrameCatalog::push(Frame frame) {
   frames_.push_back(std::move(frame));
 }
 
+void FrameCatalog::requeue_front(Frame frame) {
+  if (!frames_.empty() && frame.sequence >= frames_.front().sequence) {
+    throw std::invalid_argument(
+        "FrameCatalog: requeued frame must precede the current head");
+  }
+  if (frame.size < Bytes(0)) {
+    throw std::invalid_argument("FrameCatalog: negative frame size");
+  }
+  total_ += frame.size;
+  frames_.push_front(std::move(frame));
+}
+
 std::optional<Frame> FrameCatalog::oldest() const {
   if (frames_.empty()) return std::nullopt;
   return frames_.front();

@@ -55,6 +55,12 @@ class FrameCatalog {
   /// Removes and returns the oldest frame; throws std::logic_error if empty.
   Frame pop_oldest();
 
+  /// Returns a frame to the head of the catalog: the path a failed or
+  /// abandoned transfer takes (its bytes never left the simulation site's
+  /// disk). The frame must precede the current oldest in sequence order;
+  /// throws std::invalid_argument otherwise.
+  void requeue_front(Frame frame);
+
   [[nodiscard]] std::size_t count() const { return frames_.size(); }
   [[nodiscard]] bool empty() const { return frames_.empty(); }
   /// Sum of modeled sizes of resident frames.

@@ -4,11 +4,23 @@
 #include <stdexcept>
 
 namespace adaptviz {
+namespace {
+
+/// advance_factor walks the per-period AR(1) loop at most this far before
+/// switching to the closed-form multi-step jump (a catch-up this long only
+/// happens after an idle gap no experiment cadence produces).
+constexpr int kMaxCatchUpSteps = 64;
+
+}  // namespace
 
 NetworkLink::NetworkLink(LinkSpec spec, std::uint64_t seed)
-    : spec_(spec), rng_(seed) {
+    : spec_(spec), rng_(seed), fault_rng_(seed ^ 0xfa117a11u) {
   if (spec_.nominal.bytes_per_sec() <= 0.0) {
     throw std::invalid_argument("NetworkLink: nominal bandwidth must be > 0");
+  }
+  if (spec_.failure_probability < 0.0 || spec_.failure_probability > 1.0) {
+    throw std::invalid_argument(
+        "NetworkLink: failure probability must be in [0, 1]");
   }
   if (spec_.fluctuation_sigma < 0.0 || spec_.persistence < 0.0 ||
       spec_.persistence >= 1.0) {
@@ -44,10 +56,28 @@ void NetworkLink::advance_factor(WallSeconds now) {
   const double rho = spec_.persistence;
   const double innov =
       spec_.fluctuation_sigma * std::sqrt(1.0 - rho * rho);
-  while (last_update_ + spec_.update_period <= now) {
+  // Capped catch-up: the per-period loop is bitwise-identical to the
+  // historical behavior for the cadences the experiments actually run at.
+  int caught_up = 0;
+  while (caught_up < kMaxCatchUpSteps &&
+         last_update_ + spec_.update_period <= now) {
     log_factor_ = rho * log_factor_ + innov * rng_.normal();
     last_update_ += spec_.update_period;
+    ++caught_up;
   }
+  if (last_update_ + spec_.update_period > now) return;
+  // A long simulation stall with a small update period would otherwise
+  // spin O(gap / period) iterations. Jump the remaining n steps in closed
+  // form: x_n = rho^n x_0 + sigma sqrt(1 - rho^{2n}) N(0,1) is exactly the
+  // n-step AR(1) transition, so the stationary distribution is preserved.
+  const double gap = (now - last_update_).seconds();
+  const auto n = static_cast<std::uint64_t>(gap / period);
+  if (n == 0) return;
+  const double rho_n = std::pow(rho, static_cast<double>(n));
+  const double jump_sigma = spec_.fluctuation_sigma *
+                            std::sqrt(std::max(0.0, 1.0 - rho_n * rho_n));
+  log_factor_ = rho_n * log_factor_ + jump_sigma * rng_.normal();
+  last_update_ += WallSeconds(period * static_cast<double>(n));
 }
 
 Bandwidth NetworkLink::current_bandwidth(WallSeconds now) {
@@ -82,12 +112,31 @@ WallSeconds NetworkLink::transfer_duration(Bytes size, WallSeconds now) {
   return WallSeconds(t + remaining / rate) - now;
 }
 
+NetworkLink::TransferAttempt NetworkLink::plan_transfer(Bytes size,
+                                                        WallSeconds now) {
+  TransferAttempt attempt;
+  attempt.duration = transfer_duration(size, now);
+  attempt.bytes_moved = size;
+  if (spec_.failure_probability <= 0.0) return attempt;
+  if (fault_rng_.uniform() >= spec_.failure_probability) return attempt;
+  attempt.failed = true;
+  // Abort at a sampled progress fraction; the wall time burned is the time
+  // that partial payload takes over the same link (outage pauses included).
+  attempt.bytes_moved = size * fault_rng_.uniform();
+  attempt.duration = transfer_duration(attempt.bytes_moved, now);
+  return attempt;
+}
+
 NetworkLink::ProbeResult NetworkLink::probe(WallSeconds now, Bytes probe_size) {
   const WallSeconds elapsed = transfer_duration(probe_size, now);
   // The probe includes latency in its timing, exactly like timing a real
   // message, so the measured figure is slightly below the true bandwidth.
+  // A degenerate probe (zero payload over a zero-latency link) completes
+  // in no time; report the instantaneous rate instead of dividing by zero.
   const Bandwidth measured =
-      Bandwidth(probe_size.as_double() / elapsed.seconds());
+      elapsed.seconds() > 0.0
+          ? Bandwidth(probe_size.as_double() / elapsed.seconds())
+          : current_bandwidth(now);
   return ProbeResult{measured, elapsed};
 }
 

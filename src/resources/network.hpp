@@ -41,6 +41,13 @@ struct LinkSpec {
   WallSeconds update_period = WallSeconds::hours(0.25);
   /// One-way latency added to every transfer.
   WallSeconds latency = WallSeconds(0.05);
+  /// Failure injection: probability in [0, 1] that a single transfer
+  /// attempt aborts mid-flight (route flap, TCP reset, receiver hiccup —
+  /// the failure modes a real intercontinental WAN shows routinely). The
+  /// abort point is a uniformly sampled progress fraction. Draws come from
+  /// a dedicated seeded stream, so enabling failures does not perturb the
+  /// AR(1) bandwidth fluctuation path and runs stay deterministic.
+  double failure_probability = 0.0;
 };
 
 class NetworkLink {
@@ -54,6 +61,17 @@ class NetworkLink {
   /// Wall time to move `size` starting at `now`: latency + serving time at
   /// the current rate, skipping over any outage windows in between.
   [[nodiscard]] WallSeconds transfer_duration(Bytes size, WallSeconds now);
+
+  /// One planned transfer attempt under the failure model: either the full
+  /// payload lands after `duration`, or the attempt aborts (`failed`) after
+  /// moving `bytes_moved` of it. An aborted attempt delivers nothing — the
+  /// partial bytes are wasted wire time the sender must pay again.
+  struct TransferAttempt {
+    bool failed = false;
+    WallSeconds duration{};
+    Bytes bytes_moved{};
+  };
+  [[nodiscard]] TransferAttempt plan_transfer(Bytes size, WallSeconds now);
 
   /// True when `t` falls inside a scheduled outage.
   [[nodiscard]] bool in_outage(WallSeconds t) const;
@@ -74,7 +92,8 @@ class NetworkLink {
   void advance_factor(WallSeconds now);
 
   LinkSpec spec_;
-  Rng rng_;
+  Rng rng_;        // AR(1) fluctuation stream
+  Rng fault_rng_;  // failure-injection stream (independent of rng_)
   double log_factor_ = 0.0;  // log of the multiplicative factor
   WallSeconds last_update_{0.0};
 };

@@ -1,15 +1,15 @@
 #include "transport/bandwidth_estimator.hpp"
 
-#include <stdexcept>
-
 namespace adaptviz {
 
 BandwidthEstimator::BandwidthEstimator(double alpha) : ema_(alpha) {}
 
 void BandwidthEstimator::record_transfer(Bytes size, WallSeconds elapsed) {
-  if (elapsed.seconds() <= 0.0) {
-    throw std::invalid_argument("BandwidthEstimator: non-positive duration");
-  }
+  // A zero-byte frame, or a tiny payload over a zero-latency link, can
+  // complete in non-positive virtual time. Such a sample carries no
+  // bandwidth information — drop it rather than throwing from inside the
+  // event-loop completion callback that reports every transfer.
+  if (elapsed.seconds() <= 0.0 || size <= Bytes(0)) return;
   ema_.add(size.as_double() / elapsed.seconds());
 }
 

@@ -20,7 +20,10 @@ class BandwidthEstimator {
   /// `alpha` is the EMA weight of the newest observation.
   explicit BandwidthEstimator(double alpha = 0.3);
 
-  /// Records a completed transfer of `size` that took `elapsed`.
+  /// Records a completed transfer of `size` that took `elapsed`. Samples
+  /// with non-positive duration or size are silently ignored (they carry
+  /// no bandwidth information). Failed transfer attempts must not be
+  /// recorded at all — a stalled retry would otherwise poison the EMA.
   void record_transfer(Bytes size, WallSeconds elapsed);
 
   /// Records an explicit probe measurement.

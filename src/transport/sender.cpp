@@ -1,6 +1,9 @@
 #include "transport/sender.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "util/logging.hpp"
 
@@ -9,19 +12,40 @@ namespace adaptviz {
 FrameSender::FrameSender(EventQueue& queue, NetworkLink& link,
                          FrameCatalog& catalog, DiskModel& disk,
                          BandwidthEstimator& estimator, DeliveryFn deliver,
-                         WallSeconds poll_interval)
+                         Options options)
     : queue_(queue),
       link_(link),
       catalog_(catalog),
       disk_(disk),
       estimator_(estimator),
       deliver_(std::move(deliver)),
-      poll_interval_(poll_interval) {
+      options_(options),
+      jitter_rng_(options.seed) {
   if (!deliver_) throw std::invalid_argument("FrameSender: null delivery");
-  if (poll_interval_.seconds() <= 0) {
+  if (options_.poll_interval.seconds() <= 0) {
     throw std::invalid_argument("FrameSender: poll interval must be > 0");
   }
+  const RetryPolicy& r = options_.retry;
+  if (r.initial_backoff.seconds() <= 0 || r.max_backoff < r.initial_backoff) {
+    throw std::invalid_argument("FrameSender: bad backoff bounds");
+  }
+  if (r.multiplier < 1.0) {
+    throw std::invalid_argument("FrameSender: backoff multiplier must be >= 1");
+  }
+  if (r.jitter < 0.0 || r.jitter >= 1.0) {
+    throw std::invalid_argument("FrameSender: jitter must be in [0, 1)");
+  }
+  if (r.degrade_after < 1) {
+    throw std::invalid_argument("FrameSender: degrade_after must be >= 1");
+  }
 }
+
+FrameSender::FrameSender(EventQueue& queue, NetworkLink& link,
+                         FrameCatalog& catalog, DiskModel& disk,
+                         BandwidthEstimator& estimator, DeliveryFn deliver,
+                         WallSeconds poll_interval)
+    : FrameSender(queue, link, catalog, disk, estimator, std::move(deliver),
+                  Options{.poll_interval = poll_interval}) {}
 
 void FrameSender::start() {
   if (running_) return;
@@ -38,13 +62,23 @@ void FrameSender::poll_event() {
   try_send();
 }
 
+void FrameSender::retry_event() {
+  retry_pending_ = false;
+  current_backoff_ = WallSeconds(0.0);
+  if (!running_) return;
+  ++retries_;
+  try_send();
+}
+
 void FrameSender::try_send() {
-  if (!running_ || in_flight_) return;
+  // A pending retry owns the next attempt: kicks and polls must not sneak
+  // a transfer in ahead of the backoff.
+  if (!running_ || in_flight_ || retry_pending_) return;
   if (catalog_.empty()) {
     if (!poll_scheduled_) {
       poll_scheduled_ = true;
       queue_.schedule_after(
-          poll_interval_, [this] { poll_event(); }, "sender.poll");
+          options_.poll_interval, [this] { poll_event(); }, "sender.poll");
     }
     return;
   }
@@ -55,24 +89,74 @@ void FrameSender::begin_transfer() {
   Frame frame = catalog_.pop_oldest();
   in_flight_ = true;
   const WallSeconds start = queue_.now();
-  const WallSeconds duration = link_.transfer_duration(frame.size, start);
-  ADAPTVIZ_LOG_DEBUG("sender", "frame #%lld (%s) in flight, eta %.1fs",
+  const NetworkLink::TransferAttempt attempt =
+      link_.plan_transfer(frame.size, start);
+  ADAPTVIZ_LOG_DEBUG("sender", "frame #%lld (%s) in flight, eta %.1fs%s",
                      static_cast<long long>(frame.sequence),
-                     to_string(frame.size).c_str(), duration.seconds());
+                     to_string(frame.size).c_str(),
+                     attempt.duration.seconds(),
+                     attempt.failed ? " [will abort]" : "");
   queue_.schedule_after(
-      duration,
-      [this, frame = std::move(frame), start, duration] {
+      attempt.duration,
+      [this, frame = std::move(frame), attempt] {
         in_flight_ = false;
+        if (!running_) {
+          // Stopped mid-flight: nothing was delivered and the bytes are
+          // still on disk. Put the frame back so it is not silently lost —
+          // a restarted sender ships it first.
+          catalog_.requeue_front(frame);
+          return;
+        }
+        if (attempt.failed) {
+          on_transfer_failed(frame);
+          return;
+        }
         // Transferred data is removed from the simulation site (paper,
-        // Section I), freeing disk for new frames.
+        // Section I), freeing disk for new frames. Only a *successful*
+        // transfer releases disk or feeds the bandwidth estimate.
         disk_.release(frame.size);
-        estimator_.record_transfer(frame.size, duration);
+        estimator_.record_transfer(frame.size, attempt.duration);
+        consecutive_failures_ = 0;
+        degraded_ = false;
         ++frames_sent_;
         bytes_sent_ += frame.size;
         deliver_(frame);
         try_send();
       },
       "sender.complete");
+}
+
+void FrameSender::on_transfer_failed(Frame frame) {
+  ++failures_;
+  ++consecutive_failures_;
+  if (consecutive_failures_ >= options_.retry.degrade_after && !degraded_) {
+    degraded_ = true;
+    ADAPTVIZ_LOG_INFO("sender",
+                      "[%s] link degraded after %d consecutive failures",
+                      hh_mm(queue_.now()).c_str(), consecutive_failures_);
+  }
+  const std::int64_t seq = frame.sequence;
+  // The frame's bytes never left the simulation site: disk is NOT
+  // released, and the frame returns to the catalog head to be re-sent
+  // (the paper's delete-after-transfer semantics).
+  catalog_.requeue_front(std::move(frame));
+  const RetryPolicy& r = options_.retry;
+  double delay = r.initial_backoff.seconds() *
+                 std::pow(r.multiplier,
+                          static_cast<double>(consecutive_failures_ - 1));
+  delay = std::min(delay, r.max_backoff.seconds());
+  if (r.jitter > 0.0) {
+    delay *= jitter_rng_.uniform(1.0 - r.jitter, 1.0 + r.jitter);
+  }
+  current_backoff_ = WallSeconds(delay);
+  retry_pending_ = true;
+  ADAPTVIZ_LOG_DEBUG("sender",
+                     "frame #%lld aborted (failure %d in a row), retry in "
+                     "%.1fs%s",
+                     static_cast<long long>(seq), consecutive_failures_,
+                     delay, degraded_ ? " [LINK DEGRADED]" : "");
+  queue_.schedule_after(
+      current_backoff_, [this] { retry_event(); }, "sender.retry");
 }
 
 }  // namespace adaptviz

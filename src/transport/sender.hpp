@@ -6,6 +6,17 @@
 // from the simulation site's disk, freeing space (the paper's core
 // assumption). One frame is in flight at a time (the WAN path is the
 // bottleneck; pipelining frames would not add throughput on a single link).
+//
+// Reliability: a transfer attempt can abort mid-flight (NetworkLink's
+// injectable failure model). The sender is a retry state machine — a failed
+// frame goes back to the catalog head with its disk bytes intact
+// (delete-after-transfer semantics: nothing is released until the frame has
+// actually landed), the next attempt waits out an exponential backoff with
+// jitter and a cap, and after `degrade_after` consecutive failures the
+// sender latches a link_degraded flag the application manager and decision
+// algorithms can observe (the transport analogue of the paper's CRITICAL
+// disk flag). Every frame written is therefore delivered exactly once, in
+// order, regardless of the failure rate.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +27,7 @@
 #include "resources/event_queue.hpp"
 #include "resources/network.hpp"
 #include "transport/bandwidth_estimator.hpp"
+#include "util/rng.hpp"
 
 namespace adaptviz {
 
@@ -24,6 +36,35 @@ class FrameSender {
   /// Called at the receiver side when a frame's last byte arrives.
   using DeliveryFn = std::function<void(const Frame&)>;
 
+  /// Backoff policy for failed transfer attempts.
+  struct RetryPolicy {
+    /// Delay before the first retry.
+    WallSeconds initial_backoff{5.0};
+    /// Growth factor per additional consecutive failure (>= 1).
+    double multiplier = 2.0;
+    /// Ceiling on the backoff delay.
+    WallSeconds max_backoff{300.0};
+    /// Uniform jitter fraction in [0, 1): each delay is scaled by a factor
+    /// drawn from [1 - jitter, 1 + jitter] so synchronized retry storms
+    /// decorrelate. Drawn from the sender's own seeded RNG.
+    double jitter = 0.2;
+    /// Consecutive failures before link_degraded() latches; any success
+    /// clears the flag and resets the backoff ladder.
+    int degrade_after = 5;
+  };
+
+  struct Options {
+    WallSeconds poll_interval{10.0};
+    RetryPolicy retry{};
+    /// Seed for the backoff-jitter RNG.
+    std::uint64_t seed = 0x5e7d;
+  };
+
+  FrameSender(EventQueue& queue, NetworkLink& link, FrameCatalog& catalog,
+              DiskModel& disk, BandwidthEstimator& estimator,
+              DeliveryFn deliver, Options options);
+
+  /// Legacy convenience: default retry policy, custom poll interval.
   FrameSender(EventQueue& queue, NetworkLink& link, FrameCatalog& catalog,
               DiskModel& disk, BandwidthEstimator& estimator,
               DeliveryFn deliver,
@@ -31,20 +72,42 @@ class FrameSender {
 
   /// Starts the daemon loop (idempotent).
   void start();
-  /// Stops polling; an in-flight transfer still completes.
+  /// Stops the daemon. An in-flight transfer is abandoned: when its
+  /// completion event fires it neither delivers nor releases disk — the
+  /// frame returns to the catalog head, ready for a restarted sender.
   void stop();
   /// Hint that a frame may be available (e.g. the simulation just wrote
-  /// one); cheaper than waiting out the poll interval.
+  /// one); cheaper than waiting out the poll interval. Ignored while a
+  /// retry backoff is pending — the backoff owns the next attempt.
   void kick();
 
   [[nodiscard]] std::int64_t frames_sent() const { return frames_sent_; }
   [[nodiscard]] Bytes bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] bool transfer_in_flight() const { return in_flight_; }
 
+  /// Aborted transfer attempts since construction.
+  [[nodiscard]] std::int64_t transfer_failures() const { return failures_; }
+  /// Re-attempts started after a backoff wait.
+  [[nodiscard]] std::int64_t transfer_retries() const { return retries_; }
+  /// Failures since the last successful transfer.
+  [[nodiscard]] int consecutive_failures() const {
+    return consecutive_failures_;
+  }
+  /// Latched after `degrade_after` consecutive failures; cleared by the
+  /// next success. The escalation signal for the decision algorithms.
+  [[nodiscard]] bool link_degraded() const { return degraded_; }
+  /// Backoff delay of the pending retry (zero when none is pending).
+  [[nodiscard]] WallSeconds current_backoff() const {
+    return current_backoff_;
+  }
+  [[nodiscard]] bool retry_pending() const { return retry_pending_; }
+
  private:
   void poll_event();
+  void retry_event();
   void try_send();
   void begin_transfer();
+  void on_transfer_failed(Frame frame);
 
   EventQueue& queue_;
   NetworkLink& link_;
@@ -52,12 +115,19 @@ class FrameSender {
   DiskModel& disk_;
   BandwidthEstimator& estimator_;
   DeliveryFn deliver_;
-  WallSeconds poll_interval_;
+  Options options_;
+  Rng jitter_rng_;
 
   bool running_ = false;
   bool in_flight_ = false;
   bool poll_scheduled_ = false;
+  bool retry_pending_ = false;
+  bool degraded_ = false;
+  int consecutive_failures_ = 0;
+  WallSeconds current_backoff_{0.0};
   std::int64_t frames_sent_ = 0;
+  std::int64_t failures_ = 0;
+  std::int64_t retries_ = 0;
   Bytes bytes_sent_{};
 };
 

@@ -81,6 +81,15 @@ TEST_F(ManagerTest, AssemblesObservationsCorrectly) {
   EXPECT_EQ(in.perf, perf_.get());
 }
 
+TEST_F(ManagerTest, ForwardsLinkDegradedToAlgorithm) {
+  manager_->invoke();
+  status_.link_degraded = true;
+  manager_->invoke();
+  ASSERT_EQ(algo_.seen.size(), 2u);
+  EXPECT_FALSE(algo_.seen[0].link_degraded);
+  EXPECT_TRUE(algo_.seen[1].link_degraded);
+}
+
 TEST_F(ManagerTest, ProbesWhenNoTransfersObserved) {
   manager_->invoke();
   // The estimator was empty: a probe seeded it.

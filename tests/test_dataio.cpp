@@ -201,5 +201,44 @@ TEST(FrameCatalog, RejectsNegativeSize) {
   EXPECT_THROW(c.push(std::move(f)), std::invalid_argument);
 }
 
+TEST(FrameCatalog, RequeueFrontRestoresOrderAndAccounting) {
+  // The failed-transfer path: the popped head goes back to the front with
+  // its bytes re-counted, even after newer frames were appended.
+  FrameCatalog c;
+  c.push(make_frame(0, 10));
+  c.push(make_frame(1, 20));
+  Frame inflight = c.pop_oldest();
+  c.push(make_frame(2, 30));  // written while #0 was in flight
+  EXPECT_EQ(c.total_bytes(), Bytes::megabytes(50));
+  c.requeue_front(std::move(inflight));
+  EXPECT_EQ(c.count(), 3u);
+  EXPECT_EQ(c.total_bytes(), Bytes::megabytes(60));
+  EXPECT_EQ(c.pop_oldest().sequence, 0);
+  EXPECT_EQ(c.pop_oldest().sequence, 1);
+  EXPECT_EQ(c.pop_oldest().sequence, 2);
+}
+
+TEST(FrameCatalog, RequeueIntoEmptyCatalog) {
+  FrameCatalog c;
+  c.push(make_frame(4, 10));
+  Frame f = c.pop_oldest();
+  c.requeue_front(std::move(f));
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_EQ(c.oldest()->sequence, 4);
+  EXPECT_EQ(c.total_bytes(), Bytes::megabytes(10));
+}
+
+TEST(FrameCatalog, RequeueMustPrecedeHead) {
+  FrameCatalog c;
+  c.push(make_frame(3, 10));
+  EXPECT_THROW(c.requeue_front(make_frame(3, 10)), std::invalid_argument);
+  EXPECT_THROW(c.requeue_front(make_frame(7, 10)), std::invalid_argument);
+  Frame bad = make_frame(1, 1);
+  bad.size = Bytes(-1);
+  EXPECT_THROW(c.requeue_front(std::move(bad)), std::invalid_argument);
+  c.requeue_front(make_frame(2, 5));
+  EXPECT_EQ(c.oldest()->sequence, 2);
+}
+
 }  // namespace
 }  // namespace adaptviz

@@ -216,6 +216,196 @@ TEST(Network, OutageStormWindowsAtUnitLevel) {
       7200.0 + 14400.0 + 7200.0 + 600.0, 1e-6);
 }
 
+TEST(Network, OutageWindowBoundaries) {
+  // 1 MB/s link, outage [10, 20). The boundaries are half-open, and
+  // transfer_duration must agree with in_outage at the window edges.
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::mbps(8),
+                            .outages = {{WallSeconds(10.0), WallSeconds(20.0)}},
+                            .latency = WallSeconds(0.0)},
+                   1);
+  EXPECT_TRUE(link.in_outage(WallSeconds(10.0)));
+  EXPECT_FALSE(link.in_outage(WallSeconds(20.0)));
+  // Starting exactly at o.start: the link is dead, wait out the whole
+  // window, then serve — done at t = 20 + 4.
+  EXPECT_NEAR(link.transfer_duration(Bytes::megabytes(4), WallSeconds(10.0))
+                  .seconds(),
+              14.0, 1e-9);
+  // Starting exactly at o.end: the link is live again, no wait at all.
+  EXPECT_NEAR(link.transfer_duration(Bytes::megabytes(4), WallSeconds(20.0))
+                  .seconds(),
+              4.0, 1e-9);
+  // A transfer whose last byte would land exactly at o.start just fits:
+  // 10 MB starting at t=0 completes at t=10 with no outage pause.
+  EXPECT_NEAR(link.transfer_duration(Bytes::megabytes(10), WallSeconds(0.0))
+                  .seconds(),
+              10.0, 1e-9);
+  // One byte more spills across the window: 10 MB by t=10, wait to t=20,
+  // then the remainder.
+  EXPECT_NEAR(
+      link.transfer_duration(Bytes::megabytes(10) + Bytes(1), WallSeconds(0.0))
+          .seconds(),
+      20.0 + 1e-6, 1e-9);
+}
+
+TEST(Network, TransferSpansBackToBackOutages) {
+  // Two adjacent windows [2, 4) and [4, 6) are legal (sorted,
+  // non-overlapping) and behave like one 4-second blackout.
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::mbps(8),
+                            .outages = {{WallSeconds(2.0), WallSeconds(4.0)},
+                                        {WallSeconds(4.0), WallSeconds(6.0)}},
+                            .latency = WallSeconds(0.0)},
+                   1);
+  EXPECT_TRUE(link.in_outage(WallSeconds(3.999)));
+  EXPECT_TRUE(link.in_outage(WallSeconds(4.0)));  // seam is still dead
+  EXPECT_FALSE(link.in_outage(WallSeconds(6.0)));
+  // 4 MB from t=0: serve [0,2), dead [2,6), serve [6,8).
+  EXPECT_NEAR(link.transfer_duration(Bytes::megabytes(4), WallSeconds(0.0))
+                  .seconds(),
+              8.0, 1e-9);
+  // Starting at the seam (t=4, inside the second window): wait to 6.
+  EXPECT_NEAR(link.transfer_duration(Bytes::megabytes(1), WallSeconds(4.0))
+                  .seconds(),
+              3.0, 1e-9);
+}
+
+TEST(Network, ProbeWithDegeneratePayloadDoesNotDivideByZero) {
+  // Zero bytes over a zero-latency link completes in zero time; the probe
+  // must report a finite figure (the instantaneous rate) instead of
+  // inf/nan from size / 0.
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::mbps(8),
+                            .latency = WallSeconds(0.0)},
+                   1);
+  const auto probe = link.probe(WallSeconds(0.0), Bytes(0));
+  EXPECT_TRUE(std::isfinite(probe.measured.bytes_per_sec()));
+  EXPECT_NEAR(probe.measured.bytes_per_sec(), 1e6, 1e-3);
+  EXPECT_DOUBLE_EQ(probe.elapsed.seconds(), 0.0);
+}
+
+TEST(Network, LongStallCatchUpIsFastAndPreservesStationaryLaw) {
+  // The AR(1) catch-up used to spin O(idle_gap / update_period); a
+  // multi-day stall with a 1-second period meant millions of iterations.
+  // The closed-form jump must return promptly and leave the stationary
+  // distribution of the log-factor intact: mean 0, stddev sigma.
+  const double sigma = 0.25;
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::megabytes_per_second(1),
+                            .fluctuation_sigma = sigma,
+                            .persistence = 0.9,
+                            .update_period = WallSeconds(1.0),
+                            .latency = WallSeconds(0.0)},
+                   4242);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 4000;
+  for (int i = 1; i <= n; ++i) {
+    // Each call jumps ~1e7 periods — the old loop would take ~hours total.
+    const double bw =
+        link.current_bandwidth(WallSeconds(1e7 * i)).bytes_per_sec();
+    const double log_factor = std::log(bw / 1e6);
+    sum += log_factor;
+    sum_sq += log_factor * log_factor;
+  }
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sum_sq / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(stddev, sigma, 0.03);
+}
+
+TEST(Network, ShortCatchUpUnchangedByClosedFormPath) {
+  // Gaps below the catch-up cap must replay the historical per-period
+  // loop bitwise: a link advanced in small steps and one advanced with
+  // the same seed through the same times agree exactly.
+  const LinkSpec spec{.nominal = Bandwidth::mbps(10),
+                      .fluctuation_sigma = 0.3,
+                      .update_period = WallSeconds::hours(0.25)};
+  NetworkLink a(spec, 7);
+  NetworkLink b(spec, 7);
+  for (int i = 1; i <= 40; ++i) {
+    EXPECT_DOUBLE_EQ(
+        a.current_bandwidth(WallSeconds::hours(0.5 * i)).bytes_per_sec(),
+        b.current_bandwidth(WallSeconds::hours(0.5 * i)).bytes_per_sec());
+  }
+}
+
+// --- Failure injection ---
+
+TEST(Network, FailureFreeLinkNeverAborts) {
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::megabytes_per_second(1),
+                            .latency = WallSeconds(0.0)},
+                   1);
+  for (int i = 0; i < 50; ++i) {
+    const auto attempt =
+        link.plan_transfer(Bytes::megabytes(5), WallSeconds(i));
+    EXPECT_FALSE(attempt.failed);
+    EXPECT_EQ(attempt.bytes_moved, Bytes::megabytes(5));
+    EXPECT_NEAR(attempt.duration.seconds(), 5.0, 1e-9);
+  }
+}
+
+TEST(Network, CertainFailureAbortsMidTransfer) {
+  NetworkLink link(LinkSpec{.nominal = Bandwidth::megabytes_per_second(1),
+                            .latency = WallSeconds(0.0),
+                            .failure_probability = 1.0},
+                   9);
+  for (int i = 0; i < 50; ++i) {
+    const auto attempt =
+        link.plan_transfer(Bytes::megabytes(10), WallSeconds(0.0));
+    EXPECT_TRUE(attempt.failed);
+    EXPECT_LT(attempt.bytes_moved, Bytes::megabytes(10));
+    EXPECT_GE(attempt.bytes_moved, Bytes(0));
+    // Time burned equals the time the partial payload takes.
+    EXPECT_NEAR(attempt.duration.seconds(),
+                attempt.bytes_moved.as_double() / 1e6, 1e-9);
+  }
+}
+
+TEST(Network, FailureDrawsAreDeterministicPerSeed) {
+  const LinkSpec spec{.nominal = Bandwidth::megabytes_per_second(1),
+                      .latency = WallSeconds(0.0),
+                      .failure_probability = 0.5};
+  NetworkLink a(spec, 21);
+  NetworkLink b(spec, 21);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto pa = a.plan_transfer(Bytes::megabytes(3), WallSeconds(0.0));
+    const auto pb = b.plan_transfer(Bytes::megabytes(3), WallSeconds(0.0));
+    EXPECT_EQ(pa.failed, pb.failed);
+    EXPECT_EQ(pa.bytes_moved, pb.bytes_moved);
+    EXPECT_DOUBLE_EQ(pa.duration.seconds(), pb.duration.seconds());
+    failures += pa.failed ? 1 : 0;
+  }
+  // ~50% fail; wide deterministic band.
+  EXPECT_GT(failures, 60);
+  EXPECT_LT(failures, 140);
+}
+
+TEST(Network, FailureStreamDoesNotPerturbFluctuationPath) {
+  // Failure draws come from a dedicated RNG stream: switching injection
+  // on must not change the AR(1) bandwidth path, so a faulty run remains
+  // comparable to its failure-free baseline.
+  const LinkSpec clean{.nominal = Bandwidth::mbps(56),
+                       .fluctuation_sigma = 0.2};
+  LinkSpec faulty = clean;
+  faulty.failure_probability = 0.5;
+  NetworkLink a(clean, 33);
+  NetworkLink b(faulty, 33);
+  for (int i = 1; i <= 30; ++i) {
+    (void)b.plan_transfer(Bytes::megabytes(1), WallSeconds::hours(i - 1));
+    EXPECT_DOUBLE_EQ(
+        a.current_bandwidth(WallSeconds::hours(i)).bytes_per_sec(),
+        b.current_bandwidth(WallSeconds::hours(i)).bytes_per_sec());
+  }
+}
+
+TEST(Network, FailureProbabilityValidation) {
+  EXPECT_THROW(NetworkLink(LinkSpec{.nominal = Bandwidth::mbps(1),
+                                    .failure_probability = -0.1},
+                           1),
+               std::invalid_argument);
+  EXPECT_THROW(NetworkLink(LinkSpec{.nominal = Bandwidth::mbps(1),
+                                    .failure_probability = 1.5},
+                           1),
+               std::invalid_argument);
+}
+
 TEST(Network, OutageValidation) {
   EXPECT_THROW(NetworkLink(LinkSpec{.nominal = Bandwidth::mbps(1),
                                     .outages = {{WallSeconds(5.0),

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
+#include <set>
 
 namespace adaptviz {
 namespace {
@@ -92,6 +94,30 @@ TEST(Scenario, OutageWindows) {
   EXPECT_DOUBLE_EQ(cfg.wan_outages[1].end.as_hours(), 16.5);
 }
 
+TEST(Scenario, FaultsSection) {
+  const ExperimentConfig cfg = scenario_from_ini(IniDocument::parse(
+      "[faults]\n"
+      "transfer_failure_rate = 0.15\n"
+      "retry_initial_seconds = 3\n"
+      "retry_multiplier = 1.5\n"
+      "retry_cap_seconds = 120\n"
+      "retry_jitter = 0.1\n"
+      "degrade_after = 4\n"));
+  EXPECT_DOUBLE_EQ(cfg.faults.transfer_failure_rate, 0.15);
+  EXPECT_DOUBLE_EQ(cfg.faults.retry.initial_backoff.seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.retry.multiplier, 1.5);
+  EXPECT_DOUBLE_EQ(cfg.faults.retry.max_backoff.seconds(), 120.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.retry.jitter, 0.1);
+  EXPECT_EQ(cfg.faults.retry.degrade_after, 4);
+}
+
+TEST(Scenario, FaultsDefaultToFailureFree) {
+  const ExperimentConfig cfg = scenario_from_ini(IniDocument::parse(""));
+  EXPECT_DOUBLE_EQ(cfg.faults.transfer_failure_rate, 0.0);
+  EXPECT_DOUBLE_EQ(cfg.faults.retry.multiplier, 2.0);
+  EXPECT_EQ(cfg.faults.retry.degrade_after, 5);
+}
+
 TEST(Scenario, Validation) {
   EXPECT_THROW(scenario_from_ini(IniDocument::parse(
                    "[site]\npreset = mars-base\n")),
@@ -104,6 +130,12 @@ TEST(Scenario, Validation) {
                std::runtime_error);
   EXPECT_THROW(scenario_from_ini(IniDocument::parse(
                    "[outages]\nwindows = 6..8\n")),
+               std::runtime_error);
+  EXPECT_THROW(scenario_from_ini(IniDocument::parse(
+                   "[faults]\ntransfer_failure_rate = 1.2\n")),
+               std::runtime_error);
+  EXPECT_THROW(scenario_from_ini(IniDocument::parse(
+                   "[faults]\ntransfer_failure_rate = -0.1\n")),
                std::runtime_error);
 }
 
@@ -162,6 +194,31 @@ TEST(ScenarioOutage, FrameworkRidesThroughBlackout) {
   }
   // Everything written eventually reached the scientist.
   EXPECT_EQ(r.summary.frames_visualized, r.summary.frames_written);
+}
+
+TEST(ScenarioFaults, FrameworkDeliversEverythingOverFlakyWan) {
+  // Transfer failures + retries end to end: every frame written is still
+  // visualized exactly once and the run completes.
+  ExperimentConfig cfg = scenario_from_ini(minimal());
+  cfg.name = "flaky";
+  cfg.sim_window = SimSeconds::hours(12.0);
+  cfg.max_wall = WallSeconds::hours(40.0);
+  cfg.model.compute_scale = 12.0;
+  cfg.faults.transfer_failure_rate = 0.25;
+  cfg.faults.retry.initial_backoff = WallSeconds(5.0);
+  cfg.faults.retry.max_backoff = WallSeconds(120.0);
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_TRUE(r.summary.completed);
+  EXPECT_GT(r.summary.transfer_failures, 0);
+  EXPECT_EQ(r.summary.transfer_retries, r.summary.transfer_failures);
+  EXPECT_EQ(r.summary.frames_visualized, r.summary.frames_written);
+  EXPECT_EQ(r.summary.frames_sent, r.summary.frames_written);
+  // Exactly-once: the visualization sequence numbers never repeat.
+  std::set<std::int64_t> seen;
+  for (const VisRecord& v : r.vis_records) {
+    EXPECT_TRUE(seen.insert(v.sequence).second)
+        << "frame " << v.sequence << " delivered twice";
+  }
 }
 
 }  // namespace

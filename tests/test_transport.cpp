@@ -99,7 +99,10 @@ TEST(Sender, EstimatorLearnsFromTransfers) {
   EXPECT_NEAR(rig.estimator.estimate()->bytes_per_sec(), 1e6, 1.0);
 }
 
-TEST(Sender, StopHaltsAfterInFlightTransfer) {
+TEST(Sender, StopAbandonsInFlightTransferAndRequeuesTheFrame) {
+  // A completion event already scheduled at stop() time must not mutate
+  // disk or the estimator, nor invoke the delivery callback, on a stopped
+  // sender. The undelivered frame returns to the catalog head.
   Rig rig;
   rig.catalog.push(rig.frame(0, 5));
   rig.catalog.push(rig.frame(1, 5));
@@ -107,8 +110,21 @@ TEST(Sender, StopHaltsAfterInFlightTransfer) {
   EXPECT_TRUE(rig.sender->transfer_in_flight());
   rig.sender->stop();
   rig.queue.run_until(WallSeconds(100.0));
-  EXPECT_EQ(rig.delivered.size(), 1u);  // in-flight completes, next doesn't
-  EXPECT_EQ(rig.catalog.count(), 1u);
+  EXPECT_TRUE(rig.delivered.empty());
+  EXPECT_FALSE(rig.sender->transfer_in_flight());
+  ASSERT_EQ(rig.catalog.count(), 2u);
+  EXPECT_EQ(rig.catalog.oldest()->sequence, 0);  // back at the head
+  EXPECT_EQ(rig.catalog.total_bytes(), Bytes::megabytes(10));
+  EXPECT_EQ(rig.disk.used(), Bytes::megabytes(10));  // nothing released
+  EXPECT_FALSE(rig.estimator.estimate().has_value());
+  EXPECT_EQ(rig.sender->frames_sent(), 0);
+  // A restarted sender ships the requeued frame first, in order.
+  rig.sender->start();
+  rig.queue.run_until(WallSeconds(200.0));
+  ASSERT_EQ(rig.delivered.size(), 2u);
+  EXPECT_EQ(rig.delivered[0].second, 0);
+  EXPECT_EQ(rig.delivered[1].second, 1);
+  EXPECT_EQ(rig.disk.used(), Bytes(0));
 }
 
 TEST(Sender, KickStormWhileIdleKeepsASinglePollChain) {
@@ -167,6 +183,155 @@ TEST(Sender, StalePollDuringKickStartedTransferStaysHarmless) {
   ASSERT_EQ(rig.delivered.size(), 3u);
   EXPECT_NEAR(rig.delivered[2].first, 21.0, 1e-9);
   EXPECT_EQ(rig.sender->frames_sent(), 3);
+}
+
+// Rig with an injectable failure rate and a tight, jitter-free retry
+// policy so backoff arithmetic is exact.
+struct FaultRig {
+  EventQueue queue;
+  NetworkLink link;
+  FrameCatalog catalog;
+  DiskModel disk{Bytes::gigabytes(1), Bandwidth::megabytes_per_second(100)};
+  BandwidthEstimator estimator{0.5};
+  std::vector<std::pair<double, std::int64_t>> delivered;
+  std::unique_ptr<FrameSender> sender;
+
+  explicit FaultRig(double failure_probability, std::uint64_t link_seed = 1,
+                    double jitter = 0.0)
+      : link(LinkSpec{.nominal = Bandwidth::megabytes_per_second(1),
+                      .latency = WallSeconds(0.0),
+                      .failure_probability = failure_probability},
+             link_seed) {
+    FrameSender::Options opts;
+    opts.poll_interval = WallSeconds(10.0);
+    opts.retry.initial_backoff = WallSeconds(2.0);
+    opts.retry.multiplier = 2.0;
+    opts.retry.max_backoff = WallSeconds(16.0);
+    opts.retry.jitter = jitter;
+    opts.retry.degrade_after = 3;
+    opts.seed = 99;
+    sender = std::make_unique<FrameSender>(
+        queue, link, catalog, disk, estimator,
+        [this](const Frame& f) {
+          delivered.push_back({queue.now().seconds(), f.sequence});
+        },
+        opts);
+  }
+
+  void push(std::int64_t seq, double mb) {
+    Frame f;
+    f.sequence = seq;
+    f.size = Bytes::megabytes(mb);
+    f.sim_time = SimSeconds(static_cast<double>(seq));
+    ASSERT_TRUE(disk.allocate(f.size));
+    catalog.push(f);
+  }
+
+  void step_until_failures(std::int64_t n) {
+    while (sender->transfer_failures() < n) ASSERT_TRUE(queue.step());
+  }
+};
+
+TEST(SenderRetry, BackoffGrowsExponentiallyCapsAndDegrades) {
+  FaultRig rig(/*failure_probability=*/1.0);
+  rig.push(0, 4);
+  rig.sender->start();
+
+  rig.step_until_failures(1);
+  EXPECT_TRUE(rig.sender->retry_pending());
+  EXPECT_DOUBLE_EQ(rig.sender->current_backoff().seconds(), 2.0);
+  EXPECT_FALSE(rig.sender->link_degraded());
+  // The failed frame went back to the catalog head; disk stays allocated.
+  EXPECT_EQ(rig.catalog.count(), 1u);
+  EXPECT_EQ(rig.disk.used(), Bytes::megabytes(4));
+  // A kick during backoff must not jump the queue.
+  rig.sender->kick();
+  EXPECT_FALSE(rig.sender->transfer_in_flight());
+
+  rig.step_until_failures(2);
+  EXPECT_DOUBLE_EQ(rig.sender->current_backoff().seconds(), 4.0);
+  rig.step_until_failures(3);
+  EXPECT_DOUBLE_EQ(rig.sender->current_backoff().seconds(), 8.0);
+  EXPECT_TRUE(rig.sender->link_degraded());  // degrade_after = 3
+  rig.step_until_failures(6);
+  // 2 * 2^5 = 64 s, capped at 16 s.
+  EXPECT_DOUBLE_EQ(rig.sender->current_backoff().seconds(), 16.0);
+
+  // A dead link loses nothing: no delivery, no disk release, no EMA
+  // sample, and the retry count tracks the re-attempts.
+  EXPECT_TRUE(rig.delivered.empty());
+  EXPECT_EQ(rig.sender->frames_sent(), 0);
+  EXPECT_EQ(rig.disk.used(), Bytes::megabytes(4));
+  EXPECT_FALSE(rig.estimator.estimate().has_value());
+  EXPECT_EQ(rig.sender->transfer_retries(), 5);
+  EXPECT_EQ(rig.sender->consecutive_failures(), 6);
+}
+
+TEST(SenderRetry, FlakyLinkDeliversEveryFrameExactlyOnceInOrder) {
+  FaultRig rig(/*failure_probability=*/0.3, /*link_seed=*/7,
+               /*jitter=*/0.2);
+  constexpr int kFrames = 30;
+  for (int i = 0; i < kFrames; ++i) rig.push(i, 1.0 + (i % 5));
+  rig.sender->start();
+  rig.queue.run_until(WallSeconds::hours(3.0));
+
+  ASSERT_EQ(rig.delivered.size(), static_cast<std::size_t>(kFrames));
+  for (int i = 0; i < kFrames; ++i) EXPECT_EQ(rig.delivered[i].second, i);
+  // Failures actually fired (seed-dependent but deterministic) and every
+  // byte was eventually released — exactly-once, zero loss.
+  EXPECT_GT(rig.sender->transfer_failures(), 0);
+  EXPECT_EQ(rig.sender->frames_sent(), kFrames);
+  EXPECT_EQ(rig.disk.used(), Bytes(0));
+  EXPECT_EQ(rig.catalog.count(), 0u);
+  // The last transfer succeeded, so the escalation state is clear.
+  EXPECT_EQ(rig.sender->consecutive_failures(), 0);
+  EXPECT_FALSE(rig.sender->link_degraded());
+  EXPECT_TRUE(rig.estimator.estimate().has_value());
+}
+
+TEST(SenderRetry, FixedSeedsReplayBitwiseIdentically) {
+  auto run = [] {
+    FaultRig rig(0.4, 11, 0.3);
+    for (int i = 0; i < 12; ++i) rig.push(i, 2.0);
+    rig.sender->start();
+    rig.queue.run_until(WallSeconds::hours(2.0));
+    return rig.delivered;
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), 12u);
+  ASSERT_EQ(a, b);
+}
+
+TEST(SenderRetry, StopDuringBackoffKeepsFrameAndRestartResumes) {
+  FaultRig rig(1.0);
+  rig.push(0, 4);
+  rig.sender->start();
+  rig.step_until_failures(1);
+  EXPECT_TRUE(rig.sender->retry_pending());
+  rig.sender->stop();
+  rig.queue.run_until(WallSeconds(1000.0));  // pending retry fires, no-ops
+  EXPECT_TRUE(rig.delivered.empty());
+  EXPECT_EQ(rig.catalog.count(), 1u);
+  EXPECT_EQ(rig.disk.used(), Bytes::megabytes(4));
+}
+
+TEST(SenderRetry, PolicyValidation) {
+  FaultRig rig(0.0);
+  auto make = [&](FrameSender::RetryPolicy retry) {
+    FrameSender::Options opts;
+    opts.retry = retry;
+    return FrameSender(rig.queue, rig.link, rig.catalog, rig.disk,
+                       rig.estimator, [](const Frame&) {}, opts);
+  };
+  EXPECT_THROW(make({.initial_backoff = WallSeconds(0.0)}),
+               std::invalid_argument);
+  EXPECT_THROW(make({.initial_backoff = WallSeconds(10.0),
+                     .max_backoff = WallSeconds(5.0)}),
+               std::invalid_argument);
+  EXPECT_THROW(make({.multiplier = 0.5}), std::invalid_argument);
+  EXPECT_THROW(make({.jitter = 1.0}), std::invalid_argument);
+  EXPECT_THROW(make({.degrade_after = 0}), std::invalid_argument);
 }
 
 TEST(Sender, Validation) {
@@ -332,8 +497,24 @@ TEST(Estimator, EmaSmoothsAndProbeCounts) {
   est.record_transfer(Bytes::megabytes(4), WallSeconds(1.0));
   EXPECT_NEAR(est.estimate()->bytes_per_sec(), 3e6, 1.0);
   EXPECT_EQ(est.observation_count(), 2u);
-  EXPECT_THROW(est.record_transfer(Bytes(1), WallSeconds(0.0)),
-               std::invalid_argument);
+}
+
+TEST(Estimator, DegenerateSamplesAreIgnoredNotFatal) {
+  // A zero-byte frame or a zero-elapsed completion arrives from inside an
+  // event-loop callback; throwing there would crash the run. The samples
+  // carry no information, so they are dropped.
+  BandwidthEstimator est(0.5);
+  est.record_transfer(Bytes(1), WallSeconds(0.0));
+  est.record_transfer(Bytes(1), WallSeconds(-1.0));
+  est.record_transfer(Bytes(0), WallSeconds(5.0));
+  EXPECT_FALSE(est.estimate().has_value());
+  EXPECT_EQ(est.observation_count(), 0u);
+  est.record_transfer(Bytes::megabytes(2), WallSeconds(1.0));
+  EXPECT_NEAR(est.estimate()->bytes_per_sec(), 2e6, 1.0);
+  // The degenerate samples left the EMA untouched.
+  est.record_transfer(Bytes(1), WallSeconds(0.0));
+  EXPECT_NEAR(est.estimate()->bytes_per_sec(), 2e6, 1.0);
+  EXPECT_EQ(est.observation_count(), 1u);
 }
 
 }  // namespace
