@@ -1,7 +1,9 @@
 #include "core/application_manager.hpp"
 
+#include <cstdio>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 
 namespace adaptviz {
@@ -75,17 +77,14 @@ void ApplicationManager::invoke() {
   if (st.finished) return;
 
   DecisionInput in;
+  // Application state travels as one slice: every ResourceSnapshot field,
+  // present and future, in a single assignment.
+  static_cast<ResourceSnapshot&>(in) = st;
   in.free_disk_percent = disk_.free_percent();
   in.free_disk_bytes = disk_.free_space();
   in.disk_capacity = disk_.capacity();
   in.observed_bandwidth = measure_bandwidth();
   in.io_bandwidth = disk_.io_bandwidth();
-  in.link_degraded = st.link_degraded;
-  in.work_units = st.work_units;
-  in.frame_bytes = st.frame_bytes;
-  in.integration_step = st.integration_step;
-  in.remaining_sim_time = st.remaining_sim_time;
-  in.resolution_km = st.resolution_km;
   in.current_processors = config_.processors;
   in.current_output_interval = config_.output_interval;
   in.perf = &perf_;
@@ -93,7 +92,11 @@ void ApplicationManager::invoke() {
   in.max_processors = st.max_usable_processors;
   in.bounds = options_.bounds;
 
+  obs::Observability* const o = obs::current();
+  const double deliberate_start = o != nullptr ? o->tracer().host_now() : 0.0;
   Decision d = algorithm_.decide(in);
+  const double deliberation =
+      o != nullptr ? o->tracer().host_now() - deliberate_start : 0.0;
 
   // Safety net independent of the algorithm: never let the disk run
   // completely full, and clear the flag with hysteresis once transfers have
@@ -117,6 +120,23 @@ void ApplicationManager::invoke() {
   if (changed) ++config_.version;
 
   decisions_.push_back(DecisionRecord{queue_.now(), in, d});
+  if (o != nullptr) {
+    // Every decision on the record: the inputs seen, the knobs chosen,
+    // which algorithm chose them, and how long it deliberated.
+    o->metrics().counter("manager.decisions").add(1);
+    o->metrics().histogram("manager.deliberation_seconds")
+        .observe(deliberation);
+    char meta[192];
+    std::snprintf(meta, sizeof meta,
+                  "algo=%s disk=%.1f%% bw=%.2fmbps procs=%d oi_min=%.1f "
+                  "critical=%d changed=%d deliberation=%.3gs",
+                  algorithm_.name().c_str(), in.free_disk_percent,
+                  in.observed_bandwidth.megabits_per_sec(), d.processors,
+                  d.output_interval.as_minutes(), d.critical ? 1 : 0,
+                  changed ? 1 : 0, deliberation);
+    o->tracer().record("manager.decision", obs::TraceClock::kSim,
+                       queue_.now().seconds(), 0.0, meta);
+  }
   if (changed && !options_.config_file_path.empty()) {
     config_.save(options_.config_file_path);
   }

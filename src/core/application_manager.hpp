@@ -28,19 +28,20 @@
 namespace adaptviz {
 
 /// Live application-state snapshot the framework supplies on each
-/// invocation (work units, frame size, integration step, remaining time).
-struct ApplicationStatus {
-  double work_units = 1.0;
-  Bytes frame_bytes{};
-  SimSeconds integration_step{60.0};
-  SimSeconds remaining_sim_time{0.0};
-  double resolution_km = 24.0;
+/// invocation. The fields the decision algorithms consume (work units,
+/// frame size, integration step, remaining time, resolution, link
+/// degradation) live in the shared ResourceSnapshot base — the manager
+/// forwards them into DecisionInput with one slice assignment.
+struct ApplicationStatus : ResourceSnapshot {
   int max_usable_processors = 1;
   bool finished = false;
-  /// Frame sender escalation: N consecutive transfer failures (the
-  /// transport analogue of the CRITICAL disk flag).
-  bool link_degraded = false;
 };
+
+/// Old name for the fields now shared through ResourceSnapshot. Kept so
+/// downstream code that spelled the snapshot type explicitly keeps
+/// compiling; new code should use ResourceSnapshot.
+using ApplicationResourceState [[deprecated(
+    "use ResourceSnapshot from core/decision.hpp")]] = ResourceSnapshot;
 
 struct DecisionRecord {
   WallSeconds wall_time{};

@@ -23,25 +23,36 @@ struct DecisionBounds {
   SimSeconds max_output_interval = SimSeconds::minutes(25.0);
 };
 
-/// Everything the application manager hands the algorithm on one invocation.
-struct DecisionInput {
+/// Live application state shared by the framework's status callback
+/// (ApplicationStatus) and the algorithm input (DecisionInput). These
+/// fields used to be duplicated field-by-field in both structs, copied
+/// manually inside ApplicationManager::invoke(); both now inherit this
+/// one definition so the copy is a single slice assignment and the two
+/// views can never drift apart.
+struct ResourceSnapshot {
+  double work_units = 1.0;            // per-step cost at current resolution
+  Bytes frame_bytes{};                // O: output size of one frame
+  SimSeconds integration_step{60.0};  // ts: simulated time per step
+  SimSeconds remaining_sim_time{0.0};
+  double resolution_km = 24.0;
+  /// Frame-sender escalation: true after N consecutive transfer failures
+  /// (exponential-backoff retries are in progress and the bandwidth
+  /// estimate is stale). Algorithms may treat this like an outage.
+  bool link_degraded = false;
+};
+
+/// Everything the application manager hands the algorithm on one
+/// invocation. Application-state fields (work_units, frame_bytes,
+/// integration_step, remaining_sim_time, resolution_km, link_degraded)
+/// are inherited from ResourceSnapshot and remain accessible exactly as
+/// before (`in.work_units`, ...).
+struct DecisionInput : ResourceSnapshot {
   // --- Resource observations ---
   double free_disk_percent = 100.0;   // the `df` reading
   Bytes free_disk_bytes{};
   Bytes disk_capacity{};
   Bandwidth observed_bandwidth{};     // smoothed sim->vis estimate
   Bandwidth io_bandwidth{};           // parallel file system write rate
-  /// Frame-sender escalation: true after N consecutive transfer failures
-  /// (exponential-backoff retries are in progress and the bandwidth
-  /// estimate is stale). Algorithms may treat this like an outage.
-  bool link_degraded = false;
-
-  // --- Application state ---
-  double work_units = 1.0;            // per-step cost at current resolution
-  Bytes frame_bytes{};                // O: output size of one frame
-  SimSeconds integration_step{60.0};  // ts: simulated time per step
-  SimSeconds remaining_sim_time{0.0};
-  double resolution_km = 24.0;
 
   // --- Current configuration ---
   int current_processors = 1;

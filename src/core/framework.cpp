@@ -48,6 +48,13 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
                      .failure_probability =
                          config_.faults.transfer_failure_rate},
             config_.seed + 1) {
+  if (config_.observability) {
+    // Install before any component is built so construction-time activity
+    // (profiling sweeps run through the pool) is captured too.
+    obs_ = std::make_unique<obs::Observability>(config_.obs);
+    obs_scope_ = std::make_unique<obs::ScopedObservability>(obs_.get());
+  }
+
   // Profile the machine and fit the performance model — the framework's
   // decision algorithms only ever see this fitted curve, never the ground
   // truth.
@@ -307,6 +314,10 @@ ExperimentResult AdaptiveFramework::run() {
   for (const TelemetrySample& s : result.samples) {
     sum.min_free_disk_percent =
         std::min(sum.min_free_disk_percent, s.free_disk_percent);
+  }
+  if (obs_) {
+    result.metrics = obs_->metrics().snapshot();
+    result.trace = obs_->tracer().events();
   }
   ADAPTVIZ_LOG_INFO(
       "framework",

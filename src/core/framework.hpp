@@ -15,6 +15,7 @@
 
 #include "core/application_manager.hpp"
 #include "core/greedy_threshold.hpp"
+#include "obs/obs.hpp"
 #include "core/job_handler.hpp"
 #include "core/lp_optimizer.hpp"
 #include "core/static_algorithm.hpp"
@@ -91,6 +92,13 @@ struct ExperimentConfig {
   /// commands travel back to the simulation site over `steering_latency`.
   SteeringPolicy steering_policy;
   WallSeconds steering_latency{0.3};
+
+  /// Observability: when true the framework owns a metrics registry +
+  /// stage tracer, installs them for the run, and returns the snapshot in
+  /// ExperimentResult. Off by default: instrumentation is a no-op and the
+  /// run is bitwise identical either way (bench_observability asserts it).
+  bool observability = false;
+  obs::ObsOptions obs{};
 };
 
 struct ExperimentSummary {
@@ -145,6 +153,9 @@ struct ExperimentResult {
   std::vector<TrackPoint> track;
   std::vector<SteeringRecord> steering;
   std::vector<ClientSeries> clients;
+  /// Populated when config.observability is set; empty otherwise.
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::TraceEvent> trace;
 };
 
 class AdaptiveFramework {
@@ -171,6 +182,8 @@ class AdaptiveFramework {
   [[nodiscard]] const ViewerSessionManager* serving() const {
     return serving_.get();
   }
+  /// Null unless config.observability is set.
+  [[nodiscard]] obs::Observability* observability() { return obs_.get(); }
 
  private:
   [[nodiscard]] TelemetrySample sample_now();
@@ -201,6 +214,11 @@ class AdaptiveFramework {
   std::unique_ptr<TelemetryRecorder> telemetry_;
   std::unique_ptr<SteeringChannel> steering_channel_;
   std::vector<SteeringRecord> steering_log_;
+
+  // Declared last and in this order: the scope uninstalls before the
+  // bundle it points at is destroyed.
+  std::unique_ptr<obs::Observability> obs_;
+  std::unique_ptr<obs::ScopedObservability> obs_scope_;
 };
 
 /// Convenience wrapper: build, run, return.

@@ -200,6 +200,17 @@ ExperimentConfig scenario_from_ini(const IniDocument& doc) {
     }
   }
 
+  // [obs] — observability layer (metrics registry + stage tracer).
+  if (doc.has_section("obs")) {
+    cfg.observability = doc.get_bool("obs", "enabled").value_or(true);
+    if (auto v = doc.get_int("obs", "trace_capacity")) {
+      if (*v <= 0) {
+        throw std::runtime_error("scenario: obs.trace_capacity must be > 0");
+      }
+      cfg.obs.trace_capacity = static_cast<std::size_t>(*v);
+    }
+  }
+
   // Sanity.
   if (cfg.model.compute_scale < 1.0) {
     throw std::runtime_error("scenario: compute_scale must be >= 1");
@@ -219,26 +230,11 @@ void write_result(const ExperimentResult& result, const std::string& dir) {
   const std::string base = dir + "/" + result.config.name;
   const CalendarEpoch epoch = CalendarEpoch::aila_start();
 
-  CsvTable samples({"wall_hours", "sim_label", "sim_hours",
-                    "free_disk_percent", "processors",
-                    "output_interval_min", "resolution_km",
-                    "min_pressure_hpa", "stalled", "critical", "paused",
-                    "frames_written", "frames_sent", "frames_visualized",
-                    "transfer_failures", "transfer_retries", "link_degraded",
-                    "retry_backoff_s", "frames_served", "serve_hit_percent",
-                    "cache_mb"});
+  // Header and rows both come off the declarative telemetry schema; the
+  // golden-header test pins the emitted bytes to the historical layout.
+  CsvTable samples(telemetry_columns());
   for (const TelemetrySample& s : result.samples) {
-    samples.add_row({s.wall_time.as_hours(), epoch.label(s.sim_time),
-                     s.sim_time.as_hours(), s.free_disk_percent,
-                     static_cast<long>(s.processors),
-                     s.output_interval.as_minutes(), s.resolution_km,
-                     s.min_pressure_hpa, static_cast<long>(s.stalled),
-                     static_cast<long>(s.critical),
-                     static_cast<long>(s.paused), s.frames_written,
-                     s.frames_sent, s.frames_visualized, s.transfer_failures,
-                     s.transfer_retries, static_cast<long>(s.link_degraded),
-                     s.retry_backoff_seconds, s.frames_served,
-                     s.serve_hit_percent, s.cache_bytes.mb()});
+    samples.add_row(telemetry_row(s, epoch));
   }
   samples.save(base + "_samples.csv");
 

@@ -9,10 +9,14 @@
 //    multi-client fan-out (src/serve)
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "resources/event_queue.hpp"
+#include "util/calendar.hpp"
+#include "util/csv.hpp"
 #include "util/units.hpp"
 
 namespace adaptviz {
@@ -43,6 +47,34 @@ struct TelemetrySample {
   Bytes cache_bytes{};
 };
 
+/// One column of the telemetry series: CSV header name, unit (for docs
+/// and the summary line), and the accessor producing a sample's cell.
+struct TelemetryColumn {
+  const char* name;
+  const char* unit;
+  CsvTable::Cell (*cell)(const TelemetrySample&, const CalendarEpoch&);
+};
+
+/// The declarative column schema — the single source of truth for the
+/// samples CSV. Header order, cell serialization and the summary printer
+/// all derive from this table, which used to be three hand-maintained
+/// parallel lists that could (and did) drift. Adding a telemetry field is
+/// now one entry here and nowhere else.
+const std::vector<TelemetryColumn>& telemetry_schema();
+
+/// Column names in schema order. Byte-identical to the historical
+/// hand-written header (asserted by the golden-header test).
+std::vector<std::string> telemetry_columns();
+
+/// One CSV row for `s` in schema order.
+std::vector<CsvTable::Cell> telemetry_row(const TelemetrySample& s,
+                                          const CalendarEpoch& epoch);
+
+/// Human-readable `name=value[unit]` rendering of one sample, derived
+/// from the same schema (adaptviz_run's final-state line).
+std::string telemetry_summary(const TelemetrySample& s,
+                              const CalendarEpoch& epoch);
+
 class TelemetryRecorder {
  public:
   using SampleFn = std::function<TelemetrySample()>;
@@ -58,12 +90,16 @@ class TelemetryRecorder {
   }
 
  private:
-  void tick();
+  void tick(std::uint64_t epoch);
 
   EventQueue& queue_;
   SampleFn fn_;
   WallSeconds period_;
   bool running_ = false;
+  /// Bumped by every start(): a tick scheduled before a stop()/start()
+  /// cycle sees a stale epoch and dies instead of starting a second
+  /// sampling chain (which doubled the sample rate after a restart).
+  std::uint64_t epoch_ = 0;
   std::vector<TelemetrySample> samples_;
 };
 

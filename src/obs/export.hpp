@@ -1,0 +1,28 @@
+// Exporters for the observability layer: one JSON document combining the
+// metrics snapshot and the retained stage trace (the `--metrics-out`
+// artifact), plus a flat CSV view of the trace for spreadsheet plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace adaptviz::obs {
+
+/// Writes `{"metrics": {...}, "trace": [...]}`. Counters/gauges emit
+/// name/value pairs; histograms emit bounds, bucket counts, count, sum,
+/// min, max. Trace events carry their clock domain.
+void write_json(std::ostream& out, const MetricsSnapshot& metrics,
+                const std::vector<TraceEvent>& trace);
+
+/// write_json to a file; throws std::runtime_error when unwritable.
+void save_json(const std::string& path, const MetricsSnapshot& metrics,
+               const std::vector<TraceEvent>& trace);
+
+/// Trace as CSV: stage,clock,start_seconds,duration_seconds,metadata.
+void write_trace_csv(std::ostream& out, const std::vector<TraceEvent>& trace);
+
+}  // namespace adaptviz::obs

@@ -1,0 +1,27 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+
+namespace adaptviz::obs {
+
+namespace {
+std::atomic<Observability*> g_current{nullptr};
+std::atomic<std::uint64_t> g_epoch{0};
+}  // namespace
+
+Observability::Observability(ObsOptions options)
+    : epoch_(g_epoch.fetch_add(1, std::memory_order_relaxed) + 1),
+      tracer_(options.trace_capacity) {}
+
+Observability* current() noexcept {
+  return g_current.load(std::memory_order_acquire);
+}
+
+ScopedObservability::ScopedObservability(Observability* obs) noexcept
+    : previous_(g_current.exchange(obs, std::memory_order_acq_rel)) {}
+
+ScopedObservability::~ScopedObservability() {
+  g_current.store(previous_, std::memory_order_release);
+}
+
+}  // namespace adaptviz::obs

@@ -1,0 +1,232 @@
+// Observability bundle: one MetricsRegistry + one StageTracer, installed
+// process-wide so deeply nested hot paths (solver sweeps, render passes,
+// pool regions) can report without threading a handle through every
+// constructor.
+//
+// AdaptiveFramework owns the bundle for an experiment and installs it for
+// the experiment's lifetime (ScopedObservability); standalone component
+// tests run with nothing installed and every helper below degenerates to
+// a no-op. Installation is an atomic pointer swap — readers (including
+// thread-pool workers) only ever do one relaxed atomic load on the fast
+// path.
+//
+// Instrumentation NEVER touches simulation state, RNG streams or the
+// event queue: results are bitwise identical with observability on, off,
+// or absent (asserted by bench_observability).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace adaptviz::obs {
+
+struct ObsOptions {
+  /// Ring capacity of the stage tracer.
+  std::size_t trace_capacity = 16384;
+};
+
+class Observability {
+ public:
+  explicit Observability(ObsOptions options = {});
+
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] StageTracer& tracer() { return tracer_; }
+  [[nodiscard]] const StageTracer& tracer() const { return tracer_; }
+
+  /// Process-unique, never-reused id for this bundle (>= 1). Lets hot
+  /// call sites cache registry lookups without the risk of a new bundle
+  /// reusing a freed bundle's address and validating a stale pointer.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+ private:
+  std::uint64_t epoch_;
+  MetricsRegistry metrics_;
+  StageTracer tracer_;
+};
+
+/// The installed bundle, or nullptr when none is active.
+Observability* current() noexcept;
+
+/// Installs `obs` for this scope and restores the previous bundle on
+/// destruction. Installation is not reference-counted: nested scopes
+/// stack, concurrent frameworks would race (none exist — experiments run
+/// sequentially).
+class ScopedObservability {
+ public:
+  explicit ScopedObservability(Observability* obs) noexcept;
+  ~ScopedObservability();
+  ScopedObservability(const ScopedObservability&) = delete;
+  ScopedObservability& operator=(const ScopedObservability&) = delete;
+
+ private:
+  Observability* previous_;
+};
+
+// ---- Call-site helpers (no-ops when nothing is installed) ----
+
+inline void count(const char* name, std::int64_t n = 1) {
+  if (Observability* o = current()) o->metrics().counter(name).add(n);
+}
+
+inline void gauge_set(const char* name, double value) {
+  if (Observability* o = current()) o->metrics().gauge(name).set(value);
+}
+
+inline void gauge_max(const char* name, double value) {
+  if (Observability* o = current()) o->metrics().gauge(name).set_max(value);
+}
+
+inline void observe(const char* name, double value) {
+  if (Observability* o = current()) {
+    o->metrics().histogram(name).observe(value);
+  }
+}
+
+/// Records an event-loop stage in simulated time, and observes the
+/// duration into the histogram of the same name.
+inline void trace_sim(const char* stage, double start_seconds,
+                      double duration_seconds, std::string metadata = {}) {
+  if (Observability* o = current()) {
+    o->metrics().histogram(stage).observe(duration_seconds);
+    o->tracer().record(stage, TraceClock::kSim, start_seconds,
+                       duration_seconds, std::move(metadata));
+  }
+}
+
+// ---- Hot-path handles ----
+//
+// The registry hands out references that stay valid for the bundle's
+// lifetime, so a call site firing tens of thousands of times per run can
+// pay the name lookup (registry mutex + map walk) once per installed
+// bundle instead of once per event. Declare as `static thread_local` at
+// the call site and resolve() against the bundle captured for the event.
+// The cache keys on the bundle epoch, never its address.
+
+class HotCounter {
+ public:
+  explicit HotCounter(const char* name) noexcept : name_(name) {}
+  Counter* resolve(Observability* o) {
+    if (o == nullptr) return nullptr;
+    if (epoch_ != o->epoch()) {
+      slot_ = &o->metrics().counter(name_);
+      epoch_ = o->epoch();
+    }
+    return slot_;
+  }
+
+ private:
+  const char* name_;
+  std::uint64_t epoch_ = 0;
+  Counter* slot_ = nullptr;
+};
+
+class HotGauge {
+ public:
+  explicit HotGauge(const char* name) noexcept : name_(name) {}
+  Gauge* resolve(Observability* o) {
+    if (o == nullptr) return nullptr;
+    if (epoch_ != o->epoch()) {
+      slot_ = &o->metrics().gauge(name_);
+      epoch_ = o->epoch();
+    }
+    return slot_;
+  }
+
+ private:
+  const char* name_;
+  std::uint64_t epoch_ = 0;
+  Gauge* slot_ = nullptr;
+};
+
+class HotHistogram {
+ public:
+  explicit HotHistogram(const char* name) noexcept : name_(name) {}
+  Histogram* resolve(Observability* o) {
+    if (o == nullptr) return nullptr;
+    if (epoch_ != o->epoch()) {
+      slot_ = &o->metrics().histogram(name_);
+      epoch_ = o->epoch();
+    }
+    return slot_;
+  }
+
+ private:
+  const char* name_;
+  std::uint64_t epoch_ = 0;
+  Histogram* slot_ = nullptr;
+};
+
+/// RAII timer for sub-stages inside the solver/render inner loops:
+/// histogram only, no trace event. These stages fire several times per
+/// step — putting them on the ring would evict every narrative event
+/// (transfers, decisions, render slots) and pay the tracer mutex at
+/// tens of kilohertz for data the histogram already summarizes.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(HotHistogram& slot) noexcept
+      : obs_(current()),
+        hist_(slot.resolve(obs_)),
+        start_(obs_ != nullptr ? obs_->tracer().host_now() : 0.0) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (hist_ != nullptr) hist_->observe(obs_->tracer().host_now() - start_);
+  }
+
+ private:
+  Observability* obs_;
+  Histogram* hist_;
+  double start_;
+};
+
+/// RAII host-clock stage timer: records a trace event and feeds the
+/// histogram of the same name on destruction. Captures current() once,
+/// so an install/uninstall mid-span cannot tear the handle.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* stage) noexcept
+      : obs_(current()),
+        stage_(stage),
+        start_(obs_ != nullptr ? obs_->tracer().host_now() : 0.0) {}
+
+  /// Same, with the histogram lookup cached at the call site (for spans
+  /// inside per-step code).
+  ScopedSpan(const char* stage, HotHistogram& slot) noexcept
+      : obs_(current()),
+        stage_(stage),
+        hist_(slot.resolve(obs_)),
+        start_(obs_ != nullptr ? obs_->tracer().host_now() : 0.0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_metadata(std::string m) { metadata_ = std::move(m); }
+
+  ~ScopedSpan() {
+    if (obs_ == nullptr) return;
+    const double duration = obs_->tracer().host_now() - start_;
+    if (hist_ != nullptr) {
+      hist_->observe(duration);
+    } else {
+      obs_->metrics().histogram(stage_).observe(duration);
+    }
+    obs_->tracer().record(stage_, TraceClock::kHost, start_, duration,
+                          std::move(metadata_));
+  }
+
+ private:
+  Observability* obs_;
+  const char* stage_;
+  Histogram* hist_ = nullptr;
+  double start_;
+  std::string metadata_;
+};
+
+}  // namespace adaptviz::obs

@@ -1,0 +1,71 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adaptviz::obs {
+
+const char* to_string(TraceClock c) {
+  switch (c) {
+    case TraceClock::kHost:
+      return "host";
+    case TraceClock::kSim:
+      return "sim";
+  }
+  return "?";
+}
+
+StageTracer::StageTracer(std::size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("StageTracer: capacity must be > 0");
+  }
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void StageTracer::record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+void StageTracer::record(std::string_view stage, TraceClock clock,
+                         double start_seconds, double duration_seconds,
+                         std::string metadata) {
+  record(TraceEvent{std::string(stage), clock, start_seconds,
+                    duration_seconds, std::move(metadata)});
+}
+
+std::vector<TraceEvent> StageTracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once wrapped, next_ points at the oldest retained event.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::int64_t StageTracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_;
+}
+
+std::int64_t StageTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recorded_ - static_cast<std::int64_t>(ring_.size());
+}
+
+double StageTracer::host_now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+}  // namespace adaptviz::obs

@@ -1,0 +1,74 @@
+// Stage tracer: a bounded ring buffer of (stage, start, duration,
+// metadata) events recorded by scoped span timers and by explicit
+// event-loop call sites.
+//
+// Two clock domains coexist in this codebase and both are worth tracing:
+//
+//  * host — real steady-clock seconds since the tracer was built. Compute
+//    stages (solver sweeps, render passes, pool regions) record host
+//    time: that is the wall time the <2% overhead budget is measured in.
+//  * sim  — the discrete-event queue's virtual seconds. Transport
+//    attempts, render slots and manager decisions live on the event loop
+//    and record the simulated timeline the paper's figures are drawn in.
+//
+// Every event carries its clock so exporters (and readers of the
+// --metrics-out dump) never mix the two axes. The ring is bounded:
+// recording never allocates beyond the fixed capacity and the oldest
+// events are overwritten first, so tracing an arbitrarily long campaign
+// costs constant memory.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace adaptviz::obs {
+
+enum class TraceClock { kHost, kSim };
+
+const char* to_string(TraceClock c);
+
+struct TraceEvent {
+  std::string stage;
+  TraceClock clock = TraceClock::kHost;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  /// Free-form key=value annotations ("seq=42 ok=1"); usually empty.
+  std::string metadata;
+};
+
+class StageTracer {
+ public:
+  explicit StageTracer(std::size_t capacity = 16384);
+
+  /// Thread-safe append; overwrites the oldest event once full.
+  void record(TraceEvent event);
+  void record(std::string_view stage, TraceClock clock, double start_seconds,
+              double duration_seconds, std::string metadata = {});
+
+  /// Retained events, oldest first. Safe while writers are running.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Events ever recorded (>= events().size()).
+  [[nodiscard]] std::int64_t recorded() const;
+  /// Events overwritten by the ring bound.
+  [[nodiscard]] std::int64_t dropped() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Host-clock seconds since construction (the start stamp for
+  /// TraceClock::kHost events).
+  [[nodiscard]] double host_now() const;
+
+ private:
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;  // grows to capacity_, then wraps
+  std::size_t next_ = 0;          // overwrite cursor once full
+  std::int64_t recorded_ = 0;
+};
+
+}  // namespace adaptviz::obs

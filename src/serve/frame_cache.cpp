@@ -3,6 +3,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace adaptviz {
 
 const char* to_string(EvictionPolicy p) {
@@ -38,6 +40,7 @@ bool FrameCache::insert(const Frame& frame) {
   }
   if (frame.size > config_.capacity) {
     ++stats_.rejected;
+    obs::count("serve.cache_rejections");
     return false;
   }
   // Make room *before* admitting so resident bytes never exceed capacity.
@@ -50,6 +53,8 @@ bool FrameCache::insert(const Frame& frame) {
   bytes_ += frame.size;
   ++stats_.insertions;
   stats_.peak_bytes = std::max(stats_.peak_bytes, bytes_);
+  obs::count("serve.cache_insertions");
+  obs::gauge_max("serve.cache_peak_mb", bytes_.mb());
   return true;
 }
 
@@ -57,9 +62,11 @@ std::optional<Frame> FrameCache::lookup(std::int64_t sequence) {
   auto it = entries_.find(sequence);
   if (it == entries_.end()) {
     ++stats_.misses;
+    obs::count("serve.cache_misses");
     return std::nullopt;
   }
   ++stats_.hits;
+  obs::count("serve.cache_hits");
   lru_.erase(it->second.lru_it);
   lru_.push_front(sequence);
   it->second.lru_it = lru_.begin();
@@ -92,6 +99,7 @@ void FrameCache::evict_one() {
   }
   erase_entry(entries_.find(victim));
   ++stats_.evictions;
+  obs::count("serve.cache_evictions");
 }
 
 std::int64_t FrameCache::stride_victim() const {

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 
 namespace adaptviz {
@@ -178,6 +180,10 @@ void ViewerSessionManager::start_transfer(int idx, const Frame& frame,
   s.in_flight = true;
   const WallSeconds duration =
       s.downlink->transfer_duration(frame.size, queue_.now());
+  obs::trace_sim("serve.deliver", queue_.now().seconds(), duration.seconds(),
+                 "viewer=" + std::to_string(idx) +
+                     " seq=" + std::to_string(frame.sequence) +
+                     (cache_hit ? " hit=1" : " hit=0"));
   queue_.schedule_after(
       duration,
       [this, idx, sequence = frame.sequence, sim_time = frame.sim_time,
@@ -192,6 +198,7 @@ void ViewerSessionManager::start_transfer(int idx, const Frame& frame,
         session.stats.latest_sim_time =
             std::max(session.stats.latest_sim_time, sim_time);
         ++frames_served_;
+        obs::count("serve.frames_served");
         pump(idx);
       },
       "serve.deliver");
@@ -237,6 +244,7 @@ void ViewerSessionManager::drain_rerenders() {
     for (const Frame& f : batch) {
       ++rerendering_;
       ++rerenders_;
+      obs::count("serve.rerenders");
       const WallSeconds cost(options_.rerender_fixed_seconds +
                              options_.rerender_seconds_per_gb * f.size.gb());
       queue_.schedule_after(

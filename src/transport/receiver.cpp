@@ -1,7 +1,10 @@
 #include "transport/receiver.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "obs/obs.hpp"
 
 namespace adaptviz {
 
@@ -21,7 +24,10 @@ FrameReceiver::FrameReceiver(EventQueue& queue, VisualizeFn visualize,
 
 void FrameReceiver::on_frame_arrival(const Frame& frame) {
   ++frames_received_;
+  obs::count("receiver.frames_received");
   pending_.push_back(frame);
+  obs::gauge_max("receiver.peak_backlog",
+                 static_cast<double>(pending_.size()));
   drain();
 }
 
@@ -53,11 +59,15 @@ void FrameReceiver::drain() {
     for (Frame& frame : batch) {
       ++rendering_;
       const WallSeconds cost = visualize_(frame);
+      obs::trace_sim("receiver.render_slot", queue_.now().seconds(),
+                     cost.seconds(),
+                     "seq=" + std::to_string(frame.sequence));
       queue_.schedule_after(
           cost,
           [this] {
             --rendering_;
             ++frames_visualized_;
+            obs::count("receiver.frames_visualized");
             drain();
           },
           "receiver.render");

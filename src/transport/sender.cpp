@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 
 namespace adaptviz {
@@ -67,6 +69,7 @@ void FrameSender::retry_event() {
   current_backoff_ = WallSeconds(0.0);
   if (!running_) return;
   ++retries_;
+  obs::count("transport.retries");
   try_send();
 }
 
@@ -91,6 +94,7 @@ void FrameSender::begin_transfer() {
   const WallSeconds start = queue_.now();
   const NetworkLink::TransferAttempt attempt =
       link_.plan_transfer(frame.size, start);
+  obs::count("transport.attempts");
   ADAPTVIZ_LOG_DEBUG("sender", "frame #%lld (%s) in flight, eta %.1fs%s",
                      static_cast<long long>(frame.sequence),
                      to_string(frame.size).c_str(),
@@ -98,7 +102,7 @@ void FrameSender::begin_transfer() {
                      attempt.failed ? " [will abort]" : "");
   queue_.schedule_after(
       attempt.duration,
-      [this, frame = std::move(frame), attempt] {
+      [this, frame = std::move(frame), attempt, start] {
         in_flight_ = false;
         if (!running_) {
           // Stopped mid-flight: nothing was delivered and the bytes are
@@ -117,9 +121,15 @@ void FrameSender::begin_transfer() {
         disk_.release(frame.size);
         estimator_.record_transfer(frame.size, attempt.duration);
         consecutive_failures_ = 0;
+        if (degraded_) obs::gauge_set("transport.link_degraded", 0.0);
         degraded_ = false;
         ++frames_sent_;
         bytes_sent_ += frame.size;
+        obs::count("transport.frames_sent");
+        obs::trace_sim("transport.transfer", start.seconds(),
+                       attempt.duration.seconds(),
+                       "seq=" + std::to_string(frame.sequence) +
+                           " gb=" + std::to_string(frame.size.gb()));
         deliver_(frame);
         try_send();
       },
@@ -129,8 +139,10 @@ void FrameSender::begin_transfer() {
 void FrameSender::on_transfer_failed(Frame frame) {
   ++failures_;
   ++consecutive_failures_;
+  obs::count("transport.failures");
   if (consecutive_failures_ >= options_.retry.degrade_after && !degraded_) {
     degraded_ = true;
+    obs::gauge_set("transport.link_degraded", 1.0);
     ADAPTVIZ_LOG_INFO("sender",
                       "[%s] link degraded after %d consecutive failures",
                       hh_mm(queue_.now()).c_str(), consecutive_failures_);
@@ -150,6 +162,7 @@ void FrameSender::on_transfer_failed(Frame frame) {
   }
   current_backoff_ = WallSeconds(delay);
   retry_pending_ = true;
+  obs::observe("transport.backoff_seconds", delay);
   ADAPTVIZ_LOG_DEBUG("sender",
                      "frame #%lld aborted (failure %d in a row), retry in "
                      "%.1fs%s",

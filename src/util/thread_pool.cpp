@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace adaptviz {
 
 ThreadPool::ThreadPool(int workers) {
@@ -38,8 +40,29 @@ bool& ThreadPool::in_parallel_region() {
 
 void ThreadPool::run(std::size_t begin, std::size_t end, std::size_t chunk,
                      int helper_tickets, RangeFnRef body) {
+  // Capture the bundle once so the increment/decrement below stay
+  // symmetric even if observability is swapped mid-region.
+  obs::Observability* const o = obs::current();
+  // Regions fire at tens of kilohertz on the solver path: the registry
+  // lookups are cached per caller thread (obs.hpp, hot-path handles).
+  static thread_local obs::HotGauge depth_peak("pool.queue_depth_peak");
+  static thread_local obs::HotCounter regions("pool.regions");
+  static thread_local obs::HotHistogram queue_wait("pool.queue_wait_seconds");
+  static thread_local obs::HotHistogram region_time("pool.region_seconds");
+  double enqueued = 0.0;
+  if (o != nullptr) {
+    enqueued = o->tracer().host_now();
+    const int depth = queue_depth_.fetch_add(1, std::memory_order_relaxed) + 1;
+    depth_peak.resolve(o)->set_max(depth);
+  }
   // One fork-join job at a time; a second top-level caller parks here.
   std::lock_guard<std::mutex> run_lock(run_mutex_);
+  double started = 0.0;
+  if (o != nullptr) {
+    started = o->tracer().host_now();
+    regions.resolve(o)->add(1);
+    queue_wait.resolve(o)->observe(started - enqueued);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_.body = body;
@@ -63,6 +86,10 @@ void ThreadPool::run(std::size_t begin, std::size_t end, std::size_t chunk,
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [this] { return active_ == 0; });
   job_active_ = false;
+  if (o != nullptr) {
+    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+    region_time.resolve(o)->observe(o->tracer().host_now() - started);
+  }
 }
 
 void ThreadPool::work(RangeFnRef body, std::size_t end, std::size_t chunk) {

@@ -148,6 +148,7 @@ class ThreadPool {
   void worker_loop();
   static bool& in_parallel_region();
 
+  std::atomic<int> queue_depth_{0};  // top-level callers waiting or running
   std::mutex run_mutex_;  // serializes top-level fork-join jobs
   std::mutex mutex_;      // guards the fields below
   std::condition_variable wake_cv_;  // workers park here

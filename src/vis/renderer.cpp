@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/parallel_for.hpp"
 #include "vis/contour.hpp"
 #include "vis/streamlines.hpp"
@@ -48,6 +49,8 @@ FrameRenderer::FrameRenderer(RenderOptions options) : options_(options) {}
 
 Image FrameRenderer::render(const NclFile& frame,
                             const std::vector<TrackPoint>* track) const {
+  obs::ScopedSpan span("vis.render");
+  obs::count("vis.frames_rendered");
   const DomainState parent = decode_domain(frame, "parent");
   const GridSpec& g = parent.grid;
   const std::size_t w = options_.width;
@@ -118,7 +121,10 @@ Image FrameRenderer::render(const NclFile& frame,
   };
   // Disjoint row bands on the shared persistent pool: no synchronization
   // needed, and no threads spawned per frame.
-  parallel_for_rows(0, h, options_.threads, render_rows);
+  {
+    obs::ScopedSpan base_span("vis.render.base");
+    parallel_for_rows(0, h, options_.threads, render_rows);
+  }
 
   // --- Contours of the parent field ---
   if (options_.draw_contours && options_.contour_levels > 0) {

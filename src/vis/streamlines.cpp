@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace adaptviz {
@@ -71,6 +72,7 @@ std::vector<Streamline> streamline_field(const Field2D& u, const Field2D& v,
   if (seed_spacing_cells <= 0) {
     throw std::invalid_argument("streamline_field: bad seed spacing");
   }
+  obs::ScopedSpan span("vis.streamlines");
   std::vector<std::pair<double, double>> seeds;
   for (double y = seed_spacing_cells / 2; y < static_cast<double>(u.ny() - 1);
        y += seed_spacing_cells) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/parallel_for.hpp"
 
 namespace adaptviz {
@@ -69,6 +70,7 @@ VolumeGrid cloud_volume_from_state(const DomainState& state,
 
 void composite_volume(Image& image, const VolumeGrid& volume,
                       const VolumeRenderOptions& opt, int threads) {
+  obs::ScopedSpan span("vis.volume");
   const double sx = static_cast<double>(volume.nx() - 1) /
                     static_cast<double>(image.width() - 1);
   const double sy = static_cast<double>(volume.ny() - 1) /

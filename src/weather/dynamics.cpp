@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/parallel_for.hpp"
 
 namespace adaptviz {
@@ -32,6 +33,9 @@ SwSolver::SwSolver(SwParams params) : params_(params) {
 
 void SwSolver::compute_tendency(const DomainState& s, const SwForcing& f,
                                 double dt, Tendency& out) const {
+  // Histogram-only: three tendencies per step would flood the trace ring.
+  static thread_local obs::HotHistogram tendency_hist("sim.tendency");
+  obs::ScopedTimer span(tendency_hist);
   const GridSpec& g = s.grid;
   const std::size_t nx = g.nx();
   const std::size_t ny = g.ny();
@@ -132,6 +136,10 @@ void SwSolver::compute_tendency(const DomainState& s, const SwForcing& f,
 
 void SwSolver::step(DomainState& state, double dt, const SwForcing& forcing) const {
   if (dt <= 0) throw std::invalid_argument("SwSolver::step: dt must be > 0");
+  static thread_local obs::HotHistogram step_hist("sim.step");
+  static thread_local obs::HotCounter step_count("sim.steps");
+  obs::ScopedSpan span("sim.step", step_hist);
+  if (obs::Counter* c = step_count.resolve(obs::current())) c->add(1);
   const std::size_t n = state.h.size();
 
   // WRF ARW RK3: phi* = phi + dt/3 F(phi); phi** = phi + dt/2 F(phi*);
@@ -162,6 +170,8 @@ void SwSolver::step(DomainState& state, double dt, const SwForcing& forcing) con
     const double* th = tend.dh.data().data();
     const double* tu = tend.du.data().data();
     const double* tv = tend.dv.data().data();
+    static thread_local obs::HotHistogram update_hist("sim.update");
+    obs::ScopedTimer update_span(update_hist);
     dispatch_rows(params_, 0, n, [=](std::size_t lo, std::size_t hi) {
       for (std::size_t idx = lo; idx < hi; ++idx) {
         dh[idx] = h0[idx] + a * th[idx];

@@ -186,5 +186,54 @@ TEST(Framework, NonAdaptiveBaselineStallsFirst) {
             greedy.summary.sim_reached.seconds() + 3600.0);
 }
 
+TEST(Framework, ObservabilityCapturesThePipeline) {
+  ExperimentConfig cfg = mini_config(AlgorithmKind::kOptimization);
+  cfg.observability = true;
+  // Two solver lanes so the shared pool's fork-join path is exercised
+  // (results are bitwise identical for any lane count).
+  cfg.model.dynamics.threads = 2;
+  const ExperimentResult r = run_experiment(cfg);
+  ASSERT_FALSE(r.metrics.empty());
+
+  // Instrumented stages agree with the framework's own accounting.
+  EXPECT_EQ(r.metrics.counter_or("transport.frames_sent"),
+            r.summary.frames_sent);
+  EXPECT_EQ(r.metrics.counter_or("receiver.frames_visualized"),
+            r.summary.frames_visualized);
+  EXPECT_EQ(r.metrics.counter_or("manager.decisions"),
+            static_cast<std::int64_t>(r.summary.decision_count));
+  EXPECT_GT(r.metrics.counter_or("sim.steps"), 0);
+  EXPECT_GT(r.metrics.counter_or("pool.regions"), 0);
+  const obs::Histogram::Snapshot* step = r.metrics.histogram("sim.step");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->count, r.metrics.counter_or("sim.steps"));
+  EXPECT_GT(step->sum, 0.0);
+
+  // The trace retains events from both clock domains, and every manager
+  // decision is on it (the ring is far larger than the decision count).
+  EXPECT_FALSE(r.trace.empty());
+  std::int64_t decisions_traced = 0;
+  for (const obs::TraceEvent& e : r.trace) {
+    if (e.stage == "manager.decision") {
+      ++decisions_traced;
+      EXPECT_EQ(e.clock, obs::TraceClock::kSim);
+      EXPECT_NE(e.metadata.find("algo="), std::string::npos);
+      EXPECT_NE(e.metadata.find("procs="), std::string::npos);
+      EXPECT_NE(e.metadata.find("deliberation="), std::string::npos);
+    }
+  }
+  EXPECT_EQ(decisions_traced, r.summary.decision_count);
+
+  // Nothing leaks: the install point is empty again after run_experiment.
+  EXPECT_EQ(obs::current(), nullptr);
+}
+
+TEST(Framework, ObservabilityOffLeavesResultEmpty) {
+  const ExperimentResult r =
+      run_experiment(mini_config(AlgorithmKind::kOptimization));
+  EXPECT_TRUE(r.metrics.empty());
+  EXPECT_TRUE(r.trace.empty());
+}
+
 }  // namespace
 }  // namespace adaptviz

@@ -221,5 +221,26 @@ TEST(ScenarioFaults, FrameworkDeliversEverythingOverFlakyWan) {
   }
 }
 
+TEST(ScenarioObs, DefaultsOffAndSectionEnables) {
+  EXPECT_FALSE(scenario_from_ini(minimal()).observability);
+
+  const ExperimentConfig cfg = scenario_from_ini(IniDocument::parse(
+      "[experiment]\nname = t\n[site]\npreset = intra-country\n"
+      "[obs]\nenabled = true\ntrace_capacity = 1024\n"));
+  EXPECT_TRUE(cfg.observability);
+  EXPECT_EQ(cfg.obs.trace_capacity, 1024u);
+
+  // A bare [obs] section means "on" with defaults.
+  EXPECT_TRUE(scenario_from_ini(
+                  IniDocument::parse("[experiment]\nname = t\n[site]\n"
+                                     "preset = intra-country\n[obs]\n"))
+                  .observability);
+
+  EXPECT_THROW(scenario_from_ini(IniDocument::parse(
+                   "[experiment]\nname = t\n[site]\npreset = intra-country\n"
+                   "[obs]\ntrace_capacity = 0\n")),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace adaptviz

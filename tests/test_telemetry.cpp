@@ -1,0 +1,134 @@
+#include "core/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "resources/event_queue.hpp"
+#include "util/csv.hpp"
+
+namespace adaptviz {
+namespace {
+
+// Golden header: the samples CSV header the repo has always emitted.
+// The declarative schema must reproduce it byte for byte — downstream
+// plotting scripts key on these names and this order.
+TEST(TelemetrySchema, GoldenHeader) {
+  const std::vector<std::string> golden = {
+      "wall_hours",        "sim_label",         "sim_hours",
+      "free_disk_percent", "processors",        "output_interval_min",
+      "resolution_km",     "min_pressure_hpa",  "stalled",
+      "critical",          "paused",            "frames_written",
+      "frames_sent",       "frames_visualized", "transfer_failures",
+      "transfer_retries",  "link_degraded",     "retry_backoff_s",
+      "frames_served",     "serve_hit_percent", "cache_mb"};
+  EXPECT_EQ(telemetry_columns(), golden);
+}
+
+TEST(TelemetrySchema, RowMatchesSchemaWidthAndCellKinds) {
+  TelemetrySample s;
+  s.wall_time = WallSeconds::hours(2.0);
+  s.sim_time = SimSeconds::hours(1.0);
+  s.processors = 16;
+  s.frames_written = 7;
+  s.stalled = true;
+  const CalendarEpoch epoch = CalendarEpoch::aila_start();
+  const std::vector<CsvTable::Cell> row = telemetry_row(s, epoch);
+  ASSERT_EQ(row.size(), telemetry_schema().size());
+
+  // Cell variant alternatives are part of the golden contract: doubles
+  // stay doubles, flags/counters are long, the calendar label a string.
+  EXPECT_TRUE(std::holds_alternative<double>(row[0]));       // wall_hours
+  EXPECT_TRUE(std::holds_alternative<std::string>(row[1]));  // sim_label
+  EXPECT_TRUE(std::holds_alternative<long>(row[4]));         // processors
+  EXPECT_TRUE(std::holds_alternative<long>(row[8]));         // stalled
+  EXPECT_TRUE(std::holds_alternative<long>(row[11]));  // frames_written
+  EXPECT_TRUE(std::holds_alternative<double>(row[20]));  // cache_mb
+
+  EXPECT_DOUBLE_EQ(std::get<double>(row[0]), 2.0);
+  EXPECT_EQ(std::get<long>(row[4]), 16);
+  EXPECT_EQ(std::get<long>(row[8]), 1);
+  EXPECT_EQ(std::get<long>(row[11]), 7);
+}
+
+TEST(TelemetrySchema, SummaryRendersEveryColumn) {
+  TelemetrySample s;
+  s.processors = 4;
+  const std::string line =
+      telemetry_summary(s, CalendarEpoch::aila_start());
+  for (const TelemetryColumn& c : telemetry_schema()) {
+    EXPECT_NE(line.find(c.name), std::string::npos) << c.name;
+  }
+  EXPECT_NE(line.find("processors=4"), std::string::npos);
+}
+
+// ---- TelemetryRecorder ----
+
+TEST(TelemetryRecorder, SamplesPeriodically) {
+  EventQueue queue;
+  int calls = 0;
+  TelemetryRecorder rec(
+      queue,
+      [&] {
+        ++calls;
+        TelemetrySample s;
+        s.wall_time = queue.now();
+        return s;
+      },
+      WallSeconds(10.0));
+  rec.start();
+  queue.run_until(WallSeconds(35.0));
+  rec.stop();
+  // t = 0, 10, 20, 30.
+  EXPECT_EQ(calls, 4);
+  ASSERT_EQ(rec.samples().size(), 4u);
+  EXPECT_DOUBLE_EQ(rec.samples()[3].wall_time.seconds(), 30.0);
+}
+
+// Regression: stop() then start() used to leave the pre-stop scheduled
+// tick alive; it saw running_ == true after the restart and spawned a
+// second sampling chain, doubling the sample rate from then on.
+TEST(TelemetryRecorder, RestartDoesNotDoubleSampleRate) {
+  EventQueue queue;
+  TelemetryRecorder rec(
+      queue,
+      [&] {
+        TelemetrySample s;
+        s.wall_time = queue.now();
+        return s;
+      },
+      WallSeconds(10.0));
+  rec.start();
+  queue.run_until(WallSeconds(15.0));  // samples at 0, 10; tick pending at 20
+  rec.stop();
+  rec.start();  // restart mid-period: new chain at 15, 25, 35, ...
+  queue.run_until(WallSeconds(50.0));
+  rec.stop();
+  queue.run_all();
+
+  const std::vector<TelemetrySample>& samples = rec.samples();
+  // One sample per chain slot: 0, 10 (first chain), 15, 25, 35, 45
+  // (second chain). The stale tick at t=20 must not fire.
+  std::vector<double> times;
+  times.reserve(samples.size());
+  for (const TelemetrySample& s : samples) {
+    times.push_back(s.wall_time.seconds());
+  }
+  EXPECT_EQ(times, (std::vector<double>{0.0, 10.0, 15.0, 25.0, 35.0, 45.0}));
+}
+
+TEST(TelemetryRecorder, StartIsIdempotentWhileRunning) {
+  EventQueue queue;
+  TelemetryRecorder rec(
+      queue, [] { return TelemetrySample{}; }, WallSeconds(10.0));
+  rec.start();
+  rec.start();  // no second chain
+  queue.run_until(WallSeconds(25.0));
+  rec.stop();
+  EXPECT_EQ(rec.samples().size(), 3u);  // 0, 10, 20
+}
+
+}  // namespace
+}  // namespace adaptviz

@@ -8,9 +8,14 @@
 // into the output directory (default: results/). Scenarios with a [serve]
 // section additionally emit <name>_clients.csv — one delivery row per
 // frame per viewer client — and print the serving summary.
+//
+// --metrics-out <path> switches the observability layer on (regardless of
+// the scenario's [obs] section) and dumps the metrics registry + stage
+// trace as one JSON document to <path> after the run.
 #include <cstdio>
 
 #include "core/scenario.hpp"
+#include "obs/export.hpp"
 #include "util/logging.hpp"
 
 using namespace adaptviz;
@@ -18,17 +23,25 @@ using namespace adaptviz;
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <scenario.ini> [output_dir] [--verbose]\n",
+                 "usage: %s <scenario.ini> [output_dir] [--verbose] "
+                 "[--metrics-out <path>]\n",
                  argv[0]);
     return 2;
   }
   const std::string scenario_path = argv[1];
   std::string out_dir = "results";
+  std::string metrics_out;
   bool verbose = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--verbose") {
       verbose = true;
+    } else if (arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --metrics-out needs a path\n");
+        return 2;
+      }
+      metrics_out = argv[++i];
     } else {
       out_dir = arg;
     }
@@ -36,7 +49,8 @@ int main(int argc, char** argv) {
   set_log_level(verbose ? LogLevel::kInfo : LogLevel::kWarn);
 
   try {
-    const ExperimentConfig cfg = load_scenario(scenario_path);
+    ExperimentConfig cfg = load_scenario(scenario_path);
+    if (!metrics_out.empty()) cfg.observability = true;
     std::printf("scenario '%s': %s on %s (%d cores, %s disk, %s WAN)\n",
                 cfg.name.c_str(), to_string(cfg.algorithm),
                 cfg.site.machine.name.c_str(), cfg.site.machine.max_cores,
@@ -72,6 +86,17 @@ int main(int argc, char** argv) {
           to_string(s.peak_cache_bytes).c_str());
       std::printf("per-client deliveries written to %s/%s_clients.csv\n",
                   out_dir.c_str(), cfg.name.c_str());
+    }
+    if (!result.samples.empty()) {
+      // Final-state line rendered off the declarative telemetry schema.
+      std::printf("final: %s\n",
+                  telemetry_summary(result.samples.back(),
+                                    CalendarEpoch::aila_start())
+                      .c_str());
+    }
+    if (!metrics_out.empty()) {
+      obs::save_json(metrics_out, result.metrics, result.trace);
+      std::printf("metrics written to %s\n", metrics_out.c_str());
     }
     std::printf("results written to %s/%s_*.csv\n", out_dir.c_str(),
                 cfg.name.c_str());
