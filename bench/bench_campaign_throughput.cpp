@@ -1,0 +1,148 @@
+// Campaign throughput: K concurrent experiments vs the sequential loop.
+//
+// Runs the same 8-run grid (both decision algorithms x four seeds) twice
+// through CampaignRunner — once with K=1 (strictly sequential, the
+// baseline) and once with K=4 — and asserts the load-bearing guarantee of
+// the campaign engine: every run's telemetry CSV is BITWISE IDENTICAL
+// whatever the concurrency. Per-run contexts are what make this hold; a
+// regression to shared mutable state shows up here as a digest mismatch.
+//
+// On hardware with >= 4 cores the full bench additionally asserts >= 2x
+// wall-clock speedup at K=4. `--quick` shrinks the scenario so the same
+// identity checks run as a ctest smoke, reporting (not asserting) the
+// speedup — CI machines may be single-core.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "experiment_common.hpp"
+#include "util/calendar.hpp"
+
+using namespace adaptviz;
+using namespace adaptviz::bench;
+
+namespace {
+
+// FNV-1a over the telemetry CSV text: the identity check is on exact bytes.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string telemetry_csv(const ExperimentResult& r) {
+  CsvTable table(telemetry_columns());
+  for (const TelemetrySample& s : r.samples) {
+    table.add_row(telemetry_row(s, CalendarEpoch::aila_start()));
+  }
+  return table.str();
+}
+
+CampaignSpec grid(bool quick) {
+  CampaignSpec spec;
+  spec.name = "throughput";
+  spec.base = standard_config("inter-department", inter_department_site(),
+                              AlgorithmKind::kOptimization);
+  if (quick) {
+    spec.base.sim_window = SimSeconds::hours(24.0);
+    spec.base.max_wall = WallSeconds::hours(48.0);
+    spec.base.model.compute_scale = 12.0;
+  }
+  spec.algorithms = {AlgorithmKind::kGreedyThreshold,
+                     AlgorithmKind::kOptimization};
+  spec.seeds = {42, 43, 44, 45};
+  return spec;
+}
+
+struct Sweep {
+  double wall_seconds = 0.0;
+  std::vector<std::string> csvs;  // per-run telemetry CSV, grid order
+};
+
+Sweep sweep(const CampaignSpec& spec, int k) {
+  CampaignOptions options;
+  options.concurrency = k;
+  options.write_per_run_csvs = false;
+  options.write_summary_csv = false;
+  Sweep out;
+  out.csvs.resize(spec.expand().size());
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto records = CampaignRunner(std::move(options))
+                           .run(spec, [&out](std::size_t i, const CampaignRun&,
+                                             const ExperimentResult& r) {
+                             out.csvs[i] = telemetry_csv(r);
+                           });
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const CampaignRunRecord& r : records) {
+    if (r.failed) {
+      std::fprintf(stderr, "FAIL: run %s failed: %s\n", r.label.c_str(),
+                   r.error.c_str());
+      std::exit(1);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const CampaignSpec spec = grid(quick);
+  const std::vector<CampaignRun> runs = spec.expand();
+  std::printf("campaign throughput bench (%s): %zu runs, %u hardware "
+              "threads\n",
+              quick ? "quick" : "full", runs.size(),
+              std::thread::hardware_concurrency());
+
+  const Sweep serial = sweep(spec, 1);
+  const Sweep concurrent = sweep(spec, 4);
+
+  bool identical = true;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const bool same = serial.csvs[i] == concurrent.csvs[i];
+    identical = identical && same;
+    std::printf("  %-32s K=1 digest %016llx  K=4 digest %016llx  %s\n",
+                runs[i].label.c_str(),
+                static_cast<unsigned long long>(fnv1a(serial.csvs[i])),
+                static_cast<unsigned long long>(fnv1a(concurrent.csvs[i])),
+                same ? "identical" : "MISMATCH");
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: K=4 telemetry differs from the K=1 baseline\n");
+    return 1;
+  }
+
+  const double speedup =
+      concurrent.wall_seconds > 0.0 ? serial.wall_seconds /
+                                          concurrent.wall_seconds
+                                    : 0.0;
+  std::printf("  K=1: %.3fs   K=4: %.3fs   speedup %.2fx\n",
+              serial.wall_seconds, concurrent.wall_seconds, speedup);
+
+  // Wall-clock scaling needs real cores; the identity assertion above is
+  // the part that must hold everywhere.
+  if (!quick && std::thread::hardware_concurrency() >= 4 && speedup < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: expected >= 2x speedup at K=4 on %u threads, got "
+                 "%.2fx\n",
+                 std::thread::hardware_concurrency(), speedup);
+    return 1;
+  }
+  std::printf("PASS: %zu runs bitwise identical at K=4 vs K=1\n",
+              runs.size());
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "campaign/campaign.hpp"
 #include "util/logging.hpp"
 
 namespace adaptviz::bench {
@@ -30,12 +31,30 @@ ExperimentConfig standard_config(const std::string& site_name,
 
 SitePair run_site(const std::string& site_name, const SiteSpec& site) {
   set_log_level(LogLevel::kError);
-  SitePair pair{
-      .greedy = run_experiment(standard_config(
-          site_name, site, AlgorithmKind::kGreedyThreshold)),
-      .optimization = run_experiment(
-          standard_config(site_name, site, AlgorithmKind::kOptimization)),
-  };
+  // Both algorithm runs go through the campaign engine concurrently;
+  // per-run contexts make the results identical to back-to-back
+  // run_experiment() calls (the pre-campaign behaviour of this helper).
+  CampaignSpec spec;
+  spec.base = standard_config(site_name, site, AlgorithmKind::kOptimization);
+  spec.sites = {{site_name, site}};
+  spec.algorithms = {AlgorithmKind::kGreedyThreshold,
+                     AlgorithmKind::kOptimization};
+  spec.concurrency = 2;
+
+  CampaignOptions options;
+  options.concurrency = 0;  // defer to spec.concurrency
+  options.write_per_run_csvs = false;
+  options.write_summary_csv = false;
+  SitePair pair;
+  CampaignRunner(std::move(options))
+      .run(spec, [&pair](std::size_t, const CampaignRun& run,
+                         const ExperimentResult& result) {
+        if (run.config.algorithm == AlgorithmKind::kGreedyThreshold) {
+          pair.greedy = result;
+        } else {
+          pair.optimization = result;
+        }
+      });
   return pair;
 }
 

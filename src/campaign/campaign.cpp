@@ -1,0 +1,363 @@
+#include "campaign/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/string_util.hpp"
+#include "util/thread_pool.hpp"
+
+namespace adaptviz {
+namespace {
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<CampaignRun> CampaignSpec::expand() const {
+  // Empty axes contribute the base value exactly once; the label only
+  // names axes that were actually declared, so a one-axis campaign reads
+  // naturally ("inter-department-optimization", not a wall of defaults).
+  const std::vector<std::pair<std::string, SiteSpec>> site_axis =
+      sites.empty() ? std::vector<std::pair<std::string, SiteSpec>>{{"", base.site}}
+                    : sites;
+  const std::vector<AlgorithmKind> algo_axis =
+      algorithms.empty() ? std::vector<AlgorithmKind>{base.algorithm}
+                         : algorithms;
+  const std::vector<std::uint64_t> seed_axis =
+      seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
+  const std::vector<Bytes> disk_axis =
+      disk_caps.empty() ? std::vector<Bytes>{base.site.disk_capacity}
+                        : disk_caps;
+  const std::vector<double> rate_axis =
+      failure_rates.empty()
+          ? std::vector<double>{base.faults.transfer_failure_rate}
+          : failure_rates;
+
+  std::vector<CampaignRun> runs;
+  runs.reserve(site_axis.size() * algo_axis.size() * seed_axis.size() *
+               disk_axis.size() * rate_axis.size());
+  std::set<std::string> labels;
+  for (const auto& [site_name, site] : site_axis) {
+    for (const AlgorithmKind algo : algo_axis) {
+      for (const std::uint64_t seed : seed_axis) {
+        for (const Bytes disk : disk_axis) {
+          for (const double rate : rate_axis) {
+            CampaignRun run;
+            run.site = site_name;
+            run.config = base;
+            run.config.site = site;
+            run.config.algorithm = algo;
+            run.config.seed = seed;
+            run.config.site.disk_capacity = disk;
+            run.config.faults.transfer_failure_rate = rate;
+
+            std::string label;
+            auto append = [&label](const std::string& part) {
+              if (!label.empty()) label += '-';
+              label += part;
+            };
+            if (!sites.empty()) append(site_name);
+            if (!algorithms.empty()) append(to_string(algo));
+            if (!seeds.empty()) append("s" + std::to_string(seed));
+            if (!disk_caps.empty()) append("d" + format_double(disk.gb()));
+            if (!failure_rates.empty()) append("f" + format_double(rate));
+            if (label.empty()) label = base.name;
+            // Uniqueness backstop (e.g. a repeated seed in the axis list):
+            // suffix the grid index rather than silently overwriting CSVs.
+            if (!labels.insert(label).second) {
+              label += "-r" + std::to_string(runs.size());
+              labels.insert(label);
+            }
+            run.label = label;
+            run.config.name = label;
+            runs.push_back(std::move(run));
+          }
+        }
+      }
+    }
+  }
+  return runs;
+}
+
+const std::vector<CampaignSummaryColumn>& campaign_summary_schema() {
+  using R = CampaignRunRecord;
+  using Cell = CsvTable::Cell;
+  static const std::vector<CampaignSummaryColumn> schema = {
+      {"label", "", [](const R& r) -> Cell { return r.label; }},
+      {"site", "", [](const R& r) -> Cell { return r.site; }},
+      {"algorithm", "",
+       [](const R& r) -> Cell { return std::string(to_string(r.algorithm)); }},
+      {"seed", "",
+       [](const R& r) -> Cell { return static_cast<long>(r.seed); }},
+      {"disk_gb", "GB", [](const R& r) -> Cell { return r.disk_gb; }},
+      {"failure_rate", "", [](const R& r) -> Cell { return r.failure_rate; }},
+      {"completed", "flag",
+       [](const R& r) -> Cell {
+         return static_cast<long>(r.summary.completed);
+       }},
+      {"wall_hours", "h",
+       [](const R& r) -> Cell { return r.summary.wall_elapsed.as_hours(); }},
+      {"sim_finished_wall_hours", "h",
+       [](const R& r) -> Cell {
+         return r.summary.sim_finished_wall.as_hours();
+       }},
+      {"sim_reached_hours", "h",
+       [](const R& r) -> Cell { return r.summary.sim_reached.as_hours(); }},
+      {"peak_disk_gb", "GB",
+       [](const R& r) -> Cell { return r.summary.peak_disk_used.gb(); }},
+      {"min_free_disk_percent", "%",
+       [](const R& r) -> Cell { return r.summary.min_free_disk_percent; }},
+      {"stall_hours", "h",
+       [](const R& r) -> Cell {
+         return r.summary.total_stall_time.as_hours();
+       }},
+      {"frames_written", "frames",
+       [](const R& r) -> Cell {
+         return static_cast<long>(r.summary.frames_written);
+       }},
+      {"frames_sent", "frames",
+       [](const R& r) -> Cell {
+         return static_cast<long>(r.summary.frames_sent);
+       }},
+      {"frames_visualized", "frames",
+       [](const R& r) -> Cell {
+         return static_cast<long>(r.summary.frames_visualized);
+       }},
+      {"transfer_failures", "",
+       [](const R& r) -> Cell {
+         return static_cast<long>(r.summary.transfer_failures);
+       }},
+      {"transfer_retries", "",
+       [](const R& r) -> Cell {
+         return static_cast<long>(r.summary.transfer_retries);
+       }},
+      {"restarts", "",
+       [](const R& r) -> Cell {
+         return static_cast<long>(r.summary.restarts);
+       }},
+      {"decisions", "",
+       [](const R& r) -> Cell {
+         return static_cast<long>(r.summary.decision_count);
+       }},
+      {"failed", "flag",
+       [](const R& r) -> Cell { return static_cast<long>(r.failed); }},
+      {"error", "", [](const R& r) -> Cell { return r.error; }},
+  };
+  return schema;
+}
+
+std::vector<std::string> campaign_summary_columns() {
+  std::vector<std::string> out;
+  out.reserve(campaign_summary_schema().size());
+  for (const CampaignSummaryColumn& c : campaign_summary_schema()) {
+    out.emplace_back(c.name);
+  }
+  return out;
+}
+
+std::vector<CsvTable::Cell> campaign_summary_row(
+    const CampaignRunRecord& record) {
+  std::vector<CsvTable::Cell> row;
+  row.reserve(campaign_summary_schema().size());
+  for (const CampaignSummaryColumn& c : campaign_summary_schema()) {
+    row.push_back(c.cell(record));
+  }
+  return row;
+}
+
+void write_campaign_summary(const std::vector<CampaignRunRecord>& records,
+                            const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  CsvTable table(campaign_summary_columns());
+  for (const CampaignRunRecord& r : records) {
+    table.add_row(campaign_summary_row(r));
+  }
+  table.save(dir + "/campaign_summary.csv");
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<CampaignRunRecord> CampaignRunner::run(
+    const std::vector<CampaignRun>& runs, const ResultSink& sink) {
+  const int k =
+      std::min<int>(std::max(1, options_.concurrency),
+                    std::max<std::size_t>(std::size_t{1}, runs.size()));
+  std::vector<CampaignRunRecord> records(runs.size());
+  if (options_.write_per_run_csvs || options_.write_summary_csv) {
+    std::filesystem::create_directories(options_.output_dir);
+  }
+
+  // One lock serializes everything that leaves a run: CSV writes, the
+  // result sink, progress callbacks. Runs themselves never take it.
+  std::mutex emit_mutex;
+  std::size_t finished = 0;
+
+  auto execute = [&](std::size_t i) {
+    const CampaignRun& cell = runs[i];
+    CampaignRunRecord rec;
+    rec.label = cell.label;
+    rec.site = cell.site.empty() ? cell.config.site.machine.name : cell.site;
+    rec.algorithm = cell.config.algorithm;
+    rec.seed = cell.config.seed;
+    rec.disk_gb = cell.config.site.disk_capacity.gb();
+    rec.failure_rate = cell.config.faults.transfer_failure_rate;
+    try {
+      ExperimentConfig cfg = cell.config;
+      if (!cfg.log.has_level) cfg.log.set_level(options_.run_log_level);
+      const ExperimentResult result = run_experiment(cfg);
+      rec.summary = result.summary;
+      std::lock_guard<std::mutex> lock(emit_mutex);
+      if (options_.write_per_run_csvs) {
+        write_result(result, options_.output_dir);
+      }
+      if (sink) sink(i, cell, result);
+      // The full result dies here: memory stays bounded by K in-flight
+      // experiments no matter how large the grid is.
+    } catch (const std::exception& e) {
+      rec.failed = true;
+      rec.error = e.what();
+    }
+    std::lock_guard<std::mutex> lock(emit_mutex);
+    records[i] = std::move(rec);
+    ++finished;
+    if (options_.on_progress) {
+      options_.on_progress(
+          CampaignProgress{finished, runs.size(), &records[i]});
+    }
+  };
+
+  if (k <= 1) {
+    // Strictly sequential on the calling thread — the baseline the
+    // bitwise-identity guarantee is stated against.
+    for (std::size_t i = 0; i < runs.size(); ++i) execute(i);
+  } else {
+    // Whole experiments run as pool tasks; per-run contexts keep their
+    // metrics, logs and results disjoint while they interleave.
+    ThreadPool pool(k);
+    std::vector<ThreadPool::TaskHandle> handles;
+    handles.reserve(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      handles.push_back(pool.submit([&execute, i] { execute(i); }));
+    }
+    for (ThreadPool::TaskHandle& h : handles) h.wait();
+  }
+
+  if (options_.write_summary_csv) {
+    write_campaign_summary(records, options_.output_dir);
+  }
+  return records;
+}
+
+std::vector<CampaignRunRecord> CampaignRunner::run(const CampaignSpec& spec,
+                                                   const ResultSink& sink) {
+  if (options_.concurrency <= 0) {
+    options_.concurrency = std::max(1, spec.concurrency);
+  }
+  return run(spec.expand(), sink);
+}
+
+// ---- [campaign] INI schema ----
+
+namespace {
+
+std::vector<std::string> parse_name_list(const std::string& spec) {
+  std::vector<std::string> out;
+  for (const std::string& part : split(spec, ',')) {
+    const std::string name = trim(part);
+    if (!name.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<double> parse_double_list(const std::string& key,
+                                      const std::string& spec) {
+  std::vector<double> out;
+  for (const std::string& name : parse_name_list(spec)) {
+    try {
+      out.push_back(std::stod(name));
+    } catch (const std::exception&) {
+      throw std::runtime_error("campaign: malformed " + key + " entry '" +
+                               name + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_campaign_ini(const IniDocument& doc) {
+  return doc.has_section("campaign");
+}
+
+CampaignSpec campaign_from_ini(const IniDocument& doc) {
+  if (!is_campaign_ini(doc)) {
+    throw std::runtime_error("campaign: missing [campaign] section");
+  }
+  CampaignSpec spec;
+  // Everything outside [campaign] is the base scenario, parsed unchanged.
+  spec.base = scenario_from_ini(doc);
+  spec.name = doc.get_or("campaign", "name", spec.base.name);
+
+  if (auto v = doc.get("campaign", "sites")) {
+    for (const std::string& name : parse_name_list(*v)) {
+      // Note: a sites axis replaces the whole preset per cell; per-key
+      // [site] overrides apply only to the base scenario's site.
+      spec.sites.emplace_back(name, site_preset(name));
+    }
+  }
+  if (auto v = doc.get("campaign", "algorithms")) {
+    for (const std::string& name : parse_name_list(*v)) {
+      spec.algorithms.push_back(algorithm_from_name(name));
+    }
+  }
+  if (auto v = doc.get("campaign", "seeds")) {
+    for (const double seed : parse_double_list("seeds", *v)) {
+      if (seed < 0 || seed != static_cast<double>(
+                                  static_cast<std::uint64_t>(seed))) {
+        throw std::runtime_error(
+            "campaign: seeds must be non-negative integers");
+      }
+      spec.seeds.push_back(static_cast<std::uint64_t>(seed));
+    }
+  }
+  if (auto v = doc.get("campaign", "disk_gb")) {
+    for (const double gb : parse_double_list("disk_gb", *v)) {
+      if (gb <= 0) {
+        throw std::runtime_error("campaign: disk_gb entries must be > 0");
+      }
+      spec.disk_caps.push_back(Bytes::gigabytes(gb));
+    }
+  }
+  if (auto v = doc.get("campaign", "failure_rates")) {
+    for (const double rate : parse_double_list("failure_rates", *v)) {
+      if (rate < 0.0 || rate > 1.0) {
+        throw std::runtime_error(
+            "campaign: failure_rates entries must be in [0, 1]");
+      }
+      spec.failure_rates.push_back(rate);
+    }
+  }
+  if (auto v = doc.get_int("campaign", "concurrency")) {
+    if (*v < 1) {
+      throw std::runtime_error("campaign: concurrency must be >= 1");
+    }
+    spec.concurrency = static_cast<int>(*v);
+  }
+  return spec;
+}
+
+CampaignSpec load_campaign(const std::string& path) {
+  return campaign_from_ini(IniDocument::load(path));
+}
+
+}  // namespace adaptviz

@@ -1,6 +1,7 @@
 #include "core/framework.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "util/logging.hpp"
@@ -49,10 +50,19 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
                          config_.faults.transfer_failure_rate},
             config_.seed + 1) {
   if (config_.observability) {
-    // Install before any component is built so construction-time activity
-    // (profiling sweeps run through the pool) is captured too.
     obs_ = std::make_unique<obs::Observability>(config_.obs);
-    obs_scope_ = std::make_unique<obs::ScopedObservability>(obs_.get());
+    ctx_.observability = obs_.get();
+  }
+  ctx_.has_log_level = config_.log.has_level;
+  ctx_.log_level = config_.log.level;
+  ctx_.log_sink = config_.log.sink;
+  if (ctx_.observability != nullptr || ctx_.has_log_level ||
+      ctx_.log_sink != nullptr) {
+    // Install before any component is built so construction-time activity
+    // (profiling sweeps run through the pool) is captured too. A config
+    // with nothing to install leaves the surrounding context visible —
+    // the deprecated ScopedObservability shim path keeps working.
+    ctx_scope_ = std::make_unique<ScopedRunContext>(&ctx_);
   }
 
   // Profile the machine and fit the performance model — the framework's
@@ -246,6 +256,12 @@ bool AdaptiveFramework::drained() const {
 }
 
 ExperimentResult AdaptiveFramework::run() {
+  // The constructor installed the context on the constructing thread;
+  // re-install here so an experiment constructed on one thread and run on
+  // another (a campaign pool task) still records into its own context.
+  std::optional<ScopedRunContext> scope;
+  if (ctx_scope_ != nullptr) scope.emplace(&ctx_);
+
   ADAPTVIZ_LOG_INFO("framework", "=== %s / %s ===", config_.name.c_str(),
                     to_string(config_.algorithm));
   job_handler_->launch_initial();

@@ -94,11 +94,29 @@ struct ExperimentConfig {
   WallSeconds steering_latency{0.3};
 
   /// Observability: when true the framework owns a metrics registry +
-  /// stage tracer, installs them for the run, and returns the snapshot in
-  /// ExperimentResult. Off by default: instrumentation is a no-op and the
-  /// run is bitwise identical either way (bench_observability asserts it).
+  /// stage tracer, installs them on its run context, and returns the
+  /// snapshot in ExperimentResult. Off by default: instrumentation is a
+  /// no-op and the run is bitwise identical either way (bench_observability
+  /// asserts it).
   bool observability = false;
   obs::ObsOptions obs{};
+
+  /// Per-run logging overrides, threaded through the same run context as
+  /// observability. An unset level inherits the process-wide
+  /// set_log_level(); a null sink writes to stderr. The campaign runner
+  /// sets these so K concurrent runs never fight over one global logger.
+  /// The sink is non-owning and must outlive the run.
+  struct RunLogOptions {
+    bool has_level = false;
+    LogLevel level = LogLevel::kWarn;
+    LogSink* sink = nullptr;
+
+    void set_level(LogLevel l) {
+      level = l;
+      has_level = true;
+    }
+  };
+  RunLogOptions log{};
 };
 
 struct ExperimentSummary {
@@ -167,7 +185,10 @@ class AdaptiveFramework {
   AdaptiveFramework& operator=(const AdaptiveFramework&) = delete;
 
   /// Runs the experiment to completion (simulation finished and all frames
-  /// visualized) or to the wall cutoff.
+  /// visualized) or to the wall cutoff. The framework's run context is
+  /// (re-)installed on the calling thread for the duration, so run() may
+  /// legally execute on a different thread than the constructor — e.g. as
+  /// a campaign pool task.
   ExperimentResult run();
 
   /// Component access for tests and custom drivers.
@@ -215,10 +236,12 @@ class AdaptiveFramework {
   std::unique_ptr<SteeringChannel> steering_channel_;
   std::vector<SteeringRecord> steering_log_;
 
-  // Declared last and in this order: the scope uninstalls before the
-  // bundle it points at is destroyed.
+  // The experiment's run context (obs bundle + log overrides). Declared
+  // last and in this order: the scope uninstalls before the context and
+  // bundle it points at are destroyed.
   std::unique_ptr<obs::Observability> obs_;
-  std::unique_ptr<obs::ScopedObservability> obs_scope_;
+  RunContext ctx_;
+  std::unique_ptr<ScopedRunContext> ctx_scope_;
 };
 
 /// Convenience wrapper: build, run, return.

@@ -8,7 +8,6 @@
 #include "util/string_util.hpp"
 
 namespace adaptviz {
-namespace {
 
 SiteSpec site_preset(const std::string& name) {
   if (name == "inter-department") return inter_department_site();
@@ -17,12 +16,14 @@ SiteSpec site_preset(const std::string& name) {
   throw std::runtime_error("scenario: unknown site preset '" + name + "'");
 }
 
-AlgorithmKind algorithm_from(const std::string& name) {
+AlgorithmKind algorithm_from_name(const std::string& name) {
   if (name == "optimization") return AlgorithmKind::kOptimization;
   if (name == "greedy-threshold") return AlgorithmKind::kGreedyThreshold;
   if (name == "non-adaptive") return AlgorithmKind::kStatic;
   throw std::runtime_error("scenario: unknown algorithm '" + name + "'");
 }
+
+namespace {
 
 std::vector<LinkOutage> parse_outages(const std::string& spec) {
   std::vector<LinkOutage> out;
@@ -55,7 +56,8 @@ ExperimentConfig scenario_from_ini(const IniDocument& doc) {
   // [experiment]
   cfg.name = doc.get_or("experiment", "name", "scenario");
   cfg.algorithm =
-      algorithm_from(doc.get_or("experiment", "algorithm", "optimization"));
+      algorithm_from_name(
+          doc.get_or("experiment", "algorithm", "optimization"));
   if (auto v = doc.get_double("experiment", "sim_window_hours")) {
     cfg.sim_window = SimSeconds::hours(*v);
   }

@@ -61,6 +61,17 @@
 
 namespace adaptviz {
 
+/// Table IV site preset by scenario name ("inter-department",
+/// "intra-country", "cross-continent"); throws std::runtime_error on an
+/// unknown name. Shared by the [site] section and the campaign grid's
+/// `sites` axis.
+SiteSpec site_preset(const std::string& name);
+
+/// Decision-algorithm kind by scenario name ("optimization",
+/// "greedy-threshold", "non-adaptive"); throws std::runtime_error on an
+/// unknown name. Inverse of to_string(AlgorithmKind).
+AlgorithmKind algorithm_from_name(const std::string& name);
+
 /// Builds an ExperimentConfig from a parsed scenario document. Unknown
 /// values raise std::runtime_error with the offending key.
 ExperimentConfig scenario_from_ini(const IniDocument& doc);

@@ -2,11 +2,22 @@
 
 #include <atomic>
 
+#include "runtime/run_context.hpp"
+
 namespace adaptviz::obs {
 
 namespace {
-std::atomic<Observability*> g_current{nullptr};
 std::atomic<std::uint64_t> g_epoch{0};
+
+// The shim inherits the surrounding context's logging fields so wrapping a
+// region in ScopedObservability changes where metrics go, not where log
+// lines go.
+RunContext shim_context(Observability* obs) noexcept {
+  RunContext context;
+  if (const RunContext* outer = current_run_context()) context = *outer;
+  context.observability = obs;
+  return context;
+}
 }  // namespace
 
 Observability::Observability(ObsOptions options)
@@ -14,14 +25,11 @@ Observability::Observability(ObsOptions options)
       tracer_(options.trace_capacity) {}
 
 Observability* current() noexcept {
-  return g_current.load(std::memory_order_acquire);
+  const RunContext* context = current_run_context();
+  return context != nullptr ? context->observability : nullptr;
 }
 
 ScopedObservability::ScopedObservability(Observability* obs) noexcept
-    : previous_(g_current.exchange(obs, std::memory_order_acq_rel)) {}
-
-ScopedObservability::~ScopedObservability() {
-  g_current.store(previous_, std::memory_order_release);
-}
+    : context_(shim_context(obs)), scope_(&context_) {}
 
 }  // namespace adaptviz::obs

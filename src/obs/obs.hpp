@@ -1,14 +1,15 @@
-// Observability bundle: one MetricsRegistry + one StageTracer, installed
-// process-wide so deeply nested hot paths (solver sweeps, render passes,
-// pool regions) can report without threading a handle through every
-// constructor.
+// Observability bundle: one MetricsRegistry + one StageTracer, reachable
+// from deeply nested hot paths (solver sweeps, render passes, pool
+// regions) without threading a handle through every constructor.
 //
+// The bundle rides the per-run context (runtime/run_context.hpp):
 // AdaptiveFramework owns the bundle for an experiment and installs it for
-// the experiment's lifetime (ScopedObservability); standalone component
-// tests run with nothing installed and every helper below degenerates to
-// a no-op. Installation is an atomic pointer swap — readers (including
-// thread-pool workers) only ever do one relaxed atomic load on the fast
-// path.
+// the experiment's lifetime via its RunContext; the thread pool forwards
+// the submitting thread's context into worker lanes, so N experiments
+// running concurrently record into N disjoint bundles with zero
+// cross-talk. Standalone component tests run with nothing installed and
+// every helper below degenerates to a no-op. `current()` is one
+// thread-local load on the fast path.
 //
 // Instrumentation NEVER touches simulation state, RNG streams or the
 // event queue: results are bitwise identical with observability on, off,
@@ -21,6 +22,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "runtime/run_context.hpp"
 
 namespace adaptviz::obs {
 
@@ -49,22 +51,26 @@ class Observability {
   StageTracer tracer_;
 };
 
-/// The installed bundle, or nullptr when none is active.
+/// The bundle installed on this thread's run context, or nullptr when none
+/// is active.
 Observability* current() noexcept;
 
-/// Installs `obs` for this scope and restores the previous bundle on
-/// destruction. Installation is not reference-counted: nested scopes
-/// stack, concurrent frameworks would race (none exist — experiments run
-/// sequentially).
+/// DEPRECATED shim, kept for existing examples and tests: installs a run
+/// context carrying `obs` for this scope (inheriting the surrounding
+/// context's logging fields) and restores the previous context on
+/// destruction. Scopes nest per thread. New code should install a
+/// RunContext directly (ScopedRunContext) or let AdaptiveFramework own the
+/// bundle via ExperimentConfig::observability.
 class ScopedObservability {
  public:
   explicit ScopedObservability(Observability* obs) noexcept;
-  ~ScopedObservability();
+  ~ScopedObservability() = default;
   ScopedObservability(const ScopedObservability&) = delete;
   ScopedObservability& operator=(const ScopedObservability&) = delete;
 
  private:
-  Observability* previous_;
+  RunContext context_;
+  ScopedRunContext scope_;
 };
 
 // ---- Call-site helpers (no-ops when nothing is installed) ----

@@ -1,0 +1,20 @@
+#include "runtime/run_context.hpp"
+
+namespace adaptviz {
+
+namespace {
+// One slot per thread: concurrent experiments cannot observe each other's
+// context, and readers pay a TLS load instead of an atomic on the hot path.
+thread_local RunContext* t_current = nullptr;
+}  // namespace
+
+RunContext* current_run_context() noexcept { return t_current; }
+
+ScopedRunContext::ScopedRunContext(RunContext* context) noexcept
+    : previous_(t_current) {
+  t_current = context;
+}
+
+ScopedRunContext::~ScopedRunContext() { t_current = previous_; }
+
+}  // namespace adaptviz

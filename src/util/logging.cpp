@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
+#include <stdexcept>
 
 namespace adaptviz {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-const char* level_name(LogLevel l) {
+}  // namespace
+
+const char* log_level_name(LogLevel l) {
   switch (l) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -24,19 +27,62 @@ const char* level_name(LogLevel l) {
   return "?";
 }
 
-}  // namespace
-
 void set_log_level(LogLevel level) { g_level.store(level); }
 LogLevel log_level() { return g_level.load(); }
 
 void log(LogLevel level, const char* component, const char* fmt, ...) {
-  if (level < g_level.load()) return;
+  // Per-run overrides ride the calling thread's context; absent one, the
+  // process-wide defaults apply (seed behavior, byte for byte).
+  const RunContext* context = current_run_context();
+  const LogLevel min_level = context != nullptr && context->has_log_level
+                                 ? context->log_level
+                                 : g_level.load();
+  if (level < min_level) return;
   char msg[1024];
   va_list ap;
   va_start(ap, fmt);
   std::vsnprintf(msg, sizeof msg, fmt, ap);
   va_end(ap);
-  std::fprintf(stderr, "[%s] %-12s %s\n", level_name(level), component, msg);
+  LogSink* sink = context != nullptr ? context->log_sink : nullptr;
+  if (sink != nullptr) {
+    sink->write(level, component, msg);
+  } else {
+    std::fprintf(stderr, "[%s] %-12s %s\n", log_level_name(level), component,
+                 msg);
+  }
+}
+
+FileLogSink::FileLogSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {
+  if (file_ == nullptr) {
+    throw std::runtime_error("FileLogSink: cannot open '" + path + "'");
+  }
+}
+
+FileLogSink::~FileLogSink() { std::fclose(file_); }
+
+void FileLogSink::write(LogLevel level, const char* component,
+                        const char* message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fprintf(file_, "[%s] %-12s %s\n", log_level_name(level), component,
+               message);
+}
+
+void MemoryLogSink::write(LogLevel level, const char* component,
+                          const char* message) {
+  std::string line = "[";
+  line += log_level_name(level);
+  line += "] ";
+  line += component;
+  line += ' ';
+  line += message;
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.push_back(std::move(line));
+}
+
+std::vector<std::string> MemoryLogSink::lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
 }
 
 }  // namespace adaptviz

@@ -3,18 +3,32 @@
 // The framework's daemons (application manager, job handler, sender,
 // receiver) narrate their actions through this logger; experiments lower the
 // level to Warn so bench output stays machine-parsable.
+//
+// Level and destination resolve per run: when the calling thread has a run
+// context installed (runtime/run_context.hpp), its log_level/log_sink
+// override the process-wide defaults, so K concurrent campaign runs can
+// log at different levels into different files without interleaving on
+// stderr. With no context installed the historical behavior is unchanged:
+// the process-wide level gates, lines go to stderr.
 #pragma once
 
 #include <cstdarg>
+#include <cstdio>
+#include <mutex>
 #include <string>
+#include <vector>
+
+#include "runtime/run_context.hpp"  // LogLevel, LogSink
 
 namespace adaptviz {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
-
-/// Process-wide minimum level; messages below it are dropped.
+/// Process-wide minimum level; messages below it are dropped. A run
+/// context with has_log_level set overrides this for its threads.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Fixed-width level tag ("WARN " etc.) for sink implementations.
+const char* log_level_name(LogLevel level);
 
 /// printf-style logging. `component` names the emitting daemon/module.
 void log(LogLevel level, const char* component, const char* fmt, ...)
@@ -22,6 +36,37 @@ void log(LogLevel level, const char* component, const char* fmt, ...)
     __attribute__((format(printf, 3, 4)))
 #endif
     ;
+
+/// Appends each run's lines to its own file — the campaign runner gives
+/// every concurrent experiment one of these so logs never interleave.
+class FileLogSink : public LogSink {
+ public:
+  /// Truncates/creates `path`; throws std::runtime_error if unwritable.
+  explicit FileLogSink(const std::string& path);
+  ~FileLogSink() override;
+  FileLogSink(const FileLogSink&) = delete;
+  FileLogSink& operator=(const FileLogSink&) = delete;
+
+  void write(LogLevel level, const char* component,
+             const char* message) override;
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_;
+};
+
+/// Collects formatted lines in memory (tests, per-run capture).
+class MemoryLogSink : public LogSink {
+ public:
+  void write(LogLevel level, const char* component,
+             const char* message) override;
+
+  [[nodiscard]] std::vector<std::string> lines() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+};
 
 #define ADAPTVIZ_LOG_DEBUG(component, ...) \
   ::adaptviz::log(::adaptviz::LogLevel::kDebug, component, __VA_ARGS__)

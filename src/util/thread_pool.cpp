@@ -15,12 +15,46 @@ ThreadPool::ThreadPool(int workers) {
 }
 
 ThreadPool::~ThreadPool() {
+  std::deque<PendingTask> orphaned;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
+    orphaned.swap(tasks_);
   }
   wake_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  // Discarded tasks never run, but their handles must not hang.
+  for (PendingTask& task : orphaned) {
+    {
+      std::lock_guard<std::mutex> lock(task.state->mutex);
+      task.state->done = true;
+    }
+    task.state->cv.notify_all();
+  }
+}
+
+void ThreadPool::TaskHandle::wait() {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [this] { return state_->done; });
+}
+
+ThreadPool::TaskHandle ThreadPool::submit(std::function<void()> task) {
+  auto state = std::make_shared<TaskHandle::State>();
+  if (workers_.empty()) {
+    // No worker threads to hand the task to: run it inline. The submitting
+    // thread's context is already installed, so semantics match.
+    task();
+    state->done = true;
+    return TaskHandle(std::move(state));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(
+        PendingTask{std::move(task), current_run_context(), state});
+  }
+  wake_cv_.notify_all();
+  return TaskHandle(std::move(state));
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -68,6 +102,7 @@ void ThreadPool::run(std::size_t begin, std::size_t end, std::size_t chunk,
     job_.body = body;
     job_.end = end;
     job_.chunk = chunk;
+    job_.context = current_run_context();
     job_.next.store(begin, std::memory_order_relaxed);
     tickets_ = std::min(helper_tickets, static_cast<int>(workers_.size()));
     job_active_ = true;
@@ -105,22 +140,47 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    wake_cv_.wait(lock,
+                  [&] { return stop_ || generation_ != seen || !tasks_.empty(); });
     if (stop_) return;
-    seen = generation_;
-    if (!job_active_ || tickets_ <= 0 ||
-        job_.next.load(std::memory_order_relaxed) >= job_.end) {
-      continue;
+    if (generation_ != seen) {
+      seen = generation_;
+      if (job_active_ && tickets_ > 0 &&
+          job_.next.load(std::memory_order_relaxed) < job_.end) {
+        --tickets_;
+        ++active_;
+        const RangeFnRef body = job_.body;
+        const std::size_t end = job_.end;
+        const std::size_t chunk = job_.chunk;
+        RunContext* const context = job_.context;
+        lock.unlock();
+        {
+          // The lane borrows the submitting experiment's context: metrics
+          // fired by the body land in that experiment's bundle.
+          ScopedRunContext scope(context);
+          work(body, end, chunk);
+        }
+        lock.lock();
+        if (--active_ == 0) done_cv_.notify_all();
+        continue;
+      }
     }
-    --tickets_;
-    ++active_;
-    const RangeFnRef body = job_.body;
-    const std::size_t end = job_.end;
-    const std::size_t chunk = job_.chunk;
-    lock.unlock();
-    work(body, end, chunk);
-    lock.lock();
-    if (--active_ == 0) done_cv_.notify_all();
+    if (!tasks_.empty()) {
+      PendingTask task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      {
+        ScopedRunContext scope(task.context);
+        task.fn();
+      }
+      {
+        std::lock_guard<std::mutex> state_lock(task.state->mutex);
+        task.state->done = true;
+      }
+      task.state->cv.notify_all();
+      task.fn = nullptr;  // release the closure before re-taking the lock
+      lock.lock();
+    }
   }
 }
 

@@ -30,6 +30,21 @@
 //
 // The callable is passed by non-owning reference (RangeFnRef): no
 // std::function allocation on the hot path.
+//
+// Run-context propagation: every worker lane of a fork-join region runs
+// under the *submitting* thread's run context (runtime/run_context.hpp),
+// so instrumentation fired inside a region lands in the submitting
+// experiment's metrics — never in another experiment that happens to share
+// the pool. The same applies to submitted tasks (below).
+//
+// Task submission (`submit`): whole units of work — e.g. one experiment of
+// a campaign — run as pool tasks on the worker threads, draining a FIFO
+// queue. Tasks run with in-region semantics: any parallel_for a task issues
+// runs inline on its lane (deterministically — the static partition makes
+// lane count invisible to results), so K tasks progress independently
+// without nested fork-join deadlocks. Do not wait() on a task's handle
+// from inside another task on the same pool: with every worker occupied
+// that wait can never be satisfied.
 #pragma once
 
 #include <algorithm>
@@ -37,10 +52,15 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "runtime/run_context.hpp"
 
 namespace adaptviz {
 
@@ -111,6 +131,34 @@ class ThreadPool {
     run(begin, end, band, static_cast<int>(lanes) - 1, RangeFnRef(body));
   }
 
+  /// Blocks until the task has finished. A default-constructed handle (or
+  /// one whose task already ran) returns immediately.
+  class TaskHandle {
+   public:
+    TaskHandle() = default;
+    void wait();
+    [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+   private:
+    friend class ThreadPool;
+    struct State {
+      std::mutex mutex;
+      std::condition_variable cv;
+      bool done = false;
+    };
+    explicit TaskHandle(std::shared_ptr<State> state)
+        : state_(std::move(state)) {}
+    std::shared_ptr<State> state_;
+  };
+
+  /// Enqueues `task` to run on a worker thread under the submitting
+  /// thread's run context (captured now, installed for the task's span).
+  /// FIFO order; at most `workers` tasks run concurrently. On a pool with
+  /// zero workers the task runs inline before submit returns. Tasks still
+  /// queued when the pool is destroyed are discarded (their handles
+  /// unblock).
+  TaskHandle submit(std::function<void()> task);
+
   /// Fork-join with dynamic chunk scheduling: up to `threads` lanes grab
   /// `chunk`-sized pieces off a shared cursor. Chunk boundaries are
   /// deterministic; claim order is not — use only when the body's writes
@@ -134,12 +182,23 @@ class ThreadPool {
  private:
   // One fork-join job: workers fetch-add `next` by `chunk` until the
   // cursor passes `end`. Lives inside the pool so a late-waking worker
-  // never dereferences a dead stack frame.
+  // never dereferences a dead stack frame. `context` is the submitting
+  // thread's run context, installed on every helper lane for the span of
+  // its borrowed work (the submitter keeps it alive while it blocks).
   struct Job {
     RangeFnRef body{[](std::size_t, std::size_t) {}};
     std::size_t end = 0;
     std::size_t chunk = 0;
+    RunContext* context = nullptr;
     std::atomic<std::size_t> next{0};
+  };
+
+  // One queued task: the closure, the context to run it under, and the
+  // completion state its handle waits on.
+  struct PendingTask {
+    std::function<void()> fn;
+    RunContext* context = nullptr;
+    std::shared_ptr<TaskHandle::State> state;
   };
 
   void run(std::size_t begin, std::size_t end, std::size_t chunk,
@@ -154,6 +213,7 @@ class ThreadPool {
   std::condition_variable wake_cv_;  // workers park here
   std::condition_variable done_cv_;  // the caller waits here
   Job job_;
+  std::deque<PendingTask> tasks_;  // submitted tasks, FIFO
   std::uint64_t generation_ = 0;  // bumped per job; wakes parked workers
   int tickets_ = 0;               // helper lanes still allowed to join
   int active_ = 0;                // helpers currently inside work()

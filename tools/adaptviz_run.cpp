@@ -42,6 +42,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       metrics_out = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "error: unknown option '%s'\n"
+                   "usage: %s <scenario.ini> [output_dir] [--verbose] "
+                   "[--metrics-out <path>]\n",
+                   arg.c_str(), argv[0]);
+      return 2;
     } else {
       out_dir = arg;
     }

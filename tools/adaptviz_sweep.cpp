@@ -1,0 +1,113 @@
+// adaptviz_sweep — campaign-driven multi-experiment runner.
+//
+//   $ adaptviz_sweep scenarios/paper_suite.ini [output_dir] [--jobs N]
+//
+// Loads a campaign file — a normal INI scenario plus a [campaign] section
+// declaring override axes (see src/campaign/campaign.hpp for the schema) —
+// expands the cross-product grid, and executes the runs with up to N
+// experiments in flight. Each run streams its usual result CSVs into the
+// output directory as it finishes (default: results/), and the campaign
+// ends by writing an aggregated campaign_summary.csv with one row per run.
+//
+// Per-run contexts keep concurrent runs' metrics and logs disjoint, so
+// every CSV is bitwise identical whatever --jobs is.
+#include <cstdio>
+#include <cstdlib>
+
+#include "campaign/campaign.hpp"
+#include "util/logging.hpp"
+
+using namespace adaptviz;
+
+int main(int argc, char** argv) {
+  const auto usage = [&argv] {
+    std::fprintf(stderr,
+                 "usage: %s <campaign.ini> [output_dir] [--jobs N] "
+                 "[--verbose]\n",
+                 argv[0]);
+  };
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string campaign_path = argv[1];
+  std::string out_dir = "results";
+  int jobs = 0;  // 0 = defer to the campaign file's `concurrency`
+  bool verbose = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --jobs needs a count\n");
+        return 2;
+      }
+      jobs = std::atoi(argv[++i]);
+      if (jobs < 1) {
+        std::fprintf(stderr, "error: --jobs needs a positive count\n");
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else {
+      out_dir = arg;
+    }
+  }
+  set_log_level(verbose ? LogLevel::kInfo : LogLevel::kWarn);
+
+  try {
+    const CampaignSpec spec = load_campaign(campaign_path);
+    const std::vector<CampaignRun> runs = spec.expand();
+    const int k = jobs > 0 ? jobs : std::max(1, spec.concurrency);
+    std::printf("campaign '%s': %zu runs, %d in flight -> %s/\n",
+                spec.name.c_str(), runs.size(), k, out_dir.c_str());
+
+    CampaignOptions options;
+    options.concurrency = k;
+    options.output_dir = out_dir;
+    options.run_log_level = verbose ? LogLevel::kWarn : LogLevel::kError;
+    options.on_progress = [](const CampaignProgress& p) {
+      const CampaignRunRecord& r = *p.record;
+      if (r.failed) {
+        std::printf("[%zu/%zu] %s: FAILED (%s)\n", p.finished, p.total,
+                    r.label.c_str(), r.error.c_str());
+      } else {
+        std::printf(
+            "[%zu/%zu] %s: completed=%s sim=%.1fh wall=%.1fh "
+            "min-free=%.1f%% frames w/s/v=%lld/%lld/%lld\n",
+            p.finished, p.total, r.label.c_str(),
+            r.summary.completed ? "yes" : "NO",
+            r.summary.sim_reached.as_hours(),
+            r.summary.sim_finished_wall.as_hours(),
+            r.summary.min_free_disk_percent,
+            static_cast<long long>(r.summary.frames_written),
+            static_cast<long long>(r.summary.frames_sent),
+            static_cast<long long>(r.summary.frames_visualized));
+      }
+      std::fflush(stdout);
+    };
+
+    CampaignRunner runner(std::move(options));
+    const std::vector<CampaignRunRecord> records = runner.run(runs);
+
+    std::size_t completed = 0, failed = 0;
+    for (const CampaignRunRecord& r : records) {
+      if (r.failed) {
+        ++failed;
+      } else if (r.summary.completed) {
+        ++completed;
+      }
+    }
+    std::printf("campaign '%s': %zu/%zu completed, %zu failed\n",
+                spec.name.c_str(), completed, records.size(), failed);
+    std::printf("summary written to %s/campaign_summary.csv\n",
+                out_dir.c_str());
+    return completed == records.size() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
