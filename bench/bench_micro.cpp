@@ -1,10 +1,21 @@
 // Microbenchmarks (google-benchmark): the per-operation costs behind the
 // framework — LP solve, shallow-water step at several compute resolutions,
 // nest substep cycle, frame encode/decode, render, and decision latency.
+//
+// Before the google-benchmark suite runs, a self-checking kernel case
+// measures the restructured row kernels against the scalar reference,
+// verifies bitwise-identical digests across kernels and worker counts, and
+// writes the measurements to BENCH_kernels.json (--json=PATH overrides;
+// --quick runs only this case at smoke size).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <sstream>
 
+#include "bench_report.hpp"
 #include "core/greedy_threshold.hpp"
 #include "core/lp_optimizer.hpp"
 #include "lp/problem.hpp"
@@ -220,6 +231,164 @@ void BM_OptimizerDecision(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimizerDecision);
 
+// --- Kernel speedup + determinism gate (BENCH_kernels.json) ------------
+
+std::uint64_t fnv1a_bytes(std::uint64_t h, const void* p, std::size_t n) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t state_digest(const DomainState& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a_bytes(h, s.h.data().data(), s.h.size() * sizeof(double));
+  h = fnv1a_bytes(h, s.u.data().data(), s.u.size() * sizeof(double));
+  h = fnv1a_bytes(h, s.v.data().data(), s.v.size() * sizeof(double));
+  return h;
+}
+
+/// A smooth, non-trivial initial condition (Gaussian depression with a
+/// weak cyclonic circulation) so the kernels chew on real numbers.
+DomainState kernel_initial_state(const GridSpec& g) {
+  DomainState s(g);
+  const double cx = 0.5 * static_cast<double>(g.nx());
+  const double cy = 0.5 * static_cast<double>(g.ny());
+  const double r2 = 0.02 * static_cast<double>(g.nx() * g.ny());
+  for (std::size_t j = 0; j < g.ny(); ++j) {
+    for (std::size_t i = 0; i < g.nx(); ++i) {
+      const double dx = static_cast<double>(i) - cx;
+      const double dy = static_cast<double>(j) - cy;
+      const double bump = std::exp(-(dx * dx + dy * dy) / r2);
+      s.h(i, j) = -120.0 * bump;
+      s.u(i, j) = 8.0 * dy / 30.0 * bump;
+      s.v(i, j) = -8.0 * dx / 30.0 * bump;
+    }
+  }
+  return s;
+}
+
+/// Best-of-`reps` seconds per step for one kernel/thread configuration.
+double seconds_per_step(const DomainState& init, SwKernel kernel, int threads,
+                        int steps, int reps) {
+  SwParams params;
+  params.kernel = kernel;
+  params.threads = threads;
+  const double dt = SwSolver::dt_for_resolution_km(init.grid.resolution_km());
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    DomainState s = init;
+    SwSolver solver(params);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int k = 0; k < steps; ++k) solver.step(s, dt, SwForcing{});
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(s.h.data().data());
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count() /
+                              static_cast<double>(steps));
+  }
+  return best;
+}
+
+std::uint64_t digest_after_steps(const DomainState& init, SwKernel kernel,
+                                 int threads, int steps) {
+  SwParams params;
+  params.kernel = kernel;
+  params.threads = threads;
+  DomainState s = init;
+  SwSolver solver(params);
+  const double dt = SwSolver::dt_for_resolution_km(init.grid.resolution_km());
+  for (int k = 0; k < steps; ++k) solver.step(s, dt, SwForcing{});
+  return state_digest(s);
+}
+
+/// Runs the kernel case, appends its rows to `report`, and returns the
+/// number of hard failures (digest mismatch anywhere; speedup below the
+/// 1.5x floor on hardware where the floor is enforced).
+int run_kernel_report(benchio::BenchReport& report, bool quick) {
+  const double res_km = 96.0;
+  const GridSpec g(60.0, -10.0, 60.0, 50.0, res_km);
+  const DomainState init = kernel_initial_state(g);
+  const int steps = quick ? 60 : 400;
+  const int reps = quick ? 3 : 5;
+
+  const double scalar_s =
+      seconds_per_step(init, SwKernel::kScalarReference, 1, steps, reps);
+  const double row_s =
+      seconds_per_step(init, SwKernel::kRowKernel, 1, steps, reps);
+  const double speedup = scalar_s / row_s;
+
+  report.add("kernel_step", "96km", "scalar_step_seconds", scalar_s, "s");
+  report.add("kernel_step", "96km", "row_step_seconds", row_s, "s");
+  report.add("kernel_step", "96km", "speedup", speedup, "x");
+
+  // Bitwise determinism: the row kernels must reproduce the scalar
+  // reference exactly, at every worker count.
+  const int digest_steps = 10;
+  const std::uint64_t golden =
+      digest_after_steps(init, SwKernel::kScalarReference, 1, digest_steps);
+  bool digests_match = true;
+  for (const int threads : {1, 2, 8}) {
+    digests_match &= digest_after_steps(init, SwKernel::kRowKernel, threads,
+                                        digest_steps) == golden;
+  }
+  report.add("kernel_step", "96km", "digest_match",
+             digests_match ? 1.0 : 0.0, "flag");
+
+  int failures = 0;
+  if (!digests_match) {
+    std::fprintf(stderr,
+                 "FAIL: row kernel digests diverge from the scalar "
+                 "reference\n");
+    ++failures;
+  }
+
+  // The 1.5x floor is enforced only where wide SIMD is compiled in
+  // (-march=native on AVX2+ hardware, as in the CI kernel job); a baseline
+  // SSE2 build still reports the measurement without gating on it.
+#if defined(__AVX2__) || defined(__AVX512F__)
+  const bool enforce_speedup = true;
+#else
+  const bool enforce_speedup = false;
+#endif
+  report.add("kernel_step", "96km", "speedup_floor_enforced",
+             enforce_speedup ? 1.0 : 0.0, "flag");
+  std::printf("kernel_step 96km: scalar %.3g s/step, row %.3g s/step, "
+              "speedup %.2fx (floor %s), digests %s\n",
+              scalar_s, row_s, speedup,
+              enforce_speedup ? "enforced" : "report-only",
+              digests_match ? "match" : "DIVERGE");
+  if (enforce_speedup && speedup < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: row-kernel speedup %.2fx is below the 1.5x floor\n",
+                 speedup);
+    ++failures;
+  }
+  return failures;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchio::BenchArgs args = benchio::parse_bench_args(argc, argv);
+  const std::string json_path =
+      args.json_path.empty() ? "BENCH_kernels.json" : args.json_path;
+
+  benchio::BenchReport report;
+  const int failures = run_kernel_report(report, args.quick);
+  report.save(json_path);
+  std::printf("wrote %s (%zu rows)\n", json_path.c_str(),
+              report.rows().size());
+  if (failures != 0) return 1;
+  if (args.quick) return 0;
+
+  int rest_argc = static_cast<int>(args.rest.size());
+  benchmark::Initialize(&rest_argc, args.rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, args.rest.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Machine-readable bench output: a flat list of measurement rows written
+// as JSON (BENCH_kernels.json and friends), so CI can upload and diff
+// bench results without scraping human-oriented stdout.
+//
+//   [
+//     {"bench": "kernel_step", "scenario": "96km-t1", "metric":
+//      "step_seconds", "value": 1.2e-05, "unit": "s"},
+//     ...
+//   ]
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adaptviz::benchio {
+
+struct BenchRow {
+  std::string bench;     // which benchmark family ("kernel_step", "codec")
+  std::string scenario;  // which case within it ("96km", "oi3min")
+  std::string metric;    // what was measured ("speedup", "ratio")
+  double value = 0.0;
+  std::string unit;      // "s", "x", "MB/s", "flag", ...
+};
+
+class BenchReport {
+ public:
+  void add(std::string bench, std::string scenario, std::string metric,
+           double value, std::string unit);
+
+  /// Writes the rows as a JSON array (UTF-8, trailing newline). Throws
+  /// std::runtime_error when the file cannot be written.
+  void save(const std::string& path) const;
+
+  [[nodiscard]] const std::vector<BenchRow>& rows() const { return rows_; }
+
+ private:
+  std::vector<BenchRow> rows_;
+};
+
+/// Strips `--quick` and `--json=PATH` from an argv vector (google-benchmark
+/// rejects flags it does not know). Returns the remaining args in place via
+/// argc/argv-style outputs.
+struct BenchArgs {
+  bool quick = false;
+  std::string json_path;  // empty when --json= was not given
+  std::vector<char*> rest;
+};
+
+BenchArgs parse_bench_args(int argc, char** argv);
+
+}  // namespace adaptviz::benchio

@@ -41,45 +41,68 @@ std::vector<CampaignRun> CampaignSpec::expand() const {
       failure_rates.empty()
           ? std::vector<double>{base.faults.transfer_failure_rate}
           : failure_rates;
+  const std::vector<WallSeconds> period_axis =
+      decision_periods.empty() ? std::vector<WallSeconds>{base.decision_period}
+                               : decision_periods;
+  const std::vector<int> worker_axis =
+      vis_workers.empty() ? std::vector<int>{base.vis_workers} : vis_workers;
 
   std::vector<CampaignRun> runs;
   runs.reserve(site_axis.size() * algo_axis.size() * seed_axis.size() *
-               disk_axis.size() * rate_axis.size());
+               disk_axis.size() * rate_axis.size() * period_axis.size() *
+               worker_axis.size());
   std::set<std::string> labels;
   for (const auto& [site_name, site] : site_axis) {
     for (const AlgorithmKind algo : algo_axis) {
       for (const std::uint64_t seed : seed_axis) {
         for (const Bytes disk : disk_axis) {
           for (const double rate : rate_axis) {
-            CampaignRun run;
-            run.site = site_name;
-            run.config = base;
-            run.config.site = site;
-            run.config.algorithm = algo;
-            run.config.seed = seed;
-            run.config.site.disk_capacity = disk;
-            run.config.faults.transfer_failure_rate = rate;
+            for (const WallSeconds period : period_axis) {
+              for (const int workers : worker_axis) {
+                CampaignRun run;
+                run.site = site_name;
+                run.config = base;
+                run.config.site = site;
+                run.config.algorithm = algo;
+                run.config.seed = seed;
+                run.config.site.disk_capacity = disk;
+                run.config.faults.transfer_failure_rate = rate;
+                run.config.decision_period = period;
+                run.config.vis_workers = workers;
 
-            std::string label;
-            auto append = [&label](const std::string& part) {
-              if (!label.empty()) label += '-';
-              label += part;
-            };
-            if (!sites.empty()) append(site_name);
-            if (!algorithms.empty()) append(to_string(algo));
-            if (!seeds.empty()) append("s" + std::to_string(seed));
-            if (!disk_caps.empty()) append("d" + format_double(disk.gb()));
-            if (!failure_rates.empty()) append("f" + format_double(rate));
-            if (label.empty()) label = base.name;
-            // Uniqueness backstop (e.g. a repeated seed in the axis list):
-            // suffix the grid index rather than silently overwriting CSVs.
-            if (!labels.insert(label).second) {
-              label += "-r" + std::to_string(runs.size());
-              labels.insert(label);
+                std::string label;
+                auto append = [&label](const std::string& part) {
+                  if (!label.empty()) label += '-';
+                  label += part;
+                };
+                if (!sites.empty()) append(site_name);
+                if (!algorithms.empty()) append(to_string(algo));
+                if (!seeds.empty()) append("s" + std::to_string(seed));
+                if (!disk_caps.empty()) {
+                  append("d" + format_double(disk.gb()));
+                }
+                if (!failure_rates.empty()) {
+                  append("f" + format_double(rate));
+                }
+                if (!decision_periods.empty()) {
+                  append("p" + format_double(period.as_hours()));
+                }
+                if (!vis_workers.empty()) {
+                  append("w" + std::to_string(workers));
+                }
+                if (label.empty()) label = base.name;
+                // Uniqueness backstop (e.g. a repeated seed in the axis
+                // list): suffix the grid index rather than silently
+                // overwriting CSVs.
+                if (!labels.insert(label).second) {
+                  label += "-r" + std::to_string(runs.size());
+                  labels.insert(label);
+                }
+                run.label = label;
+                run.config.name = label;
+                runs.push_back(std::move(run));
+              }
             }
-            run.label = label;
-            run.config.name = label;
-            runs.push_back(std::move(run));
           }
         }
       }
@@ -345,6 +368,25 @@ CampaignSpec campaign_from_ini(const IniDocument& doc) {
             "campaign: failure_rates entries must be in [0, 1]");
       }
       spec.failure_rates.push_back(rate);
+    }
+  }
+  if (auto v = doc.get("campaign", "decision_period_hours")) {
+    for (const double h :
+         parse_double_list("decision_period_hours", *v)) {
+      if (h <= 0) {
+        throw std::runtime_error(
+            "campaign: decision_period_hours entries must be > 0");
+      }
+      spec.decision_periods.push_back(WallSeconds::hours(h));
+    }
+  }
+  if (auto v = doc.get("campaign", "vis_workers")) {
+    for (const double w : parse_double_list("vis_workers", *v)) {
+      if (w < 1 || w != static_cast<double>(static_cast<int>(w))) {
+        throw std::runtime_error(
+            "campaign: vis_workers entries must be positive integers");
+      }
+      spec.vis_workers.push_back(static_cast<int>(w));
     }
   }
   if (auto v = doc.get_int("campaign", "concurrency")) {

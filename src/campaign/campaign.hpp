@@ -45,7 +45,8 @@ struct CampaignRun {
 
 /// A base scenario plus override axes. Empty axes inherit the base value
 /// (an axis of one); non-empty axes multiply out in declaration order:
-/// sites × algorithms × seeds × disk caps × failure rates.
+/// sites × algorithms × seeds × disk caps × failure rates × decision
+/// periods × vis workers.
 struct CampaignSpec {
   std::string name = "campaign";
   ExperimentConfig base{};
@@ -55,6 +56,10 @@ struct CampaignSpec {
   std::vector<std::uint64_t> seeds;
   std::vector<Bytes> disk_caps;
   std::vector<double> failure_rates;
+  /// Manager re-plan cadence axis (how often the decision algorithm runs).
+  std::vector<WallSeconds> decision_periods;
+  /// Visualization-site parallel render-slot axis.
+  std::vector<int> vis_workers;
 
   /// Default concurrency for runners driven off this spec (the sweep
   /// tool's --jobs overrides it).
@@ -156,6 +161,8 @@ class CampaignRunner {
 //   seeds = 42, 43                    ; optional
 //   disk_gb = 100, 182                ; optional disk-cap axis
 //   failure_rates = 0, 0.15           ; optional transport-fault axis
+//   decision_period_hours = 0.5, 1.5  ; optional re-plan cadence axis
+//   vis_workers = 1, 4                ; optional render-slot axis
 //   concurrency = 4                   ; default K (CLI --jobs overrides)
 //
 // All remaining sections ([experiment], [site], [bounds], ...) form the

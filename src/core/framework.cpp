@@ -36,6 +36,24 @@ std::unique_ptr<DecisionAlgorithm> make_algorithm(
   throw std::invalid_argument("unknown algorithm kind");
 }
 
+/// Evenly strided downsample to at most `cap` elements, always keeping the
+/// first and last (a series' endpoints carry the run's boundary state).
+template <typename T>
+void stride_thin(std::vector<T>& v, std::size_t cap) {
+  if (cap == 0 || v.size() <= cap) return;
+  if (cap == 1) {
+    v.erase(v.begin(), v.end() - 1);
+    return;
+  }
+  std::vector<T> out;
+  out.reserve(cap);
+  const std::size_t n = v.size();
+  for (std::size_t k = 0; k < cap; ++k) {
+    out.push_back(std::move(v[k * (n - 1) / (cap - 1)]));
+  }
+  v = std::move(out);
+}
+
 }  // namespace
 
 AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
@@ -134,6 +152,7 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
   SimulationProcess::Options sim_opts;
   sim_opts.end_time = config_.sim_window;
   sim_opts.keep_payloads = config_.keep_payloads;
+  sim_opts.codec = config_.codec;
   SimulationProcess::Callbacks sim_cbs;
   sim_cbs.on_resolution_signal = [this](double res) {
     job_handler_->on_resolution_signal(res);
@@ -208,6 +227,12 @@ ApplicationStatus AdaptiveFramework::status_now() {
   }
   st.work_units = m->work_units();
   st.frame_bytes = m->frame_bytes();
+  if (config_.codec.enabled) {
+    // The decision layer plans disk and WAN budgets with encoded bytes;
+    // the cumulative observed ratio is the estimate for unseen frames.
+    st.frame_bytes =
+        st.frame_bytes * (1.0 / process_->codec_cumulative_ratio());
+  }
   st.integration_step = SimSeconds(m->dt_seconds());
   st.remaining_sim_time =
       std::max(SimSeconds(0.0), config_.sim_window - m->sim_time());
@@ -245,6 +270,7 @@ TelemetrySample AdaptiveFramework::sample_now() {
     s.resolution_km = m->modeled_resolution_km();
     s.min_pressure_hpa = m->min_pressure_hpa();
   }
+  s.codec_ratio = process_->codec_last_ratio();
   return s;
 }
 
@@ -327,9 +353,22 @@ ExperimentResult AdaptiveFramework::run() {
     sum.rerenders = serving_->rerenders();
     sum.peak_cache_bytes = cache.peak_bytes;
   }
+  sum.codec_mean_ratio = process_->codec_cumulative_ratio();
+  sum.codec_bytes_saved = process_->codec_bytes_saved();
   for (const TelemetrySample& s : result.samples) {
     sum.min_free_disk_percent =
         std::min(sum.min_free_disk_percent, s.free_disk_percent);
+  }
+  // Thin the recorded series only after every summary aggregate has been
+  // computed from the full-resolution data.
+  if (config_.max_series_points > 0) {
+    stride_thin(result.samples, config_.max_series_points);
+    stride_thin(result.vis_records, config_.max_series_points);
+    stride_thin(result.track, config_.max_series_points);
+    stride_thin(result.steering, config_.max_series_points);
+    for (ClientSeries& c : result.clients) {
+      stride_thin(c.records, config_.max_series_points);
+    }
   }
   if (obs_) {
     result.metrics = obs_->metrics().snapshot();

@@ -74,6 +74,16 @@ struct ExperimentConfig {
 
   /// Attach real field payloads to frames (examples render them).
   bool keep_payloads = false;
+  /// Lossless frame codec (`[codec]` section; off by default so every
+  /// existing golden stands). When enabled the simulation site encodes each
+  /// frame's real compute fields, frames carry encoded bytes through disk,
+  /// WAN, and cache accounting, and the decision layer plans with the
+  /// observed ratio.
+  CodecOptions codec{};
+  /// Cap on the per-run telemetry/vis/track/steering series lengths in
+  /// ExperimentResult; series longer than this are stride-thinned (keeping
+  /// first and last points). 0 = unlimited.
+  std::size_t max_series_points = 0;
   /// Visualization-site frame cache + viewer fan-out.
   ServeOptions serve{};
   /// Parallel render slots at the visualization site (future work:
@@ -147,6 +157,10 @@ struct ExperimentSummary {
   std::int64_t cache_evictions = 0;
   std::int64_t rerenders = 0;
   Bytes peak_cache_bytes{};
+
+  // Frame codec (identity values when [codec] is off).
+  double codec_mean_ratio = 1.0;  // cumulative raw/encoded over the run
+  Bytes codec_bytes_saved{};      // modeled bytes kept off disk and wire
 };
 
 struct SteeringRecord {

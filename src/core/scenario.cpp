@@ -79,6 +79,13 @@ ExperimentConfig scenario_from_ini(const IniDocument& doc) {
   if (auto v = doc.get_bool("experiment", "keep_payloads")) {
     cfg.keep_payloads = *v;
   }
+  if (auto v = doc.get_int("experiment", "max_series_points")) {
+    if (*v < 0) {
+      throw std::runtime_error(
+          "scenario: experiment.max_series_points must be >= 0");
+    }
+    cfg.max_series_points = static_cast<std::size_t>(*v);
+  }
 
   // [site]
   cfg.site = site_preset(doc.get_or("site", "preset", "inter-department"));
@@ -202,6 +209,25 @@ ExperimentConfig scenario_from_ini(const IniDocument& doc) {
     }
   }
 
+  // [codec] — lossless frame codec (off by default; enabling it switches
+  // Frame::size to encoded bytes through disk, WAN, and cache accounting).
+  if (doc.has_section("codec")) {
+    cfg.codec.enabled = doc.get_bool("codec", "enabled").value_or(true);
+    if (auto v = doc.get("codec", "precision")) {
+      if (*v == "float32") {
+        cfg.codec.precision = CodecPrecision::kFloat32;
+      } else if (*v == "float64") {
+        cfg.codec.precision = CodecPrecision::kFloat64;
+      } else {
+        throw std::runtime_error(
+            "scenario: codec.precision must be float32 or float64");
+      }
+    }
+    if (auto v = doc.get_bool("codec", "verify_roundtrip")) {
+      cfg.codec.verify_roundtrip = *v;
+    }
+  }
+
   // [obs] — observability layer (metrics registry + stage tracer).
   if (doc.has_section("obs")) {
     cfg.observability = doc.get_bool("obs", "enabled").value_or(true);
@@ -306,6 +332,10 @@ void write_result(const ExperimentResult& result, const std::string& dir) {
   summary.set_int("summary", "transfer_retries", s.transfer_retries);
   summary.set_int("summary", "restarts", s.restarts);
   summary.set_int("summary", "decisions", s.decision_count);
+  if (result.config.codec.enabled) {
+    summary.set_double("codec", "mean_ratio", s.codec_mean_ratio);
+    summary.set_double("codec", "bytes_saved_gb", s.codec_bytes_saved.gb());
+  }
   if (s.viewers > 0) {
     summary.set_int("serve", "viewers", s.viewers);
     summary.set_int("serve", "frames_served", s.frames_served);

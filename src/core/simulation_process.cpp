@@ -1,8 +1,11 @@
 #include "core/simulation_process.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <vector>
 
+#include "obs/obs.hpp"
 #include "util/logging.hpp"
 
 namespace adaptviz {
@@ -22,6 +25,9 @@ SimulationProcess::SimulationProcess(
       callbacks_(std::move(callbacks)) {
   if (options_.stall_poll.seconds() <= 0) {
     throw std::invalid_argument("SimulationProcess: stall_poll must be > 0");
+  }
+  if (options_.codec.enabled) {
+    codec_ = std::make_unique<FrameFieldCodec>(options_.codec);
   }
 }
 
@@ -44,6 +50,7 @@ void SimulationProcess::start(std::unique_ptr<WeatherModel> model) {
   running_ = true;
   stalled_ = false;
   finished_ = false;
+  pending_encoded_.reset();
   launch_processors_ = config_.processors;
   launch_output_interval_ = config_.output_interval;
   last_signaled_resolution_ = model_->recommended_resolution_km();
@@ -123,8 +130,47 @@ void SimulationProcess::complete_step() {
   finish_or_continue();
 }
 
+Bytes SimulationProcess::encode_pending_frame(Bytes raw) {
+  // The codec runs on the real compute-grid fields; the measured ratio then
+  // scales the *modeled* frame bytes (frame_bytes() models the full 18-var,
+  // 27-level WRF output the h/u/v fields stand in for).
+  std::vector<FieldView> fields;
+  const DomainState& p = model_->parent_state();
+  fields.push_back(FieldView{p.h.data().data(), p.h.nx(), p.h.ny()});
+  fields.push_back(FieldView{p.u.data().data(), p.u.nx(), p.u.ny()});
+  fields.push_back(FieldView{p.v.data().data(), p.v.nx(), p.v.ny()});
+  if (model_->nest_active()) {
+    const DomainState& n = model_->nest()->state();
+    fields.push_back(FieldView{n.h.data().data(), n.h.nx(), n.h.ny()});
+    fields.push_back(FieldView{n.u.data().data(), n.u.nx(), n.u.ny()});
+    fields.push_back(FieldView{n.v.data().data(), n.v.nx(), n.v.ny()});
+  }
+  const CodecFrameReport report = codec_->encode_frame_fields(fields);
+  const double ratio = report.ratio();
+  const Bytes encoded(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(raw.as_double() / ratio))));
+  codec_saved_ += raw - encoded;
+  obs::count("codec.frames");
+  obs::count("codec.bytes_raw", raw.count());
+  obs::count("codec.bytes_encoded", encoded.count());
+  obs::count("codec.bytes_saved", (raw - encoded).count());
+  obs::observe("codec.ratio", ratio);
+  obs::observe("codec.encode_ms", report.encode_seconds * 1e3);
+  obs::observe("codec.decode_ms", report.decode_seconds * 1e3);
+  return encoded;
+}
+
 void SimulationProcess::try_write_frame() {
-  const Bytes size = model_->frame_bytes();
+  const Bytes raw = model_->frame_bytes();
+  Bytes size = raw;
+  if (codec_) {
+    // Encode exactly once per output: a disk-full stall retries this frame
+    // without re-rotating the codec's history.
+    if (!pending_encoded_.has_value()) {
+      pending_encoded_ = encode_pending_frame(raw);
+    }
+    size = *pending_encoded_;
+  }
   if (!disk_.allocate(size)) {
     enter_stall("disk full");
     return;
@@ -132,7 +178,8 @@ void SimulationProcess::try_write_frame() {
   const WallSeconds tio = disk_.write_time(size);
   queue_.schedule_after(
       tio,
-      [this, size] {
+      [this, size, raw] {
+        pending_encoded_.reset();
         Frame frame;
         frame.sequence = next_sequence_++;
         frame.sim_time = model_->sim_time();
@@ -140,6 +187,7 @@ void SimulationProcess::try_write_frame() {
         frame.min_pressure_hpa = model_->min_pressure_hpa();
         frame.nest_active = model_->nest_active();
         frame.size = size;
+        if (codec_) frame.raw_size = raw;
         if (options_.keep_payloads) {
           frame.payload = std::make_shared<NclFile>(model_->make_frame());
         }

@@ -21,8 +21,10 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "core/app_config.hpp"
+#include "dataio/codec.hpp"
 #include "dataio/frame.hpp"
 #include "resources/cluster.hpp"
 #include "resources/disk.hpp"
@@ -41,6 +43,11 @@ class SimulationProcess {
     WallSeconds stall_poll = WallSeconds::minutes(5.0);
     /// Attach real field payloads to frames (examples; costs memory).
     bool keep_payloads = false;
+    /// Lossless frame codec (off by default). When enabled, every frame's
+    /// compute fields are encoded (and roundtrip-verified) for real; the
+    /// measured per-frame ratio scales the modeled frame bytes that flow
+    /// into disk, WAN, and cache accounting.
+    CodecOptions codec{};
   };
 
   struct Callbacks {
@@ -77,10 +84,26 @@ class SimulationProcess {
   /// Includes a still-open stall up to the current virtual time.
   [[nodiscard]] WallSeconds total_stall_time() const;
 
+  // --- Codec statistics (identity values when the codec is off) ---
+  /// Measured compression ratio of the most recent frame (1.0 before the
+  /// first frame or with the codec disabled).
+  [[nodiscard]] double codec_last_ratio() const {
+    return codec_ ? codec_->last_ratio() : 1.0;
+  }
+  /// Cumulative raw/encoded ratio across the whole run so far.
+  [[nodiscard]] double codec_cumulative_ratio() const {
+    return codec_ ? codec_->cumulative_ratio() : 1.0;
+  }
+  /// Modeled bytes the codec kept off disk and off the wire so far.
+  [[nodiscard]] Bytes codec_bytes_saved() const { return codec_saved_; }
+
  private:
   void schedule_step();
   void complete_step();
   void try_write_frame();
+  /// Runs the codec on the model's current compute fields and returns the
+  /// encoded modeled size for a frame whose raw modeled size is `raw`.
+  Bytes encode_pending_frame(Bytes raw);
   void enter_stall(const char* reason);
   void stall_check();
   void finish_or_continue();
@@ -99,6 +122,13 @@ class SimulationProcess {
   Callbacks callbacks_;
 
   std::unique_ptr<WeatherModel> model_;
+  /// Null when Options::codec.enabled is false.
+  std::unique_ptr<FrameFieldCodec> codec_;
+  Bytes codec_saved_{};
+  /// Encoded size of the frame currently being written, kept across a
+  /// disk-full stall so the retry does not re-encode (and re-rotate the
+  /// codec history for) the same output.
+  std::optional<Bytes> pending_encoded_;
   bool running_ = false;
   bool stalled_ = false;
   bool finished_ = false;

@@ -80,6 +80,8 @@ const std::vector<TelemetryColumn>& telemetry_schema() {
        [](const S& s, const E&) -> Cell { return s.serve_hit_percent; }},
       {"cache_mb", "MB",
        [](const S& s, const E&) -> Cell { return s.cache_bytes.mb(); }},
+      {"codec_ratio", "x",
+       [](const S& s, const E&) -> Cell { return s.codec_ratio; }},
   };
   return schema;
 }

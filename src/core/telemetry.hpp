@@ -45,6 +45,9 @@ struct TelemetrySample {
   std::int64_t frames_served = 0;
   double serve_hit_percent = 100.0;
   Bytes cache_bytes{};
+  /// Frame codec compression ratio of the most recent output (1.0 with the
+  /// codec off or before the first frame).
+  double codec_ratio = 1.0;
 };
 
 /// One column of the telemetry series: CSV header name, unit (for docs

@@ -38,9 +38,20 @@ struct Frame {
   double min_pressure_hpa = 0.0;
   bool nest_active = false;
   /// Bytes the frame occupies on disk / on the wire at the modeled grid.
+  /// With the frame codec enabled this is the *encoded* size — it is what
+  /// the disk, the WAN transfer planner, and the serve cache account.
   Bytes size{};
+  /// Pre-codec (decoded) size at the modeled grid; zero when the codec is
+  /// off. Rendering cost scales with this, not the wire size.
+  Bytes raw_size{};
   /// Actual field data at the compute grid; may be null in fast experiments.
   std::shared_ptr<const NclFile> payload;
+
+  /// Bytes a consumer touches after decoding: raw_size when the codec
+  /// populated it, otherwise size (codec off: the two are the same thing).
+  [[nodiscard]] Bytes decoded_bytes() const {
+    return raw_size.count() > 0 ? raw_size : size;
+  }
 };
 
 class FrameCatalog {

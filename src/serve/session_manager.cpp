@@ -245,8 +245,9 @@ void ViewerSessionManager::drain_rerenders() {
       ++rerendering_;
       ++rerenders_;
       obs::count("serve.rerenders");
-      const WallSeconds cost(options_.rerender_fixed_seconds +
-                             options_.rerender_seconds_per_gb * f.size.gb());
+      const WallSeconds cost(
+          options_.rerender_fixed_seconds +
+          options_.rerender_seconds_per_gb * f.decoded_bytes().gb());
       queue_.schedule_after(
           cost,
           [this, f] {

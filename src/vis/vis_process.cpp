@@ -33,8 +33,10 @@ WallSeconds VisualizationProcess::record(const Frame& frame) {
                      static_cast<long long>(frame.sequence),
                      hh_mm(queue_.now()).c_str());
   if (options_.on_frame) options_.on_frame(frame, records_.back());
+  // Rendering touches the decoded fields, so the cost scales with the
+  // pre-codec size even when the frame travelled compressed.
   return WallSeconds(options_.fixed_seconds +
-                     options_.seconds_per_gb * frame.size.gb());
+                     options_.seconds_per_gb * frame.decoded_bytes().gb());
 }
 
 SimSeconds VisualizationProcess::latest_visualized_sim_time() const {

@@ -33,6 +33,20 @@ struct SwForcing {
   const Field2D* relaxation = nullptr;     // r(x,y) in 1/s, optional
 };
 
+/// Which tendency implementation a solver runs. Both produce bitwise
+/// identical fields — the regression tests step them side by side — so the
+/// scalar loop doubles as the living correctness oracle for the fast path.
+enum class SwKernel {
+  /// Contiguous row kernels: branch-free interior stencil over raw
+  /// ADAPTVIZ_RESTRICT spans, optional forcing/relaxation as hoisted row
+  /// passes, sponge applied by precomputed boundary bands. The default.
+  kRowKernel,
+  /// The original per-point scalar loop with per-point branches. Kept as
+  /// the baseline for bench_micro's kernel speedup case and as the bitwise
+  /// oracle for the row path.
+  kScalarReference,
+};
+
 struct SwParams {
   double gravity = 9.81;
   double mean_depth = kMeanDepthM;
@@ -51,6 +65,9 @@ struct SwParams {
   /// fresh std::threads per call (the pre-pool behavior) instead of using
   /// the persistent pool. Only bench_micro's pool-vs-spawn cases set this.
   bool use_thread_pool = true;
+  /// Tendency implementation; tests and bench_micro pin kScalarReference
+  /// to compare against the vectorizable row kernels.
+  SwKernel kernel = SwKernel::kRowKernel;
 };
 
 /// A solver owns its step scratch (RK3 stage state and tendency fields), so

@@ -9,6 +9,16 @@
 #include <string>
 #include <vector>
 
+/// No-alias qualifier for the hot stencil kernels: a pointer declared
+/// ADAPTVIZ_RESTRICT promises the compiler that the object it reaches is not
+/// written through any other pointer in scope, which is what lets the row
+/// kernels in dynamics.cpp vectorize without runtime alias checks.
+#if defined(_MSC_VER)
+#define ADAPTVIZ_RESTRICT __restrict
+#else
+#define ADAPTVIZ_RESTRICT __restrict__
+#endif
+
 namespace adaptviz {
 
 /// Kilometres per degree of latitude (and of longitude at the equator on the
@@ -77,6 +87,14 @@ class Field2D {
 
   [[nodiscard]] const std::vector<double>& data() const { return data_; }
   [[nodiscard]] std::vector<double>& data() { return data_; }
+
+  /// Row j as a contiguous raw span of nx() doubles. Distinct rows never
+  /// overlap, so a kernel may declare several rows of one field (or rows of
+  /// different fields) ADAPTVIZ_RESTRICT and stream over them branch-free.
+  [[nodiscard]] double* row(std::size_t j) { return data_.data() + j * nx_; }
+  [[nodiscard]] const double* row(std::size_t j) const {
+    return data_.data() + j * nx_;
+  }
 
   void fill(double v);
   /// Reshapes to (nx, ny) and zero-fills, reusing the existing allocation

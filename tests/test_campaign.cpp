@@ -118,6 +118,49 @@ TEST(CampaignSpec, OverrideAxesRewriteTheBaseConfig) {
   EXPECT_EQ(runs[3].config.seed, 7u);
 }
 
+TEST(CampaignSpec, DecisionPeriodAndVisWorkerAxesExpandTheGrid) {
+  CampaignSpec spec;
+  spec.base = mini_config(AlgorithmKind::kOptimization);
+  spec.algorithms = {AlgorithmKind::kGreedyThreshold,
+                     AlgorithmKind::kOptimization};
+  spec.decision_periods = {WallSeconds::hours(0.5), WallSeconds::hours(1.5)};
+  spec.vis_workers = {1, 4};
+  const std::vector<CampaignRun> runs = spec.expand();
+  // 2 algorithms x 2 periods x 2 worker counts; workers vary fastest.
+  ASSERT_EQ(runs.size(), 8u);
+  EXPECT_EQ(runs[0].label, "greedy-threshold-p0.5-w1");
+  EXPECT_EQ(runs[1].label, "greedy-threshold-p0.5-w4");
+  EXPECT_EQ(runs[2].label, "greedy-threshold-p1.5-w1");
+  EXPECT_EQ(runs[7].label, "optimization-p1.5-w4");
+  EXPECT_DOUBLE_EQ(runs[0].config.decision_period.as_hours(), 0.5);
+  EXPECT_EQ(runs[0].config.vis_workers, 1);
+  EXPECT_DOUBLE_EQ(runs[7].config.decision_period.as_hours(), 1.5);
+  EXPECT_EQ(runs[7].config.vis_workers, 4);
+  // Undeclared axes inherit base values in every cell.
+  for (const CampaignRun& run : runs) {
+    EXPECT_EQ(run.config.seed, spec.base.seed);
+    EXPECT_DOUBLE_EQ(run.config.site.disk_capacity.gb(),
+                     spec.base.site.disk_capacity.gb());
+  }
+}
+
+TEST(CampaignSpec, BaseValuesFlowWhenPeriodAndWorkerAxesAreEmpty) {
+  CampaignSpec spec;
+  spec.base = mini_config(AlgorithmKind::kOptimization);
+  spec.base.decision_period = WallSeconds::hours(2.0);
+  spec.base.vis_workers = 3;
+  spec.seeds = {1, 2};
+  const std::vector<CampaignRun> runs = spec.expand();
+  ASSERT_EQ(runs.size(), 2u);
+  for (const CampaignRun& run : runs) {
+    EXPECT_DOUBLE_EQ(run.config.decision_period.as_hours(), 2.0);
+    EXPECT_EQ(run.config.vis_workers, 3);
+    // The label names only the declared axis.
+    EXPECT_EQ(run.label.find('p'), std::string::npos);
+    EXPECT_EQ(run.label.find('w'), std::string::npos);
+  }
+}
+
 TEST(CampaignSpec, DuplicateAxisEntriesStillGetUniqueLabels) {
   CampaignSpec spec;
   spec.base = mini_config(AlgorithmKind::kOptimization);
@@ -137,6 +180,8 @@ TEST(CampaignIni, ParsesAxesAndBaseScenario) {
       "seeds = 1, 2\n"
       "disk_gb = 50\n"
       "failure_rates = 0.1\n"
+      "decision_period_hours = 0.75, 1.5\n"
+      "vis_workers = 1, 2\n"
       "concurrency = 3\n"
       "[experiment]\n"
       "name = base\n"
@@ -156,13 +201,18 @@ TEST(CampaignIni, ParsesAxesAndBaseScenario) {
   EXPECT_DOUBLE_EQ(spec.disk_caps[0].gb(), 50.0);
   ASSERT_EQ(spec.failure_rates.size(), 1u);
   EXPECT_DOUBLE_EQ(spec.failure_rates[0], 0.1);
+  ASSERT_EQ(spec.decision_periods.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.decision_periods[0].as_hours(), 0.75);
+  ASSERT_EQ(spec.vis_workers.size(), 2u);
+  EXPECT_EQ(spec.vis_workers[1], 2);
   EXPECT_EQ(spec.concurrency, 3);
   // Base scenario comes from the ordinary sections, untouched.
   EXPECT_EQ(spec.base.name, "base");
   EXPECT_DOUBLE_EQ(spec.base.sim_window.as_hours(), 12.0);
   EXPECT_EQ(spec.base.seed, 9u);
-  // 2 sites x 2 algorithms x 2 seeds x 1 disk x 1 rate.
-  EXPECT_EQ(spec.expand().size(), 8u);
+  // 2 sites x 2 algorithms x 2 seeds x 1 disk x 1 rate x 2 periods x
+  // 2 worker counts.
+  EXPECT_EQ(spec.expand().size(), 32u);
 }
 
 TEST(CampaignIni, RejectsMalformedDocuments) {
@@ -170,6 +220,12 @@ TEST(CampaignIni, RejectsMalformedDocuments) {
   EXPECT_THROW(
       (void)campaign_from_ini(IniDocument::parse("[experiment]\nseed=1\n")),
       std::runtime_error);
+  EXPECT_THROW((void)campaign_from_ini(IniDocument::parse(
+                   "[campaign]\ndecision_period_hours = 0\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)campaign_from_ini(IniDocument::parse(
+                   "[campaign]\nvis_workers = 1.5\n")),
+               std::runtime_error);
   EXPECT_THROW((void)campaign_from_ini(IniDocument::parse(
                    "[campaign]\nsites = atlantis\n")),
                std::runtime_error);

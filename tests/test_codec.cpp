@@ -1,0 +1,300 @@
+#include "dataio/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+namespace adaptviz {
+namespace {
+
+FieldView view(const std::vector<double>& v, std::size_t nx, std::size_t ny) {
+  return FieldView{v.data(), nx, ny};
+}
+
+constexpr CodecPrecision kF64 = CodecPrecision::kFloat64;
+constexpr CodecPrecision kF32 = CodecPrecision::kFloat32;
+
+// What the default (float32) precision makes of a double field: the
+// narrowed values widened back, which is what decode_frame must return.
+std::vector<double> narrowed32(const std::vector<double>& v) {
+  std::vector<double> out(v.size());
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    out[k] = static_cast<double>(static_cast<float>(v[k]));
+  }
+  return out;
+}
+
+std::vector<double> random_field(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  std::vector<double> f(n);
+  for (double& x : f) x = dist(rng);
+  return f;
+}
+
+// A spatially smooth AR(1) field: each point mixes its west/north neighbors
+// with a small innovation, the standard stand-in for geophysical fields.
+std::vector<double> ar1_field(std::size_t nx, std::size_t ny,
+                              std::uint32_t seed, double rho = 0.995) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::vector<double> f(nx * ny);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double w = i > 0 ? f[j * nx + i - 1] : 0.0;
+      const double n = j > 0 ? f[(j - 1) * nx + i] : 0.0;
+      const double base = i > 0 && j > 0 ? 0.5 * (w + n) : (i > 0 ? w : n);
+      f[j * nx + i] = rho * base + (1.0 - rho) * noise(rng);
+    }
+  }
+  return f;
+}
+
+// ---- Exact roundtrip ----
+
+TEST(Codec, RoundtripExactOnRandomFields) {
+  for (std::uint32_t seed : {1u, 7u, 42u}) {
+    const std::vector<double> cur = random_field(31 * 17, seed);
+    const CompressedFrame frame = encode_frame(view(cur, 31, 17), nullptr, nullptr, kF64);
+    EXPECT_EQ(decode_frame(frame, nullptr), cur) << "seed " << seed;
+  }
+}
+
+TEST(Codec, RoundtripExactWithPreviousFrame) {
+  const std::vector<double> prev = ar1_field(40, 25, 3);
+  std::vector<double> cur = prev;
+  std::mt19937 rng(11);
+  std::normal_distribution<double> nudge(0.0, 1e-4);
+  for (double& x : cur) x += nudge(rng);
+  const FieldView pv = view(prev, 40, 25);
+  const CompressedFrame frame = encode_frame(view(cur, 40, 25), &pv, nullptr, kF64);
+  EXPECT_EQ(decode_frame(frame, &pv), cur);
+}
+
+TEST(Codec, RoundtripPreservesSpecialValues) {
+  std::vector<double> cur = {0.0,
+                             -0.0,
+                             std::numeric_limits<double>::quiet_NaN(),
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::denorm_min(),
+                             std::numeric_limits<double>::max(),
+                             1.0};
+  const CompressedFrame frame = encode_frame(view(cur, 4, 2), nullptr, nullptr, kF64);
+  const std::vector<double> got = decode_frame(frame, nullptr);
+  ASSERT_EQ(got.size(), cur.size());
+  for (std::size_t k = 0; k < cur.size(); ++k) {
+    std::uint64_t a, b;
+    std::memcpy(&a, &cur[k], 8);
+    std::memcpy(&b, &got[k], 8);
+    EXPECT_EQ(a, b) << "element " << k;  // bit compare: NaN != NaN as doubles
+  }
+}
+
+// ---- Compression ratio ----
+
+TEST(Codec, SmoothFieldCompressesAtLeastBreakEven) {
+  const std::vector<double> cur = ar1_field(64, 48, 5);
+  const CompressedFrame frame = encode_frame(view(cur, 64, 48), nullptr, nullptr, kF64);
+  EXPECT_GE(frame.ratio(), 1.0);
+  EXPECT_EQ(decode_frame(frame, nullptr), cur);
+}
+
+TEST(Codec, TemporalDeltaBeatsBreakEvenOnCorrelatedFrames) {
+  const std::vector<double> prev = ar1_field(64, 48, 9);
+  std::vector<double> cur = prev;
+  for (double& x : cur) x *= 1.0 + 1e-6;  // slow, smooth evolution
+  const FieldView pv = view(prev, 64, 48);
+  const CompressedFrame frame = encode_frame(view(cur, 64, 48), &pv, nullptr, kF64);
+  EXPECT_EQ(frame.mode, CompressedFrame::Mode::kDelta);
+  EXPECT_GE(frame.ratio(), 1.0);
+  EXPECT_EQ(decode_frame(frame, &pv), cur);
+}
+
+TEST(Codec, IncompressibleInputIsBoundedByRawPlusHeader) {
+  // Uniformly random 64-bit patterns: every byte plane is white noise, so
+  // no predictor can help and the encoder must take the raw escape.
+  std::mt19937_64 rng(13);
+  std::vector<double> cur(50 * 50);
+  for (double& x : cur) {
+    const std::uint64_t b = rng();
+    std::memcpy(&x, &b, sizeof x);
+  }
+  const CompressedFrame frame = encode_frame(view(cur, 50, 50), nullptr, nullptr, kF64);
+  EXPECT_EQ(frame.mode, CompressedFrame::Mode::kRaw);
+  EXPECT_LE(frame.encoded_bytes(), frame.raw_bytes() + 16);
+  const std::vector<double> got = decode_frame(frame, nullptr);
+  ASSERT_EQ(got.size(), cur.size());
+  // memcmp, not ==: random bit patterns include NaNs.
+  EXPECT_EQ(std::memcmp(got.data(), cur.data(), cur.size() * sizeof(double)),
+            0);
+}
+
+// ---- Edge cases ----
+
+TEST(Codec, EmptyField) {
+  const std::vector<double> none;
+  const CompressedFrame frame = encode_frame(view(none, 0, 0), nullptr);
+  EXPECT_EQ(frame.raw_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(frame.ratio(), 1.0);
+  EXPECT_TRUE(decode_frame(frame, nullptr).empty());
+}
+
+TEST(Codec, FirstFrameHasNoPreviousAndStillRoundtrips) {
+  const std::vector<double> cur = ar1_field(20, 20, 21);
+  const CompressedFrame frame = encode_frame(view(cur, 20, 20), nullptr, nullptr, kF64);
+  EXPECT_NE(frame.mode, CompressedFrame::Mode::kDelta);
+  EXPECT_EQ(decode_frame(frame, nullptr), cur);
+}
+
+TEST(Codec, ResolutionChangeDisablesTemporalDelta) {
+  // Previous frame at a different shape: the encoder must not difference
+  // across the resolution switch.
+  const std::vector<double> prev = ar1_field(40, 40, 2);
+  const std::vector<double> cur = ar1_field(20, 20, 2);
+  const FieldView pv = view(prev, 40, 40);
+  const CompressedFrame frame = encode_frame(view(cur, 20, 20), &pv, nullptr, kF64);
+  EXPECT_NE(frame.mode, CompressedFrame::Mode::kDelta);
+  EXPECT_EQ(decode_frame(frame, &pv), cur);
+}
+
+TEST(Codec, SingleRowAndSingleColumnFields) {
+  const std::vector<double> row = ar1_field(33, 1, 4);
+  const CompressedFrame fr = encode_frame(view(row, 33, 1), nullptr, nullptr, kF64);
+  EXPECT_EQ(decode_frame(fr, nullptr), row);
+
+  const std::vector<double> col = ar1_field(1, 33, 4);
+  const CompressedFrame fc = encode_frame(view(col, 1, 33), nullptr, nullptr, kF64);
+  EXPECT_EQ(decode_frame(fc, nullptr), col);
+}
+
+TEST(Codec, ConstantFieldCompressesHard) {
+  const std::vector<double> cur(128 * 128, 3.25);
+  const CompressedFrame frame = encode_frame(view(cur, 128, 128), nullptr, nullptr, kF64);
+  EXPECT_GE(frame.ratio(), 100.0);
+  EXPECT_EQ(decode_frame(frame, nullptr), cur);
+}
+
+// ---- Frame-file precision (float32, the default) ----
+
+TEST(Codec, Float32RoundtripIsExactOnNarrowedValues) {
+  for (std::uint32_t seed : {1u, 9u}) {
+    const std::vector<double> cur = random_field(30 * 22, seed);
+    const CompressedFrame frame =
+        encode_frame(view(cur, 30, 22), nullptr, nullptr, kF32);
+    EXPECT_EQ(frame.precision, CodecPrecision::kFloat32);
+    EXPECT_EQ(frame.raw_bytes(), 30u * 22u * 4u);
+    EXPECT_EQ(decode_frame(frame, nullptr), narrowed32(cur)) << "seed "
+                                                             << seed;
+  }
+}
+
+TEST(Codec, Float32DeltaRoundtripsAgainstDoublePrev) {
+  const std::vector<double> prev = ar1_field(48, 32, 15);
+  std::vector<double> cur = prev;
+  for (double& x : cur) x *= 1.0 + 1e-5;
+  const FieldView pv = view(prev, 48, 32);
+  const CompressedFrame frame = encode_frame(view(cur, 48, 32), &pv, nullptr, kF32);
+  EXPECT_EQ(decode_frame(frame, &pv), narrowed32(cur));
+}
+
+TEST(Codec, Float32SmoothFieldCompressesWell) {
+  // Intra-only floor on a synthetic AR(1) field whose innovations are far
+  // rougher than real simulation output; the >= 2x acceptance number is
+  // measured by bench_codec on real consecutive frames, where the
+  // second-order temporal predictor applies.
+  const std::vector<double> cur = ar1_field(96, 64, 17);
+  const CompressedFrame frame = encode_frame(view(cur, 96, 64), nullptr, nullptr, kF32);
+  EXPECT_GE(frame.ratio(), 1.1);
+  EXPECT_EQ(decode_frame(frame, nullptr), narrowed32(cur));
+}
+
+// ---- Second-order temporal prediction ----
+
+TEST(Codec, Delta2WinsOnLinearlyEvolvingFrames) {
+  // Three frames of a steadily advecting field: cur sits close to the
+  // linear extrapolation 2*prev - prev2, so the second-order predictor
+  // should beat both plain delta and intra.
+  const std::vector<double> base = ar1_field(48, 40, 23);
+  std::vector<double> prev2v = base, prevv = base, curv = base;
+  for (std::size_t k = 0; k < base.size(); ++k) {
+    const double trend = 1e-3 * base[k];
+    prevv[k] += trend;
+    curv[k] += 2.0 * trend;
+  }
+  const FieldView p2 = view(prev2v, 48, 40);
+  const FieldView p1 = view(prevv, 48, 40);
+  const CompressedFrame frame =
+      encode_frame(view(curv, 48, 40), &p1, &p2, kF64);
+  EXPECT_EQ(frame.mode, CompressedFrame::Mode::kDelta2);
+  EXPECT_GE(frame.ratio(), 1.0);
+  EXPECT_EQ(decode_frame(frame, &p1, &p2), curv);
+}
+
+TEST(Codec, Delta2RequiresBothHistoryFramesToDecode) {
+  const std::vector<double> base = ar1_field(32, 32, 29);
+  std::vector<double> prev2v = base, prevv = base, curv = base;
+  for (std::size_t k = 0; k < base.size(); ++k) {
+    prevv[k] += 1e-6;
+    curv[k] += 2e-6;
+  }
+  const FieldView p2 = view(prev2v, 32, 32);
+  const FieldView p1 = view(prevv, 32, 32);
+  const CompressedFrame frame =
+      encode_frame(view(curv, 32, 32), &p1, &p2, kF64);
+  ASSERT_EQ(frame.mode, CompressedFrame::Mode::kDelta2);
+  EXPECT_THROW(decode_frame(frame, &p1, nullptr), std::invalid_argument);
+  EXPECT_THROW(decode_frame(frame, nullptr, &p2), std::invalid_argument);
+  const FieldView wrong = view(prev2v, 64, 16);
+  EXPECT_THROW(decode_frame(frame, &p1, &wrong), std::invalid_argument);
+}
+
+TEST(Codec, Prev2AloneNeverSelectsDelta2) {
+  // A stale prev2 without a usable prev (e.g. the frame right after a
+  // resolution change) must not enable temporal prediction.
+  const std::vector<double> cur = ar1_field(24, 24, 31);
+  const std::vector<double> old = ar1_field(24, 24, 32);
+  const FieldView p2 = view(old, 24, 24);
+  const CompressedFrame frame =
+      encode_frame(view(cur, 24, 24), nullptr, &p2, kF64);
+  EXPECT_NE(frame.mode, CompressedFrame::Mode::kDelta);
+  EXPECT_NE(frame.mode, CompressedFrame::Mode::kDelta2);
+  EXPECT_EQ(decode_frame(frame, nullptr, nullptr), cur);
+}
+
+// ---- Error handling ----
+
+TEST(Codec, DecodeRejectsDeltaWithoutPrev) {
+  const std::vector<double> prev = ar1_field(16, 16, 6);
+  std::vector<double> cur = prev;
+  for (double& x : cur) x += 1e-9;
+  const FieldView pv = view(prev, 16, 16);
+  CompressedFrame frame = encode_frame(view(cur, 16, 16), &pv, nullptr, kF64);
+  ASSERT_EQ(frame.mode, CompressedFrame::Mode::kDelta);
+  EXPECT_THROW(decode_frame(frame, nullptr), std::invalid_argument);
+  const FieldView wrong = view(prev, 8, 32);
+  EXPECT_THROW(decode_frame(frame, &wrong), std::invalid_argument);
+}
+
+TEST(Codec, DecodeRejectsCorruptPayload) {
+  const std::vector<double> cur = ar1_field(16, 16, 8);
+  CompressedFrame frame = encode_frame(view(cur, 16, 16), nullptr);
+  CompressedFrame truncated = frame;
+  truncated.payload.resize(truncated.payload.size() / 2);
+  EXPECT_THROW(decode_frame(truncated, nullptr), std::invalid_argument);
+
+  CompressedFrame bad_magic = frame;
+  bad_magic.payload[0] = 'X';
+  EXPECT_THROW(decode_frame(bad_magic, nullptr), std::invalid_argument);
+
+  CompressedFrame empty;
+  EXPECT_THROW(decode_frame(empty, nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace adaptviz

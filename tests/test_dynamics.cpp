@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "weather/vortex.hpp"
 
@@ -237,6 +238,148 @@ TEST(Dynamics, TwoSolversOnOneThreadDontAliasScratch) {
   EXPECT_EQ(ref_a.u, mix_a.u);
   EXPECT_EQ(ref_b.h, mix_b.h);
   EXPECT_EQ(ref_b.v, mix_b.v);
+}
+
+// ---- Kernel refactor regression ----
+//
+// The row-kernel rewrite of compute_tendency must be a pure layout
+// transformation: same bits as the scalar loop it replaced, for every
+// forcing combination and worker count. Digests below were generated from
+// the pre-refactor scalar build (plain -O2, no FMA contraction — which
+// src/weather/CMakeLists.txt pins off for every build).
+
+std::uint64_t fnv1a_bytes(std::uint64_t h, const void* p, std::size_t n) {
+  const unsigned char* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t state_digest(const DomainState& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a_bytes(h, s.h.data().data(), s.h.size() * sizeof(double));
+  h = fnv1a_bytes(h, s.u.data().data(), s.u.size() * sizeof(double));
+  h = fnv1a_bytes(h, s.v.data().data(), s.v.size() * sizeof(double));
+  return h;
+}
+
+// A forcing configuration that exercises every optional term at once:
+// steering, mass/u/v tendencies, patchy relaxation, plus the default
+// sponge. Fields live as members so SwForcing pointers stay valid.
+struct FullForcingFixture {
+  explicit FullForcingFixture(const GridSpec& g)
+      : q(g.nx(), g.ny(), 0.0),
+        fu(g.nx(), g.ny(), 0.0),
+        fv(g.nx(), g.ny(), 0.0),
+        relax(g.nx(), g.ny(), 0.0) {
+    for (std::size_t j = 0; j < g.ny(); ++j) {
+      for (std::size_t i = 0; i < g.nx(); ++i) {
+        const double x = static_cast<double>(i);
+        const double y = static_cast<double>(j);
+        q(i, j) = 1e-5 * ((i + j) % 7) - 2e-5;
+        fu(i, j) = 1e-6 * (x - y);
+        fv(i, j) = -5e-7 * (x + 0.5 * y);
+        relax(i, j) = (i % 5 == 0) ? 1.0 / 7200.0 : 0.0;
+      }
+    }
+    forcing.steering_u = 2.5;
+    forcing.steering_v = -1.5;
+    forcing.mass_tendency = &q;
+    forcing.u_tendency = &fu;
+    forcing.v_tendency = &fv;
+    forcing.relaxation = &relax;
+  }
+  Field2D q, fu, fv, relax;
+  SwForcing forcing;
+};
+
+DomainState golden_vortex_state() {
+  DomainState s(test_grid(80.0));
+  HollandVortex v{.center = LatLon{14.0, 85.0},
+                  .deficit_hpa = 20.0,
+                  .r_max_km = 250.0,
+                  .b = 1.5};
+  v.deposit(s);
+  return s;
+}
+
+constexpr std::uint64_t kGoldenInitial = 0x6ae55865ea0ed769ull;
+constexpr std::uint64_t kGoldenForcedStep1 = 0xf2f9451fbe3bbc79ull;
+constexpr std::uint64_t kGoldenForcedStep10 = 0xc2be132e2571fba1ull;
+constexpr std::uint64_t kGoldenPlainStep10 = 0x9f948b9511f94191ull;
+
+class KernelRegression : public testing::TestWithParam<int> {};
+
+TEST_P(KernelRegression, RowKernelMatchesPreRefactorGoldens) {
+  SwParams p;
+  p.threads = GetParam();
+  SwSolver solver(p);
+  DomainState s = golden_vortex_state();
+  FullForcingFixture fix(s.grid);
+  const double dt = SwSolver::dt_for_resolution_km(80.0);
+  EXPECT_EQ(state_digest(s), kGoldenInitial);
+  solver.step(s, dt, fix.forcing);
+  EXPECT_EQ(state_digest(s), kGoldenForcedStep1);
+  for (int k = 2; k <= 10; ++k) solver.step(s, dt, fix.forcing);
+  EXPECT_EQ(state_digest(s), kGoldenForcedStep10);
+
+  DomainState plain = golden_vortex_state();
+  for (int k = 0; k < 10; ++k) solver.step(plain, dt, SwForcing{});
+  EXPECT_EQ(state_digest(plain), kGoldenPlainStep10);
+}
+
+TEST_P(KernelRegression, ScalarReferenceMatchesPreRefactorGoldens) {
+  SwParams p;
+  p.threads = GetParam();
+  p.kernel = SwKernel::kScalarReference;
+  SwSolver solver(p);
+  DomainState s = golden_vortex_state();
+  FullForcingFixture fix(s.grid);
+  const double dt = SwSolver::dt_for_resolution_km(80.0);
+  for (int k = 0; k < 10; ++k) solver.step(s, dt, fix.forcing);
+  EXPECT_EQ(state_digest(s), kGoldenForcedStep10);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, KernelRegression,
+                         testing::Values(1, 2, 8));
+
+// Live oracle: the two kernels stepped side by side stay bitwise equal on
+// a grid narrow enough to hit the banded-sponge fallback path too.
+TEST(KernelRegression, RowKernelBitwiseEqualsReferenceOnNarrowGrid) {
+  // 6x6 points at 400 km: narrower than 2*sponge_width+2, so the sponge
+  // bands would overlap and the row path must take its per-point fallback.
+  GridSpec narrow(75.0, 4.0, 20.0, 20.0, 400.0);
+  ASSERT_LT(narrow.nx(), 2 * static_cast<std::size_t>(SwParams{}.sponge_width) + 2);
+
+  SwParams row_params;
+  SwParams ref_params;
+  ref_params.kernel = SwKernel::kScalarReference;
+  SwSolver row_solver(row_params);
+  SwSolver ref_solver(ref_params);
+
+  auto seed_state = [&] {
+    DomainState s(narrow);
+    for (std::size_t j = 0; j < narrow.ny(); ++j)
+      for (std::size_t i = 0; i < narrow.nx(); ++i) {
+        s.h(i, j) = 0.3 * static_cast<double>((i * 7 + j * 3) % 5) - 0.5;
+        s.u(i, j) = 0.1 * static_cast<double>(i) - 0.2 * static_cast<double>(j);
+        s.v(i, j) = 0.05 * static_cast<double>((i + 2 * j) % 4);
+      }
+    return s;
+  };
+  DomainState a = seed_state();
+  DomainState b = seed_state();
+  FullForcingFixture fix(narrow);
+  const double dt = SwSolver::dt_for_resolution_km(400.0);
+  for (int k = 0; k < 5; ++k) {
+    row_solver.step(a, dt, fix.forcing);
+    ref_solver.step(b, dt, fix.forcing);
+  }
+  EXPECT_EQ(a.h, b.h);
+  EXPECT_EQ(a.u, b.u);
+  EXPECT_EQ(a.v, b.v);
 }
 
 TEST(Dynamics, Validation) {

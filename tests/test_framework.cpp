@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 
 namespace adaptviz {
 namespace {
@@ -226,6 +227,121 @@ TEST(Framework, ObservabilityCapturesThePipeline) {
 
   // Nothing leaks: the install point is empty again after run_experiment.
   EXPECT_EQ(obs::current(), nullptr);
+}
+
+// ---- Frame codec end to end ----
+
+TEST(FrameworkCodec, OffByDefaultReportsIdentityRatios) {
+  const ExperimentResult r =
+      run_experiment(mini_config(AlgorithmKind::kOptimization));
+  EXPECT_DOUBLE_EQ(r.summary.codec_mean_ratio, 1.0);
+  EXPECT_EQ(r.summary.codec_bytes_saved.count(), 0);
+  for (const TelemetrySample& s : r.samples) {
+    EXPECT_DOUBLE_EQ(s.codec_ratio, 1.0);
+  }
+}
+
+TEST(FrameworkCodec, EncodedBytesFlowThroughTheWholePipeline) {
+  ExperimentConfig cfg = mini_config(AlgorithmKind::kOptimization);
+  cfg.codec.enabled = true;  // verify_roundtrip defaults on: every frame of
+                             // this run is proven lossless as it encodes
+  cfg.observability = true;
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_TRUE(r.summary.completed);
+  EXPECT_EQ(r.summary.frames_visualized, r.summary.frames_written);
+  EXPECT_GT(r.summary.codec_mean_ratio, 1.2);
+  EXPECT_GT(r.summary.codec_bytes_saved.count(), 0);
+  EXPECT_GT(r.samples.back().codec_ratio, 1.0);
+
+  // The obs counters and the summary agree on the byte ledger.
+  EXPECT_EQ(r.metrics.counter_or("codec.frames"), r.summary.frames_written);
+  const std::int64_t raw = r.metrics.counter_or("codec.bytes_raw");
+  const std::int64_t enc = r.metrics.counter_or("codec.bytes_encoded");
+  EXPECT_GT(raw, enc);
+  EXPECT_EQ(r.metrics.counter_or("codec.bytes_saved"), raw - enc);
+  EXPECT_EQ(r.summary.codec_bytes_saved.count(), raw - enc);
+  const obs::Histogram::Snapshot* enc_ms = r.metrics.histogram("codec.encode_ms");
+  const obs::Histogram::Snapshot* dec_ms = r.metrics.histogram("codec.decode_ms");
+  ASSERT_NE(enc_ms, nullptr);
+  ASSERT_NE(dec_ms, nullptr);
+  EXPECT_EQ(enc_ms->count, r.summary.frames_written);
+  EXPECT_EQ(dec_ms->count, r.summary.frames_written);
+}
+
+TEST(FrameworkCodec, EncodedRunMovesFewerBytesThanRawRun) {
+  // Same experiment with and without the codec: what actually crosses the
+  // WAN (the vis-record sizes) must shrink by the measured ratio.
+  const ExperimentResult raw =
+      run_experiment(mini_config(AlgorithmKind::kOptimization));
+  ExperimentConfig cfg = mini_config(AlgorithmKind::kOptimization);
+  cfg.codec.enabled = true;
+  const ExperimentResult enc = run_experiment(cfg);
+  const auto wire_bytes = [](const ExperimentResult& r) {
+    std::int64_t total = 0;
+    for (const VisRecord& v : r.vis_records) total += v.size.count();
+    return total;
+  };
+  ASSERT_GT(enc.vis_records.size(), 5u);
+  const double raw_per_frame =
+      static_cast<double>(wire_bytes(raw)) /
+      static_cast<double>(raw.vis_records.size());
+  const double enc_per_frame =
+      static_cast<double>(wire_bytes(enc)) /
+      static_cast<double>(enc.vis_records.size());
+  EXPECT_LT(enc_per_frame, raw_per_frame / 1.2);
+}
+
+TEST(FrameworkCodec, ExactlyOnceDeliveryOnEncodedBytesOverFlakyWan) {
+  // [codec] + [faults] together: retries and exactly-once delivery must
+  // hold when transfer planning runs on encoded byte counts.
+  ExperimentConfig cfg = mini_config(AlgorithmKind::kOptimization);
+  cfg.codec.enabled = true;
+  cfg.sim_window = SimSeconds::hours(12.0);
+  cfg.faults.transfer_failure_rate = 0.25;
+  cfg.faults.retry.initial_backoff = WallSeconds(5.0);
+  cfg.faults.retry.max_backoff = WallSeconds(120.0);
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_TRUE(r.summary.completed);
+  EXPECT_GT(r.summary.transfer_failures, 0);
+  EXPECT_EQ(r.summary.transfer_retries, r.summary.transfer_failures);
+  EXPECT_EQ(r.summary.frames_sent, r.summary.frames_written);
+  EXPECT_EQ(r.summary.frames_visualized, r.summary.frames_written);
+  std::set<std::int64_t> seen;
+  for (const VisRecord& v : r.vis_records) {
+    EXPECT_TRUE(seen.insert(v.sequence).second)
+        << "frame " << v.sequence << " delivered twice";
+  }
+  EXPECT_GT(r.summary.codec_mean_ratio, 1.0);
+}
+
+// ---- Series caps ----
+
+TEST(FrameworkSeries, MaxSeriesPointsStrideThinsKeepingEndpoints) {
+  const ExperimentResult full =
+      run_experiment(mini_config(AlgorithmKind::kOptimization));
+  ExperimentConfig cfg = mini_config(AlgorithmKind::kOptimization);
+  cfg.max_series_points = 10;
+  const ExperimentResult capped = run_experiment(cfg);
+
+  ASSERT_GT(full.samples.size(), 10u);
+  EXPECT_EQ(capped.samples.size(), 10u);
+  EXPECT_LE(capped.vis_records.size(), 10u);
+  EXPECT_LE(capped.track.size(), 10u);
+
+  // Endpoints survive thinning (same seed => identical pre-thinned series).
+  EXPECT_DOUBLE_EQ(capped.samples.front().wall_time.seconds(),
+                   full.samples.front().wall_time.seconds());
+  EXPECT_DOUBLE_EQ(capped.samples.back().wall_time.seconds(),
+                   full.samples.back().wall_time.seconds());
+  for (std::size_t i = 1; i < capped.samples.size(); ++i) {
+    EXPECT_GT(capped.samples[i].wall_time.seconds(),
+              capped.samples[i - 1].wall_time.seconds());
+  }
+  // Summary aggregates are computed from the full-resolution series
+  // before thinning.
+  EXPECT_DOUBLE_EQ(capped.summary.min_free_disk_percent,
+                   full.summary.min_free_disk_percent);
+  EXPECT_EQ(capped.summary.frames_written, full.summary.frames_written);
 }
 
 TEST(Framework, ObservabilityOffLeavesResultEmpty) {

@@ -118,6 +118,40 @@ TEST(Scenario, FaultsDefaultToFailureFree) {
   EXPECT_EQ(cfg.faults.retry.degrade_after, 5);
 }
 
+TEST(Scenario, CodecSectionParsesAndDefaultsOff) {
+  EXPECT_FALSE(scenario_from_ini(minimal()).codec.enabled);
+
+  const ExperimentConfig cfg = scenario_from_ini(IniDocument::parse(
+      "[codec]\n"
+      "enabled = true\n"
+      "precision = float64\n"
+      "verify_roundtrip = false\n"));
+  EXPECT_TRUE(cfg.codec.enabled);
+  EXPECT_EQ(cfg.codec.precision, CodecPrecision::kFloat64);
+  EXPECT_FALSE(cfg.codec.verify_roundtrip);
+
+  // A bare [codec] section turns the codec on with the safe defaults.
+  const ExperimentConfig bare =
+      scenario_from_ini(IniDocument::parse("[codec]\nenabled = true\n"));
+  EXPECT_TRUE(bare.codec.enabled);
+  EXPECT_EQ(bare.codec.precision, CodecPrecision::kFloat32);
+  EXPECT_TRUE(bare.codec.verify_roundtrip);
+
+  EXPECT_THROW(scenario_from_ini(IniDocument::parse(
+                   "[codec]\nprecision = float16\n")),
+               std::runtime_error);
+}
+
+TEST(Scenario, MaxSeriesPoints) {
+  EXPECT_EQ(scenario_from_ini(minimal()).max_series_points, 0u);
+  const ExperimentConfig cfg = scenario_from_ini(IniDocument::parse(
+      "[experiment]\nmax_series_points = 500\n"));
+  EXPECT_EQ(cfg.max_series_points, 500u);
+  EXPECT_THROW(scenario_from_ini(IniDocument::parse(
+                   "[experiment]\nmax_series_points = -1\n")),
+               std::runtime_error);
+}
+
 TEST(Scenario, Validation) {
   EXPECT_THROW(scenario_from_ini(IniDocument::parse(
                    "[site]\npreset = mars-base\n")),

@@ -23,7 +23,8 @@ TEST(TelemetrySchema, GoldenHeader) {
       "critical",          "paused",            "frames_written",
       "frames_sent",       "frames_visualized", "transfer_failures",
       "transfer_retries",  "link_degraded",     "retry_backoff_s",
-      "frames_served",     "serve_hit_percent", "cache_mb"};
+      "frames_served",     "serve_hit_percent", "cache_mb",
+      "codec_ratio"};
   EXPECT_EQ(telemetry_columns(), golden);
 }
 
@@ -46,6 +47,7 @@ TEST(TelemetrySchema, RowMatchesSchemaWidthAndCellKinds) {
   EXPECT_TRUE(std::holds_alternative<long>(row[8]));         // stalled
   EXPECT_TRUE(std::holds_alternative<long>(row[11]));  // frames_written
   EXPECT_TRUE(std::holds_alternative<double>(row[20]));  // cache_mb
+  EXPECT_TRUE(std::holds_alternative<double>(row[21]));  // codec_ratio
 
   EXPECT_DOUBLE_EQ(std::get<double>(row[0]), 2.0);
   EXPECT_EQ(std::get<long>(row[4]), 16);
