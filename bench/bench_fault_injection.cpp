@@ -15,12 +15,18 @@
 // delivery series must be bitwise identical because every retry/backoff
 // decision happens in virtual time on the event loop. A fixed-seed full
 // experiment at 15% failure rate is also run twice and digest-compared.
+//
+// --quick shrinks the sweep to {0, 0.30} and skips the fixed-seed double
+// run (the ctest smoke); --json=PATH overrides the
+// BENCH_fault_injection.json report location.
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "experiment_common.hpp"
 #include "transport/sender.hpp"
 #include "util/logging.hpp"
@@ -157,8 +163,12 @@ RigResult run_determinism_rig(int pool_workers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
+  const benchio::BenchArgs args = benchio::parse_bench_args(argc, argv);
+  const std::string json_path =
+      args.json_path.empty() ? "BENCH_fault_injection.json" : args.json_path;
+  benchio::BenchReport report;
   bool ok = true;
 
   std::printf("== failure-rate sweep (inter-department, optimization) ==\n");
@@ -166,7 +176,10 @@ int main() {
                   "transfer_failures", "transfer_retries", "ema_mbps",
                   "wall_hours", "completed", "exactly_once"});
   double baseline_ema = 0.0;
-  for (const double rate : {0.0, 0.05, 0.15, 0.30}) {
+  const std::vector<double> rates =
+      args.quick ? std::vector<double>{0.0, 0.30}
+                 : std::vector<double>{0.0, 0.05, 0.15, 0.30};
+  for (const double rate : rates) {
     const ExperimentResult r = run_experiment(fault_config(rate));
     const ExperimentSummary& s = r.summary;
     const double ema =
@@ -198,6 +211,17 @@ int main() {
                    s.transfer_failures, s.transfer_retries, ema,
                    s.wall_elapsed.as_hours(), static_cast<long>(s.completed),
                    static_cast<long>(once)});
+    const std::string cell =
+        "rate" + std::to_string(static_cast<int>(rate * 100.0));
+    report.add("fault_injection", cell, "transfer_failures",
+               static_cast<double>(s.transfer_failures), "count");
+    report.add("fault_injection", cell, "transfer_retries",
+               static_cast<double>(s.transfer_retries), "count");
+    report.add("fault_injection", cell, "ema_mbps", ema, "Mbps");
+    report.add("fault_injection", cell, "wall_hours",
+               s.wall_elapsed.as_hours(), "h");
+    report.add("fault_injection", cell, "exactly_once", once ? 1.0 : 0.0,
+               "flag");
   }
   save_csv(table, "fault_injection");
 
@@ -218,17 +242,22 @@ int main() {
                 same ? "== identical" : "** DIVERGED **");
   }
 
-  std::printf("\n== determinism of the full experiment (fixed seed, 15%% "
-              "failure rate) ==\n");
-  const ExperimentConfig cfg = fault_config(0.15);
-  const std::uint64_t run1 = digest_result(run_experiment(cfg));
-  const std::uint64_t run2 = digest_result(run_experiment(cfg));
-  ok = ok && run1 == run2;
-  std::printf("  run1 %016llx / run2 %016llx %s\n",
-              static_cast<unsigned long long>(run1),
-              static_cast<unsigned long long>(run2),
-              run1 == run2 ? "== identical" : "** DIVERGED **");
+  if (!args.quick) {
+    std::printf("\n== determinism of the full experiment (fixed seed, 15%% "
+                "failure rate) ==\n");
+    const ExperimentConfig cfg = fault_config(0.15);
+    const std::uint64_t run1 = digest_result(run_experiment(cfg));
+    const std::uint64_t run2 = digest_result(run_experiment(cfg));
+    ok = ok && run1 == run2;
+    std::printf("  run1 %016llx / run2 %016llx %s\n",
+                static_cast<unsigned long long>(run1),
+                static_cast<unsigned long long>(run2),
+                run1 == run2 ? "== identical" : "** DIVERGED **");
+  }
 
+  report.save(json_path);
+  std::printf("wrote %s (%zu rows)\n", json_path.c_str(),
+              report.rows().size());
   std::printf("\n%s\n", ok ? "fault injection: all invariants held"
                            : "fault injection: INVARIANT VIOLATIONS");
   return ok ? 0 : 1;

@@ -41,6 +41,8 @@ std::vector<CampaignRun> CampaignSpec::expand() const {
       failure_rates.empty()
           ? std::vector<double>{base.faults.transfer_failure_rate}
           : failure_rates;
+  const std::vector<bool> codec_axis =
+      codecs.empty() ? std::vector<bool>{base.codec.enabled} : codecs;
   const std::vector<WallSeconds> period_axis =
       decision_periods.empty() ? std::vector<WallSeconds>{base.decision_period}
                                : decision_periods;
@@ -49,58 +51,62 @@ std::vector<CampaignRun> CampaignSpec::expand() const {
 
   std::vector<CampaignRun> runs;
   runs.reserve(site_axis.size() * algo_axis.size() * seed_axis.size() *
-               disk_axis.size() * rate_axis.size() * period_axis.size() *
-               worker_axis.size());
+               disk_axis.size() * rate_axis.size() * codec_axis.size() *
+               period_axis.size() * worker_axis.size());
   std::set<std::string> labels;
   for (const auto& [site_name, site] : site_axis) {
     for (const AlgorithmKind algo : algo_axis) {
       for (const std::uint64_t seed : seed_axis) {
         for (const Bytes disk : disk_axis) {
           for (const double rate : rate_axis) {
-            for (const WallSeconds period : period_axis) {
-              for (const int workers : worker_axis) {
-                CampaignRun run;
-                run.site = site_name;
-                run.config = base;
-                run.config.site = site;
-                run.config.algorithm = algo;
-                run.config.seed = seed;
-                run.config.site.disk_capacity = disk;
-                run.config.faults.transfer_failure_rate = rate;
-                run.config.decision_period = period;
-                run.config.vis_workers = workers;
+            for (const bool codec : codec_axis) {
+              for (const WallSeconds period : period_axis) {
+                for (const int workers : worker_axis) {
+                  CampaignRun run;
+                  run.site = site_name;
+                  run.config = base;
+                  run.config.site = site;
+                  run.config.algorithm = algo;
+                  run.config.seed = seed;
+                  run.config.site.disk_capacity = disk;
+                  run.config.faults.transfer_failure_rate = rate;
+                  run.config.codec.enabled = codec;
+                  run.config.decision_period = period;
+                  run.config.vis_workers = workers;
 
-                std::string label;
-                auto append = [&label](const std::string& part) {
-                  if (!label.empty()) label += '-';
-                  label += part;
-                };
-                if (!sites.empty()) append(site_name);
-                if (!algorithms.empty()) append(to_string(algo));
-                if (!seeds.empty()) append("s" + std::to_string(seed));
-                if (!disk_caps.empty()) {
-                  append("d" + format_double(disk.gb()));
+                  std::string label;
+                  auto append = [&label](const std::string& part) {
+                    if (!label.empty()) label += '-';
+                    label += part;
+                  };
+                  if (!sites.empty()) append(site_name);
+                  if (!algorithms.empty()) append(to_string(algo));
+                  if (!seeds.empty()) append("s" + std::to_string(seed));
+                  if (!disk_caps.empty()) {
+                    append("d" + format_double(disk.gb()));
+                  }
+                  if (!failure_rates.empty()) {
+                    append("f" + format_double(rate));
+                  }
+                  if (!codecs.empty()) append(codec ? "codec" : "raw");
+                  if (!decision_periods.empty()) {
+                    append("p" + format_double(period.as_hours()));
+                  }
+                  if (!vis_workers.empty()) {
+                    append("w" + std::to_string(workers));
+                  }
+                  if (label.empty()) label = base.name;
+                  // Uniqueness backstop (e.g. a repeated seed in the axis
+                  // list): suffix the grid index rather than silently
+                  // overwriting CSVs.
+                  if (!labels.insert(label).second) {
+                    label += "-r" + std::to_string(runs.size());
+                    labels.insert(label);
+                  }
+                  run.label = label;
+                  run.config.name = label;
+                  runs.push_back(std::move(run));
                 }
-                if (!failure_rates.empty()) {
-                  append("f" + format_double(rate));
-                }
-                if (!decision_periods.empty()) {
-                  append("p" + format_double(period.as_hours()));
-                }
-                if (!vis_workers.empty()) {
-                  append("w" + std::to_string(workers));
-                }
-                if (label.empty()) label = base.name;
-                // Uniqueness backstop (e.g. a repeated seed in the axis
-                // list): suffix the grid index rather than silently
-                // overwriting CSVs.
-                if (!labels.insert(label).second) {
-                  label += "-r" + std::to_string(runs.size());
-                  labels.insert(label);
-                }
-                run.label = label;
-                run.config.name = label;
-                runs.push_back(std::move(run));
               }
             }
           }
@@ -123,6 +129,12 @@ const std::vector<CampaignSummaryColumn>& campaign_summary_schema() {
        [](const R& r) -> Cell { return static_cast<long>(r.seed); }},
       {"disk_gb", "GB", [](const R& r) -> Cell { return r.disk_gb; }},
       {"failure_rate", "", [](const R& r) -> Cell { return r.failure_rate; }},
+      {"codec", "flag",
+       [](const R& r) -> Cell { return static_cast<long>(r.codec_enabled); }},
+      {"codec_mean_ratio", "x",
+       [](const R& r) -> Cell { return r.summary.codec_mean_ratio; }},
+      {"codec_saved_gb", "GB",
+       [](const R& r) -> Cell { return r.summary.codec_bytes_saved.gb(); }},
       {"completed", "flag",
        [](const R& r) -> Cell {
          return static_cast<long>(r.summary.completed);
@@ -234,6 +246,7 @@ std::vector<CampaignRunRecord> CampaignRunner::run(
     rec.seed = cell.config.seed;
     rec.disk_gb = cell.config.site.disk_capacity.gb();
     rec.failure_rate = cell.config.faults.transfer_failure_rate;
+    rec.codec_enabled = cell.config.codec.enabled;
     try {
       ExperimentConfig cfg = cell.config;
       if (!cfg.log.has_level) cfg.log.set_level(options_.run_log_level);
@@ -368,6 +381,18 @@ CampaignSpec campaign_from_ini(const IniDocument& doc) {
             "campaign: failure_rates entries must be in [0, 1]");
       }
       spec.failure_rates.push_back(rate);
+    }
+  }
+  if (auto v = doc.get("campaign", "codec")) {
+    for (const std::string& name : parse_name_list(*v)) {
+      if (name == "on" || name == "true" || name == "1") {
+        spec.codecs.push_back(true);
+      } else if (name == "off" || name == "false" || name == "0") {
+        spec.codecs.push_back(false);
+      } else {
+        throw std::runtime_error("campaign: codec entries must be on/off, "
+                                 "got '" + name + "'");
+      }
     }
   }
   if (auto v = doc.get("campaign", "decision_period_hours")) {

@@ -45,8 +45,8 @@ struct CampaignRun {
 
 /// A base scenario plus override axes. Empty axes inherit the base value
 /// (an axis of one); non-empty axes multiply out in declaration order:
-/// sites × algorithms × seeds × disk caps × failure rates × decision
-/// periods × vis workers.
+/// sites × algorithms × seeds × disk caps × failure rates × codec on/off ×
+/// decision periods × vis workers.
 struct CampaignSpec {
   std::string name = "campaign";
   ExperimentConfig base{};
@@ -56,6 +56,9 @@ struct CampaignSpec {
   std::vector<std::uint64_t> seeds;
   std::vector<Bytes> disk_caps;
   std::vector<double> failure_rates;
+  /// Lossless-frame-codec axis: each entry toggles base.codec.enabled, so
+  /// one campaign measures the codec's wall/WAN effect cell by cell.
+  std::vector<bool> codecs;
   /// Manager re-plan cadence axis (how often the decision algorithm runs).
   std::vector<WallSeconds> decision_periods;
   /// Visualization-site parallel render-slot axis.
@@ -76,6 +79,7 @@ struct CampaignRunRecord {
   std::uint64_t seed = 0;
   double disk_gb = 0.0;
   double failure_rate = 0.0;
+  bool codec_enabled = false;
   ExperimentSummary summary{};
   /// The run threw instead of finishing; `error` carries the message and
   /// the summary row is all defaults.
@@ -161,6 +165,7 @@ class CampaignRunner {
 //   seeds = 42, 43                    ; optional
 //   disk_gb = 100, 182                ; optional disk-cap axis
 //   failure_rates = 0, 0.15           ; optional transport-fault axis
+//   codec = off, on                   ; optional lossless-codec axis
 //   decision_period_hours = 0.5, 1.5  ; optional re-plan cadence axis
 //   vis_workers = 1, 4                ; optional render-slot axis
 //   concurrency = 4                   ; default K (CLI --jobs overrides)

@@ -129,6 +129,13 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
       serving_->add_viewer(v);
     }
   }
+  if (config_.serve.tree.enabled()) {
+    // Edge-cache distribution tree below the visualization site: every
+    // frame the site visualizes becomes the authoritative copy the
+    // regional caches pull through their own (fault-injectable) uplinks.
+    tree_ = std::make_unique<EdgeTree>(queue_, config_.serve.tree,
+                                       config_.seed + 5);
+  }
   // Heavy image rendering runs on the shared pool (one lane per busy
   // render slot); progress records, the cache publish, and steering hooks
   // stay serial.
@@ -137,6 +144,7 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
       [this](const Frame& f) {
         const WallSeconds cost = vis_->record(f);
         if (serving_) serving_->on_frame(f);
+        if (tree_) tree_->publish(f);
         return cost;
       },
       config_.vis_workers, &ThreadPool::shared(),
@@ -278,7 +286,8 @@ bool AdaptiveFramework::drained() const {
   return catalog_.empty() && !sender_->transfer_in_flight() &&
          receiver_->backlog() == 0 &&
          receiver_->frames_received() == receiver_->frames_visualized() &&
-         (serving_ == nullptr || serving_->idle());
+         (serving_ == nullptr || serving_->idle()) &&
+         (tree_ == nullptr || tree_->idle());
 }
 
 ExperimentResult AdaptiveFramework::run() {
@@ -352,6 +361,18 @@ ExperimentResult AdaptiveFramework::run() {
     sum.cache_evictions = cache.evictions;
     sum.rerenders = serving_->rerenders();
     sum.peak_cache_bytes = cache.peak_bytes;
+  }
+  if (tree_) {
+    sum.tree_tiers = tree_->tier_count();
+    sum.tree_leaves = tree_->leaf_count();
+    sum.tree_viewers = tree_->modeled_viewers();
+    sum.tree_frames_delivered = tree_->frames_delivered();
+    sum.tree_origin_wan_bytes = tree_->origin_bytes_on_wan();
+    for (int t = 0; t < tree_->tier_count(); ++t) {
+      const EdgeTierStats ts = tree_->tier_stats(t);
+      sum.tree_fill_retries += ts.fill_retries;
+      sum.tree_degraded_events += ts.degraded_events;
+    }
   }
   sum.codec_mean_ratio = process_->codec_cumulative_ratio();
   sum.codec_bytes_saved = process_->codec_bytes_saved();

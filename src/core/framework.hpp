@@ -21,6 +21,7 @@
 #include "core/static_algorithm.hpp"
 #include "core/simulation_process.hpp"
 #include "core/telemetry.hpp"
+#include "serve/edge_tree.hpp"
 #include "serve/session_manager.hpp"
 #include "steering/steering.hpp"
 #include "transport/receiver.hpp"
@@ -40,6 +41,13 @@ const char* to_string(AlgorithmKind k);
 struct ServeOptions {
   ViewerSessionManager::Options session{};
   std::vector<ViewerConfig> viewers;
+  /// Edge-cache distribution tree below the visualization site ([tree]
+  /// section): regional caches + leaf session managers fanning each
+  /// visualized frame out to viewers_per_leaf × leaf_count modeled
+  /// viewers. Empty tiers (the default) disable it. Independent of
+  /// `viewers` — the full-fidelity single-site sessions and the modeled
+  /// tree can run together or alone.
+  TreeSpec tree{};
 
   [[nodiscard]] bool enabled() const { return !viewers.empty(); }
 };
@@ -161,6 +169,15 @@ struct ExperimentSummary {
   // Frame codec (identity values when [codec] is off).
   double codec_mean_ratio = 1.0;  // cumulative raw/encoded over the run
   Bytes codec_bytes_saved{};      // modeled bytes kept off disk and wire
+
+  // Edge-cache distribution tree (zero when [tree] is absent).
+  int tree_tiers = 0;
+  int tree_leaves = 0;
+  std::int64_t tree_viewers = 0;           // leaves × viewers_per_leaf
+  std::int64_t tree_frames_delivered = 0;  // viewer frames (fanned out)
+  Bytes tree_origin_wan_bytes{};           // tier-0 uplink traffic
+  std::int64_t tree_fill_retries = 0;      // all tiers
+  std::int64_t tree_degraded_events = 0;   // all tiers
 };
 
 struct SteeringRecord {
@@ -217,6 +234,8 @@ class AdaptiveFramework {
   [[nodiscard]] const ViewerSessionManager* serving() const {
     return serving_.get();
   }
+  /// Null when no [tree] is configured.
+  [[nodiscard]] const EdgeTree* tree() const { return tree_.get(); }
   /// Null unless config.observability is set.
   [[nodiscard]] obs::Observability* observability() { return obs_.get(); }
 
@@ -241,6 +260,7 @@ class AdaptiveFramework {
   std::unique_ptr<DecisionAlgorithm> algorithm_;
   std::unique_ptr<VisualizationProcess> vis_;
   std::unique_ptr<ViewerSessionManager> serving_;
+  std::unique_ptr<EdgeTree> tree_;
   std::unique_ptr<FrameReceiver> receiver_;
   std::unique_ptr<FrameSender> sender_;
   std::unique_ptr<SimulationProcess> process_;

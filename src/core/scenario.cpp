@@ -172,42 +172,82 @@ ExperimentConfig scenario_from_ini(const IniDocument& doc) {
     }
   }
 
-  // [serve] — visualization-site frame cache + viewer fan-out.
+  // [serve] — visualization-site frame cache + viewer fan-out. Nonsensical
+  // values are rejected here with the offending key named, never silently
+  // clamped: a config that asks for a zero-byte cache or negative render
+  // cost is a typo the author wants to hear about, not run with.
   if (doc.has_section("serve")) {
     const int viewers =
         static_cast<int>(doc.get_int("serve", "viewers").value_or(0));
     if (viewers < 0) {
       throw std::runtime_error("scenario: serve.viewers must be >= 0");
     }
-    const Bandwidth downlink = Bandwidth::mbps(
-        doc.get_double("serve", "viewer_downlink_mbps").value_or(100.0));
+    const double downlink_mbps =
+        doc.get_double("serve", "viewer_downlink_mbps").value_or(100.0);
+    if (downlink_mbps <= 0.0) {
+      throw std::runtime_error(
+          "scenario: serve.viewer_downlink_mbps must be > 0");
+    }
+    const Bandwidth downlink = Bandwidth::mbps(downlink_mbps);
     const double catchup_fraction =
         doc.get_double("serve", "catchup_fraction").value_or(0.0);
-    const SimSeconds catchup_start = SimSeconds::hours(
-        doc.get_double("serve", "catchup_start_hours").value_or(0.0));
-    const WallSeconds catchup_join = WallSeconds::hours(
-        doc.get_double("serve", "catchup_join_wall_hours").value_or(0.0));
+    if (catchup_fraction < 0.0 || catchup_fraction > 1.0) {
+      throw std::runtime_error(
+          "scenario: serve.catchup_fraction must be in [0, 1]");
+    }
+    const double catchup_start_hours =
+        doc.get_double("serve", "catchup_start_hours").value_or(0.0);
+    const double catchup_join_hours =
+        doc.get_double("serve", "catchup_join_wall_hours").value_or(0.0);
+    if (catchup_start_hours < 0.0 || catchup_join_hours < 0.0) {
+      throw std::runtime_error(
+          "scenario: serve catch-up times must be >= 0 hours");
+    }
+    const SimSeconds catchup_start = SimSeconds::hours(catchup_start_hours);
+    const WallSeconds catchup_join = WallSeconds::hours(catchup_join_hours);
     cfg.serve.viewers = make_viewer_fleet(viewers, downlink, catchup_fraction,
                                           catchup_start, catchup_join);
     if (auto v = doc.get_double("serve", "cache_gb")) {
+      if (*v <= 0.0) {
+        throw std::runtime_error("scenario: serve.cache_gb must be > 0");
+      }
       cfg.serve.session.cache.capacity = Bytes::gigabytes(*v);
     }
     if (auto v = doc.get_int("serve", "cache_frames")) {
+      if (*v < 0) {
+        throw std::runtime_error("scenario: serve.cache_frames must be >= 0");
+      }
       cfg.serve.session.cache.max_frames = static_cast<std::size_t>(*v);
     }
     if (auto v = doc.get("serve", "cache_policy")) {
       cfg.serve.session.cache.policy = eviction_policy_from(*v);
     }
     if (auto v = doc.get_int("serve", "rerender_workers")) {
+      if (*v < 1) {
+        throw std::runtime_error(
+            "scenario: serve.rerender_workers must be >= 1");
+      }
       cfg.serve.session.rerender_workers = static_cast<int>(*v);
     }
     if (auto v = doc.get_double("serve", "rerender_fixed_seconds")) {
+      if (*v < 0.0) {
+        throw std::runtime_error(
+            "scenario: serve.rerender_fixed_seconds must be >= 0");
+      }
       cfg.serve.session.rerender_fixed_seconds = *v;
     }
     if (auto v = doc.get_double("serve", "rerender_seconds_per_gb")) {
+      if (*v < 0.0) {
+        throw std::runtime_error(
+            "scenario: serve.rerender_seconds_per_gb must be >= 0");
+      }
       cfg.serve.session.rerender_seconds_per_gb = *v;
     }
   }
+
+  // [tree] — edge-cache distribution tree below the visualization site.
+  // All key validation lives with the schema in serve/edge_tree.cpp.
+  cfg.serve.tree = tree_spec_from_ini(doc);
 
   // [codec] — lossless frame codec (off by default; enabling it switches
   // Frame::size to encoded bytes through disk, WAN, and cache accounting).
@@ -335,6 +375,15 @@ void write_result(const ExperimentResult& result, const std::string& dir) {
   if (result.config.codec.enabled) {
     summary.set_double("codec", "mean_ratio", s.codec_mean_ratio);
     summary.set_double("codec", "bytes_saved_gb", s.codec_bytes_saved.gb());
+  }
+  if (s.tree_tiers > 0) {
+    summary.set_int("tree", "tiers", s.tree_tiers);
+    summary.set_int("tree", "leaves", s.tree_leaves);
+    summary.set_int("tree", "viewers", s.tree_viewers);
+    summary.set_int("tree", "frames_delivered", s.tree_frames_delivered);
+    summary.set_double("tree", "origin_wan_gb", s.tree_origin_wan_bytes.gb());
+    summary.set_int("tree", "fill_retries", s.tree_fill_retries);
+    summary.set_int("tree", "degraded_events", s.tree_degraded_events);
   }
   if (s.viewers > 0) {
     summary.set_int("serve", "viewers", s.viewers);

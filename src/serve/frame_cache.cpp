@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/obs.hpp"
 
@@ -24,10 +25,16 @@ EvictionPolicy eviction_policy_from(const std::string& name) {
                            "' (expected lru | stride-thin)");
 }
 
-FrameCache::FrameCache(FrameCacheConfig config) : config_(config) {
+FrameCache::FrameCache(FrameCacheConfig config) : config_(std::move(config)) {
   if (config_.capacity <= Bytes(0)) {
     throw std::invalid_argument("FrameCache: capacity must be > 0");
   }
+  obs_hits_ = config_.obs_prefix + ".cache_hits";
+  obs_misses_ = config_.obs_prefix + ".cache_misses";
+  obs_insertions_ = config_.obs_prefix + ".cache_insertions";
+  obs_evictions_ = config_.obs_prefix + ".cache_evictions";
+  obs_rejections_ = config_.obs_prefix + ".cache_rejections";
+  obs_peak_mb_ = config_.obs_prefix + ".cache_peak_mb";
 }
 
 bool FrameCache::insert(const Frame& frame) {
@@ -40,7 +47,7 @@ bool FrameCache::insert(const Frame& frame) {
   }
   if (frame.size > config_.capacity) {
     ++stats_.rejected;
-    obs::count("serve.cache_rejections");
+    obs::count(obs_rejections_.c_str());
     return false;
   }
   // Make room *before* admitting so resident bytes never exceed capacity.
@@ -53,8 +60,8 @@ bool FrameCache::insert(const Frame& frame) {
   bytes_ += frame.size;
   ++stats_.insertions;
   stats_.peak_bytes = std::max(stats_.peak_bytes, bytes_);
-  obs::count("serve.cache_insertions");
-  obs::gauge_max("serve.cache_peak_mb", bytes_.mb());
+  obs::count(obs_insertions_.c_str());
+  obs::gauge_max(obs_peak_mb_.c_str(), bytes_.mb());
   return true;
 }
 
@@ -62,11 +69,11 @@ std::optional<Frame> FrameCache::lookup(std::int64_t sequence) {
   auto it = entries_.find(sequence);
   if (it == entries_.end()) {
     ++stats_.misses;
-    obs::count("serve.cache_misses");
+    obs::count(obs_misses_.c_str());
     return std::nullopt;
   }
   ++stats_.hits;
-  obs::count("serve.cache_hits");
+  obs::count(obs_hits_.c_str());
   lru_.erase(it->second.lru_it);
   lru_.push_front(sequence);
   it->second.lru_it = lru_.begin();
@@ -75,6 +82,12 @@ std::optional<Frame> FrameCache::lookup(std::int64_t sequence) {
 
 bool FrameCache::contains(std::int64_t sequence) const {
   return entries_.find(sequence) != entries_.end();
+}
+
+void FrameCache::record_fanout_hits(std::int64_t n) {
+  if (n <= 0) return;
+  stats_.hits += n;
+  obs::count(obs_hits_.c_str(), n);
 }
 
 std::vector<std::int64_t> FrameCache::resident_sequences() const {
@@ -99,7 +112,7 @@ void FrameCache::evict_one() {
   }
   erase_entry(entries_.find(victim));
   ++stats_.evictions;
-  obs::count("serve.cache_evictions");
+  obs::count(obs_evictions_.c_str());
 }
 
 std::int64_t FrameCache::stride_victim() const {

@@ -50,6 +50,11 @@ struct FrameCacheConfig {
   /// Optional frame-count bound; 0 means bytes-only.
   std::size_t max_frames = 0;
   EvictionPolicy policy = EvictionPolicy::kLru;
+  /// Prefix for the cache's obs metric names ("<prefix>.cache_hits", ...).
+  /// The single-site serving cache keeps the historical "serve" series; the
+  /// edge tree gives each tier its own ("tree.t0", "tree.t1", ...) so
+  /// per-tier hit rates and eviction pressure are separable in a snapshot.
+  std::string obs_prefix = "serve";
 };
 
 struct FrameCacheStats {
@@ -85,6 +90,11 @@ class FrameCache {
   /// Residency probe without counter side effects.
   [[nodiscard]] bool contains(std::int64_t sequence) const;
 
+  /// Accounts `n` aggregated hits in one call: the edge tree models a leaf
+  /// node's whole viewer population reading a freshly resident frame out of
+  /// the leaf cache without materializing one lookup per viewer.
+  void record_fanout_hits(std::int64_t n);
+
   [[nodiscard]] std::size_t frame_count() const { return entries_.size(); }
   [[nodiscard]] Bytes bytes_cached() const { return bytes_; }
   [[nodiscard]] const FrameCacheStats& stats() const { return stats_; }
@@ -104,6 +114,14 @@ class FrameCache {
   void erase_entry(std::map<std::int64_t, Entry>::iterator it);
 
   FrameCacheConfig config_;
+  // Obs metric names, precomputed so the hot counters don't concatenate
+  // strings per lookup.
+  std::string obs_hits_;
+  std::string obs_misses_;
+  std::string obs_insertions_;
+  std::string obs_evictions_;
+  std::string obs_rejections_;
+  std::string obs_peak_mb_;
   /// Keyed by sequence; map order == output order == simulated-time order,
   /// which is what stride thinning walks.
   std::map<std::int64_t, Entry> entries_;

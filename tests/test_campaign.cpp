@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -142,6 +143,60 @@ TEST(CampaignSpec, DecisionPeriodAndVisWorkerAxesExpandTheGrid) {
     EXPECT_DOUBLE_EQ(run.config.site.disk_capacity.gb(),
                      spec.base.site.disk_capacity.gb());
   }
+}
+
+TEST(CampaignSpec, CodecAxisTogglesTheFrameCodec) {
+  CampaignSpec spec;
+  spec.base = mini_config(AlgorithmKind::kOptimization);
+  spec.seeds = {1, 2};
+  spec.codecs = {false, true};
+  const std::vector<CampaignRun> runs = spec.expand();
+  // seeds x codecs, codec varying fastest (it sits right of the fault
+  // axis and left of the decision-period axis).
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0].label, "s1-raw");
+  EXPECT_EQ(runs[1].label, "s1-codec");
+  EXPECT_EQ(runs[2].label, "s2-raw");
+  EXPECT_EQ(runs[3].label, "s2-codec");
+  EXPECT_FALSE(runs[0].config.codec.enabled);
+  EXPECT_TRUE(runs[1].config.codec.enabled);
+  EXPECT_FALSE(runs[2].config.codec.enabled);
+  EXPECT_TRUE(runs[3].config.codec.enabled);
+
+  // An empty codec axis inherits the base setting and names no cell.
+  CampaignSpec plain;
+  plain.base = mini_config(AlgorithmKind::kOptimization);
+  plain.base.codec.enabled = true;
+  const std::vector<CampaignRun> inherited = plain.expand();
+  ASSERT_EQ(inherited.size(), 1u);
+  EXPECT_TRUE(inherited[0].config.codec.enabled);
+  EXPECT_EQ(inherited[0].label.find("codec"), std::string::npos);
+}
+
+TEST(CampaignIni, CodecAxisParsesAndRejectsUnknownStates) {
+  const CampaignSpec spec = campaign_from_ini(IniDocument::parse(
+      "[campaign]\n"
+      "name = c\n"
+      "seeds = 1, 2\n"
+      "codec = off, on\n"));
+  ASSERT_EQ(spec.codecs.size(), 2u);
+  EXPECT_FALSE(spec.codecs[0]);
+  EXPECT_TRUE(spec.codecs[1]);
+  EXPECT_EQ(spec.expand().size(), 4u);
+
+  EXPECT_THROW((void)campaign_from_ini(IniDocument::parse(
+                   "[campaign]\ncodec = maybe\n")),
+               std::runtime_error);
+}
+
+TEST(Campaign, SummarySchemaCarriesCodecColumns) {
+  const std::vector<std::string> columns = campaign_summary_columns();
+  const auto has = [&columns](const char* name) {
+    return std::find(columns.begin(), columns.end(), name) != columns.end();
+  };
+  EXPECT_TRUE(has("codec"));
+  EXPECT_TRUE(has("codec_mean_ratio"));
+  EXPECT_TRUE(has("codec_saved_gb"));
 }
 
 TEST(CampaignSpec, BaseValuesFlowWhenPeriodAndWorkerAxesAreEmpty) {

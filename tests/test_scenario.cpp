@@ -173,6 +173,149 @@ TEST(Scenario, Validation) {
                std::runtime_error);
 }
 
+TEST(ScenarioServe, SectionParsesIntoSessionOptions) {
+  const ExperimentConfig cfg = scenario_from_ini(IniDocument::parse(
+      "[serve]\n"
+      "viewers = 4\n"
+      "viewer_downlink_mbps = 250\n"
+      "catchup_fraction = 0.5\n"
+      "catchup_start_hours = 1\n"
+      "catchup_join_wall_hours = 2\n"
+      "cache_gb = 2\n"
+      "cache_frames = 64\n"
+      "cache_policy = stride-thin\n"
+      "rerender_workers = 3\n"
+      "rerender_fixed_seconds = 1.5\n"
+      "rerender_seconds_per_gb = 4\n"));
+  ASSERT_EQ(cfg.serve.viewers.size(), 4u);
+  EXPECT_TRUE(cfg.serve.enabled());
+  // round(0.5 * 4) = 2 catch-up viewers, then live tails.
+  EXPECT_EQ(cfg.serve.viewers[0].mode, ViewerMode::kCatchUp);
+  EXPECT_EQ(cfg.serve.viewers[1].mode, ViewerMode::kCatchUp);
+  EXPECT_EQ(cfg.serve.viewers[2].mode, ViewerMode::kLiveTail);
+  EXPECT_DOUBLE_EQ(
+      cfg.serve.viewers[0].downlink.nominal.megabits_per_sec(), 250.0);
+  EXPECT_DOUBLE_EQ(cfg.serve.viewers[0].catchup_start.as_hours(), 1.0);
+  EXPECT_EQ(cfg.serve.session.cache.capacity, Bytes::gigabytes(2.0));
+  EXPECT_EQ(cfg.serve.session.cache.max_frames, 64u);
+  EXPECT_EQ(cfg.serve.session.cache.policy, EvictionPolicy::kStrideThinning);
+  EXPECT_EQ(cfg.serve.session.rerender_workers, 3);
+  EXPECT_DOUBLE_EQ(cfg.serve.session.rerender_fixed_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(cfg.serve.session.rerender_seconds_per_gb, 4.0);
+
+  // No [serve] section: the subsystem stays off, like the seed.
+  EXPECT_FALSE(scenario_from_ini(minimal()).serve.enabled());
+}
+
+TEST(ScenarioServe, RejectsNonsensicalValues) {
+  // Each entry is a config the author plainly mistyped; all must be
+  // rejected at parse time instead of silently clamped.
+  const char* bad[] = {
+      "[serve]\nviewers = -1\n",
+      "[serve]\nviewer_downlink_mbps = 0\n",
+      "[serve]\nviewer_downlink_mbps = -10\n",
+      "[serve]\ncatchup_fraction = 1.5\n",
+      "[serve]\ncatchup_fraction = -0.1\n",
+      "[serve]\ncatchup_start_hours = -1\n",
+      "[serve]\ncatchup_join_wall_hours = -2\n",
+      "[serve]\ncache_gb = 0\n",
+      "[serve]\ncache_frames = -3\n",
+      "[serve]\ncache_policy = banana\n",
+      "[serve]\nrerender_workers = 0\n",
+      "[serve]\nrerender_fixed_seconds = -1\n",
+      "[serve]\nrerender_seconds_per_gb = -0.5\n",
+  };
+  for (const char* ini : bad) {
+    EXPECT_THROW(scenario_from_ini(IniDocument::parse(ini)),
+                 std::runtime_error)
+        << ini;
+  }
+}
+
+TEST(ScenarioTree, SectionParsesWithPerTierLists) {
+  const ExperimentConfig cfg = scenario_from_ini(IniDocument::parse(
+      "[tree]\n"
+      "fan_out = 2, 8\n"
+      "viewers_per_leaf = 500\n"
+      "uplink_mbps = 1000, 200\n"
+      "uplink_latency_ms = 40, 5\n"
+      "uplink_efficiency = 0.9\n"   // scalar broadcasts to both tiers
+      "cache_gb = 8, 2\n"
+      "cache_frames = 0, 32\n"
+      "codec_ratio = 4\n"
+      "failure_rate = 0.1, 0\n"
+      "cache_policy = stride-thin\n"
+      "retry_initial_seconds = 5\n"
+      "retry_multiplier = 2\n"
+      "retry_cap_seconds = 120\n"
+      "retry_jitter = 0.2\n"
+      "degrade_after = 3\n"
+      "join_stagger_seconds = 7\n"));
+  const TreeSpec& tree = cfg.serve.tree;
+  EXPECT_TRUE(tree.enabled());
+  ASSERT_EQ(tree.tiers.size(), 2u);
+  EXPECT_EQ(tree.tiers[0].fan_out, 2);
+  EXPECT_EQ(tree.tiers[1].fan_out, 8);
+  EXPECT_DOUBLE_EQ(tree.tiers[0].uplink.nominal.megabits_per_sec(), 1000.0);
+  EXPECT_DOUBLE_EQ(tree.tiers[1].uplink.nominal.megabits_per_sec(), 200.0);
+  EXPECT_DOUBLE_EQ(tree.tiers[0].uplink.latency.seconds(), 0.040);
+  EXPECT_DOUBLE_EQ(tree.tiers[1].uplink.latency.seconds(), 0.005);
+  EXPECT_DOUBLE_EQ(tree.tiers[0].uplink.efficiency, 0.9);
+  EXPECT_DOUBLE_EQ(tree.tiers[1].uplink.efficiency, 0.9);
+  EXPECT_DOUBLE_EQ(tree.tiers[0].uplink.failure_probability, 0.1);
+  EXPECT_DOUBLE_EQ(tree.tiers[1].uplink.failure_probability, 0.0);
+  EXPECT_EQ(tree.tiers[0].cache.capacity, Bytes::gigabytes(8.0));
+  EXPECT_EQ(tree.tiers[1].cache.capacity, Bytes::gigabytes(2.0));
+  EXPECT_EQ(tree.tiers[0].cache.max_frames, 0u);
+  EXPECT_EQ(tree.tiers[1].cache.max_frames, 32u);
+  EXPECT_EQ(tree.tiers[0].cache.policy, EvictionPolicy::kStrideThinning);
+  EXPECT_DOUBLE_EQ(tree.tiers[0].codec_ratio, 4.0);
+  EXPECT_DOUBLE_EQ(tree.tiers[1].codec_ratio, 4.0);
+  EXPECT_EQ(tree.viewers_per_leaf, 500);
+  EXPECT_DOUBLE_EQ(tree.retry.initial_backoff.seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(tree.retry.multiplier, 2.0);
+  EXPECT_DOUBLE_EQ(tree.retry.max_backoff.seconds(), 120.0);
+  EXPECT_DOUBLE_EQ(tree.retry.jitter, 0.2);
+  EXPECT_EQ(tree.retry.degrade_after, 3);
+  EXPECT_DOUBLE_EQ(tree.leaf_join_stagger.seconds(), 7.0);
+
+  // No [tree] section: disabled spec, not an error.
+  EXPECT_FALSE(scenario_from_ini(minimal()).serve.tree.enabled());
+}
+
+TEST(ScenarioTree, RejectsNonsensicalValues) {
+  const char* bad[] = {
+      "[tree]\n",                                 // fan_out is required
+      "[tree]\nfan_out = 0\n",
+      "[tree]\nfan_out = 2.5\n",
+      "[tree]\nfan_out = -4\n",
+      "[tree]\nfan_out = 2\nuplink_mbps = 1, 2, 3\n",  // length mismatch
+      "[tree]\nfan_out = 2\nuplink_mbps = 0\n",
+      "[tree]\nfan_out = 2\nuplink_latency_ms = -1\n",
+      "[tree]\nfan_out = 2\nuplink_efficiency = 1.5\n",
+      "[tree]\nfan_out = 2\nuplink_efficiency = 0\n",
+      "[tree]\nfan_out = 2\ncache_gb = 0\n",
+      "[tree]\nfan_out = 2\ncache_frames = -1\n",
+      "[tree]\nfan_out = 2\ncodec_ratio = 0.5\n",
+      "[tree]\nfan_out = 2\nfailure_rate = 1.5\n",
+      "[tree]\nfan_out = 2\nfailure_rate = -0.1\n",
+      "[tree]\nfan_out = 2\ncache_policy = mru\n",
+      "[tree]\nfan_out = 2\nviewers_per_leaf = 0\n",
+      "[tree]\nfan_out = 2\nretry_initial_seconds = 0\n",
+      "[tree]\nfan_out = 2\nretry_multiplier = 0.5\n",
+      "[tree]\nfan_out = 2\nretry_initial_seconds = 60\n"
+      "retry_cap_seconds = 5\n",                  // cap below initial
+      "[tree]\nfan_out = 2\nretry_jitter = 1\n",
+      "[tree]\nfan_out = 2\ndegrade_after = 0\n",
+      "[tree]\nfan_out = 2\njoin_stagger_seconds = -1\n",
+  };
+  for (const char* ini : bad) {
+    EXPECT_THROW(scenario_from_ini(IniDocument::parse(ini)),
+                 std::runtime_error)
+        << ini;
+  }
+}
+
 TEST(Scenario, ShippedScenarioFilesParse) {
   // The scenarios/ directory must stay loadable.
   namespace fs = std::filesystem;

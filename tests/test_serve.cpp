@@ -361,6 +361,93 @@ TEST(Sessions, DeliveriesAreBitwiseIdenticalAcrossPoolSizes) {
   }
 }
 
+TEST(Sessions, StrideThinningSurvivesConcurrentRerenderReinsertion) {
+  // The re-insert race: catch-up replays force re-renders whose completions
+  // re-insert old frames into a stride-thinned cache *while* live publishes
+  // keep inserting new ones at the same virtual times. The thinning
+  // victim-selection must stay consistent (endpoints anchored, bytes
+  // bounded, no lost insertions) with both writers interleaved.
+  EventQueue queue;
+  ViewerSessionManager::Options opts;
+  opts.cache.capacity = Bytes::megabytes(3);
+  opts.cache.policy = EvictionPolicy::kStrideThinning;
+  opts.rerender_fixed_seconds = 10.0;  // completions land mid-stream
+  opts.rerender_seconds_per_gb = 0.0;
+  opts.rerender_workers = 2;
+  ViewerSessionManager manager(queue, opts, /*seed=*/3);
+  // Seed a history the cache has already thinned, then start the replay.
+  for (int i = 0; i < 6; ++i) manager.on_frame(mkframe(i, 1, 10.0 * i));
+  const int replayer = manager.add_viewer(exact_viewer(1.0,
+                                                       ViewerMode::kCatchUp));
+  // Live stream continues at exactly the re-render completion cadence, so
+  // re-insertions and fresh insertions hit the same virtual instants.
+  for (int i = 6; i < 12; ++i) {
+    queue.schedule_at(WallSeconds(10.0 * (i - 5)), [&manager, i] {
+      manager.on_frame(mkframe(i, 1, 10.0 * i));
+    });
+  }
+  queue.run_all();
+  // The replay delivered the full history exactly once, in order, despite
+  // every re-inserted frame being an eviction candidate again.
+  const auto& records = manager.deliveries(replayer);
+  ASSERT_EQ(records.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(records[static_cast<std::size_t>(i)].sequence, i);
+  }
+  EXPECT_GT(manager.rerenders(), 0);
+  // Boundedness held through the interleaving, and the stride invariant
+  // (newest endpoint resident) survived the re-insertions.
+  EXPECT_LE(manager.cache().stats().peak_bytes, Bytes::megabytes(3));
+  EXPECT_TRUE(manager.cache().contains(11));
+  EXPECT_EQ(manager.cache().stats().insertions,
+            12 + static_cast<std::int64_t>(manager.rerenders()));
+  EXPECT_TRUE(manager.idle());
+}
+
+TEST(Sessions, RerenderRaceIsDeterministicAcrossPoolSizes) {
+  // Same rig as above but with the heavy re-render body on a real pool:
+  // the interleaving of re-insertions and live insertions — and therefore
+  // the delivery series — must not depend on worker count.
+  auto run = [](int pool_workers) {
+    EventQueue queue;
+    ThreadPool pool(pool_workers);
+    ViewerSessionManager::Options opts;
+    opts.cache.capacity = Bytes::megabytes(3);
+    opts.cache.policy = EvictionPolicy::kStrideThinning;
+    opts.rerender_fixed_seconds = 10.0;
+    opts.rerender_seconds_per_gb = 0.0;
+    opts.rerender_workers = 2;
+    ViewerSessionManager manager(queue, opts, /*seed=*/3, &pool,
+                                 [](const Frame& f) {
+                                   volatile std::int64_t acc = 0;
+                                   for (int i = 0; i < 5000; ++i) {
+                                     acc = acc + (f.sequence * 31 + i) % 97;
+                                   }
+                                 });
+    for (int i = 0; i < 6; ++i) manager.on_frame(mkframe(i, 1, 10.0 * i));
+    const int replayer =
+        manager.add_viewer(exact_viewer(1.0, ViewerMode::kCatchUp));
+    for (int i = 6; i < 12; ++i) {
+      queue.schedule_at(WallSeconds(10.0 * (i - 5)), [&manager, i] {
+        manager.on_frame(mkframe(i, 1, 10.0 * i));
+      });
+    }
+    queue.run_all();
+    return manager.deliveries(replayer);
+  };
+  const std::vector<DeliveryRecord> serial = run(0);
+  ASSERT_EQ(serial.size(), 12u);
+  for (const int workers : {2, 5}) {
+    const std::vector<DeliveryRecord> pooled = run(workers);
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].sequence, pooled[i].sequence);
+      EXPECT_EQ(serial[i].wall_time.seconds(), pooled[i].wall_time.seconds());
+      EXPECT_EQ(serial[i].cache_hit, pooled[i].cache_hit);
+    }
+  }
+}
+
 TEST(Sessions, Validation) {
   EventQueue queue;
   ViewerSessionManager manager(queue, {}, /*seed=*/1);

@@ -94,6 +94,18 @@ int main(int argc, char** argv) {
       std::printf("per-client deliveries written to %s/%s_clients.csv\n",
                   out_dir.c_str(), cfg.name.c_str());
     }
+    if (s.tree_tiers > 0) {
+      std::printf(
+          "tree: %d tiers, %d leaves, %lld modeled viewers, "
+          "%lld viewer frames, origin WAN %s, retries=%lld, "
+          "degraded_events=%lld\n",
+          s.tree_tiers, s.tree_leaves,
+          static_cast<long long>(s.tree_viewers),
+          static_cast<long long>(s.tree_frames_delivered),
+          to_string(s.tree_origin_wan_bytes).c_str(),
+          static_cast<long long>(s.tree_fill_retries),
+          static_cast<long long>(s.tree_degraded_events));
+    }
     if (!result.samples.empty()) {
       // Final-state line rendered off the declarative telemetry schema.
       std::printf("final: %s\n",
