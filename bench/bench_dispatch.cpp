@@ -1,0 +1,139 @@
+// Distributed dispatch gate: K worker processes vs the in-process runner.
+//
+// Runs scenarios/sweep_smoke.ini four ways — in-process CampaignRunner
+// (the reference), a clean 2-worker distributed dispatch, a 2-worker
+// dispatch with one injected worker crash, and a coordinator restart that
+// resumes from the manifest with two entries dropped — and ASSERTS the
+// load-bearing guarantee: campaign_summary.csv is bitwise identical in
+// all four, and the resume leg re-executes exactly the two dropped runs.
+// Wall time per leg is reported (not asserted; process spawn costs are
+// machine-dependent). Writes BENCH_dispatch.json.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_report.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/dispatch.hpp"
+#include "campaign/manifest.hpp"
+
+using namespace adaptviz;
+namespace fs = std::filesystem;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const char* what) {
+  std::printf("  %-52s %s\n", what, ok ? "ok" : "FAIL");
+  if (!ok) ++g_failures;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+fs::path fresh_dir(const char* name) {
+  const fs::path dir =
+      fs::temp_directory_path() / "adaptviz_bench_dispatch" / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const benchio::BenchArgs args = benchio::parse_bench_args(argc, argv);
+  benchio::BenchReport report;
+  const std::string campaign = std::string(ADAPTVIZ_SCENARIO_DIR) +
+                               "/sweep_smoke.ini";
+  const std::vector<std::string> worker_cmd = {ADAPTVIZ_SWEEP_BIN};
+
+  std::printf("dispatch bench: %s, 2 workers (%s)\n", campaign.c_str(),
+              args.quick ? "quick" : "full");
+
+  // Reference: the in-process runner.
+  const fs::path ref_dir = fresh_dir("inproc");
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    CampaignOptions options;
+    options.output_dir = ref_dir.string();
+    CampaignRunner runner(options);
+    runner.run(load_campaign(campaign));
+  }
+  const double inproc_s = seconds_since(t0);
+  const std::string expected = slurp(ref_dir / "campaign_summary.csv");
+  report.add("dispatch", "inprocess", "wall_seconds", inproc_s, "s");
+  check(!expected.empty(), "in-process summary written");
+
+  // Clean 2-worker dispatch.
+  const fs::path clean_dir = fresh_dir("workers2");
+  t0 = std::chrono::steady_clock::now();
+  DispatchOptions options;
+  options.workers = 2;
+  options.output_dir = clean_dir.string();
+  const DispatchResult clean =
+      CampaignDispatcher(worker_cmd, options).run(campaign);
+  const double dist_s = seconds_since(t0);
+  report.add("dispatch", "workers2", "wall_seconds", dist_s, "s");
+  check(slurp(clean_dir / "campaign_summary.csv") == expected,
+        "2-worker summary bitwise-identical to in-process");
+  check(clean.executed == clean.records.size(), "all runs executed");
+
+  // One injected worker crash: re-dispatch must not change a byte.
+  const fs::path crash_dir = fresh_dir("crash");
+  DispatchOptions crash_options = options;
+  crash_options.output_dir = crash_dir.string();
+  crash_options.crash_inject_worker = 0;
+  crash_options.retry.initial_backoff = WallSeconds(0.05);
+  t0 = std::chrono::steady_clock::now();
+  const DispatchResult crashed =
+      CampaignDispatcher(worker_cmd, crash_options).run(campaign);
+  report.add("dispatch", "crash", "wall_seconds", seconds_since(t0), "s");
+  check(slurp(crash_dir / "campaign_summary.csv") == expected,
+        "summary identical after one worker crash");
+  check(crashed.metrics.counter_or("dispatch.worker_failures", 0) >= 1,
+        "crash was observed and counted");
+  check(crashed.metrics.counter_or("dispatch.tasks_completed", 0) ==
+            static_cast<std::int64_t>(crashed.records.size()),
+        "exactly-once row accounting");
+
+  // Coordinator restart: drop two manifest entries, resume.
+  const std::string manifest_path =
+      (clean_dir / CampaignManifest::filename()).string();
+  auto manifest = CampaignManifest::load(manifest_path);
+  check(manifest.has_value(), "manifest loads");
+  if (manifest.has_value()) {
+    manifest->entries.erase(0);
+    manifest->entries.erase(2);
+    manifest->save(manifest_path);
+  }
+  t0 = std::chrono::steady_clock::now();
+  const DispatchResult resumed =
+      CampaignDispatcher(worker_cmd, options).run(campaign);
+  report.add("dispatch", "resume", "wall_seconds", seconds_since(t0), "s");
+  check(resumed.resumed == 2 && resumed.executed == 2,
+        "resume re-executed exactly the 2 dropped runs");
+  check(slurp(clean_dir / "campaign_summary.csv") == expected,
+        "summary identical after resume");
+
+  report.add("dispatch", "workers2", "speedup_vs_inprocess",
+             dist_s > 0.0 ? inproc_s / dist_s : 0.0, "x");
+  if (!args.json_path.empty()) report.save(args.json_path);
+
+  std::printf("dispatch bench: %s\n", g_failures == 0 ? "PASS" : "FAIL");
+  return g_failures == 0 ? 0 : 1;
+}

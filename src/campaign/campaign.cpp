@@ -20,6 +20,20 @@ std::string format_double(double v) {
   return buf;
 }
 
+// to_string(AlgorithmKind) throws on an out-of-range enum value; a label
+// must never do that — an invalid cell has to survive expansion so the
+// runner can record it as a failed row instead of aborting the whole
+// campaign (rows == expand().size(), no silent drops).
+std::string algorithm_label(AlgorithmKind k) {
+  switch (k) {
+    case AlgorithmKind::kGreedyThreshold:
+    case AlgorithmKind::kOptimization:
+    case AlgorithmKind::kStatic:
+      return to_string(k);
+  }
+  return "algo" + std::to_string(static_cast<int>(k));
+}
+
 }  // namespace
 
 std::vector<CampaignRun> CampaignSpec::expand() const {
@@ -80,7 +94,7 @@ std::vector<CampaignRun> CampaignSpec::expand() const {
                     label += part;
                   };
                   if (!sites.empty()) append(site_name);
-                  if (!algorithms.empty()) append(to_string(algo));
+                  if (!algorithms.empty()) append(algorithm_label(algo));
                   if (!seeds.empty()) append("s" + std::to_string(seed));
                   if (!disk_caps.empty()) {
                     append("d" + format_double(disk.gb()));
@@ -124,7 +138,7 @@ const std::vector<CampaignSummaryColumn>& campaign_summary_schema() {
       {"label", "", [](const R& r) -> Cell { return r.label; }},
       {"site", "", [](const R& r) -> Cell { return r.site; }},
       {"algorithm", "",
-       [](const R& r) -> Cell { return std::string(to_string(r.algorithm)); }},
+       [](const R& r) -> Cell { return algorithm_label(r.algorithm); }},
       {"seed", "",
        [](const R& r) -> Cell { return static_cast<long>(r.seed); }},
       {"disk_gb", "GB", [](const R& r) -> Cell { return r.disk_gb; }},
@@ -219,6 +233,41 @@ void write_campaign_summary(const std::vector<CampaignRunRecord>& records,
   table.save(dir + "/campaign_summary.csv");
 }
 
+CampaignRunRecord make_run_record(const CampaignRun& cell) {
+  CampaignRunRecord rec;
+  rec.label = cell.label;
+  rec.site = cell.site.empty() ? cell.config.site.machine.name : cell.site;
+  rec.algorithm = cell.config.algorithm;
+  rec.seed = cell.config.seed;
+  rec.disk_gb = cell.config.site.disk_capacity.gb();
+  rec.failure_rate = cell.config.faults.transfer_failure_rate;
+  rec.codec_enabled = cell.config.codec.enabled;
+  return rec;
+}
+
+CampaignRunRecord execute_campaign_run(
+    const CampaignRun& cell, LogLevel run_log_level,
+    const std::function<void(const ExperimentResult&)>& on_result) {
+  CampaignRunRecord rec = make_run_record(cell);
+  try {
+    ExperimentConfig cfg = cell.config;
+    if (!cfg.log.has_level) cfg.log.set_level(run_log_level);
+    const ExperimentResult result = run_experiment(cfg);
+    rec.summary = result.summary;
+    if (on_result) on_result(result);
+    // The full result dies here: memory stays bounded by the number of
+    // in-flight experiments no matter how large the grid is.
+  } catch (const std::exception& e) {
+    rec.failed = true;
+    rec.error = e.what();
+  } catch (...) {
+    // Even a non-standard exception must not cost the campaign its row.
+    rec.failed = true;
+    rec.error = "non-standard exception";
+  }
+  return rec;
+}
+
 CampaignRunner::CampaignRunner(CampaignOptions options)
     : options_(std::move(options)) {}
 
@@ -239,30 +288,14 @@ std::vector<CampaignRunRecord> CampaignRunner::run(
 
   auto execute = [&](std::size_t i) {
     const CampaignRun& cell = runs[i];
-    CampaignRunRecord rec;
-    rec.label = cell.label;
-    rec.site = cell.site.empty() ? cell.config.site.machine.name : cell.site;
-    rec.algorithm = cell.config.algorithm;
-    rec.seed = cell.config.seed;
-    rec.disk_gb = cell.config.site.disk_capacity.gb();
-    rec.failure_rate = cell.config.faults.transfer_failure_rate;
-    rec.codec_enabled = cell.config.codec.enabled;
-    try {
-      ExperimentConfig cfg = cell.config;
-      if (!cfg.log.has_level) cfg.log.set_level(options_.run_log_level);
-      const ExperimentResult result = run_experiment(cfg);
-      rec.summary = result.summary;
-      std::lock_guard<std::mutex> lock(emit_mutex);
-      if (options_.write_per_run_csvs) {
-        write_result(result, options_.output_dir);
-      }
-      if (sink) sink(i, cell, result);
-      // The full result dies here: memory stays bounded by K in-flight
-      // experiments no matter how large the grid is.
-    } catch (const std::exception& e) {
-      rec.failed = true;
-      rec.error = e.what();
-    }
+    CampaignRunRecord rec = execute_campaign_run(
+        cell, options_.run_log_level, [&](const ExperimentResult& result) {
+          std::lock_guard<std::mutex> lock(emit_mutex);
+          if (options_.write_per_run_csvs) {
+            write_result(result, options_.output_dir);
+          }
+          if (sink) sink(i, cell, result);
+        });
     std::lock_guard<std::mutex> lock(emit_mutex);
     records[i] = std::move(rec);
     ++finished;
@@ -296,10 +329,15 @@ std::vector<CampaignRunRecord> CampaignRunner::run(
 
 std::vector<CampaignRunRecord> CampaignRunner::run(const CampaignSpec& spec,
                                                    const ResultSink& sink) {
+  // An unset concurrency defers to the spec for THIS call only; a runner
+  // reused across specs must not inherit the previous spec's K.
+  const int saved = options_.concurrency;
   if (options_.concurrency <= 0) {
     options_.concurrency = std::max(1, spec.concurrency);
   }
-  return run(spec.expand(), sink);
+  std::vector<CampaignRunRecord> records = run(spec.expand(), sink);
+  options_.concurrency = saved;
+  return records;
 }
 
 // ---- [campaign] INI schema ----
@@ -419,6 +457,12 @@ CampaignSpec campaign_from_ini(const IniDocument& doc) {
       throw std::runtime_error("campaign: concurrency must be >= 1");
     }
     spec.concurrency = static_cast<int>(*v);
+  }
+  if (auto v = doc.get_int("campaign", "workers")) {
+    if (*v < 0) {
+      throw std::runtime_error("campaign: workers must be >= 0");
+    }
+    spec.workers = static_cast<int>(*v);
   }
   return spec;
 }

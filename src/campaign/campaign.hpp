@@ -68,6 +68,11 @@ struct CampaignSpec {
   /// tool's --jobs overrides it).
   int concurrency = 1;
 
+  /// Default worker-process count for distributed dispatch (`[campaign]
+  /// workers = N`; the sweep tool's --workers overrides it). 0 keeps the
+  /// campaign in-process on the CampaignRunner.
+  int workers = 0;
+
   [[nodiscard]] std::vector<CampaignRun> expand() const;
 };
 
@@ -97,6 +102,22 @@ struct CampaignSummaryColumn {
 };
 
 const std::vector<CampaignSummaryColumn>& campaign_summary_schema();
+
+/// Record with the identity columns (label, site, algorithm, seed, ...)
+/// filled from the cell and a default (not-yet-run) summary. The one place
+/// those fields are derived — the in-process runner, the worker protocol
+/// and the dispatcher's gave-up rows all agree byte for byte.
+CampaignRunRecord make_run_record(const CampaignRun& cell);
+
+/// Executes one expanded cell with full failure isolation: whatever throws
+/// — config apply, framework construction/validation, the run itself, or
+/// `on_result` — yields a failed record carrying the error string instead
+/// of propagating. Every expanded label therefore produces exactly one
+/// summary row (rows == expand().size(), always). `on_result` receives the
+/// full result before it is discarded (CSV streaming, sinks).
+CampaignRunRecord execute_campaign_run(
+    const CampaignRun& cell, LogLevel run_log_level,
+    const std::function<void(const ExperimentResult&)>& on_result = {});
 
 /// Column names in schema order (the campaign_summary.csv header).
 std::vector<std::string> campaign_summary_columns();
@@ -169,6 +190,9 @@ class CampaignRunner {
 //   decision_period_hours = 0.5, 1.5  ; optional re-plan cadence axis
 //   vis_workers = 1, 4                ; optional render-slot axis
 //   concurrency = 4                   ; default K (CLI --jobs overrides)
+//   workers = 2                       ; worker processes for distributed
+//                                     ; dispatch (0 = in-process; CLI
+//                                     ; --workers overrides)
 //
 // All remaining sections ([experiment], [site], [bounds], ...) form the
 // base scenario, parsed by scenario_from_ini() unchanged.

@@ -1,0 +1,737 @@
+#include "campaign/manifest.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace adaptviz {
+namespace {
+
+// ---- token-level encoding ----
+//
+// Strings travel percent-encoded so a value can never contain the
+// separators of any enclosing layer (spaces for the kv line, quotes and
+// backslashes for JSON, newlines for the pipe protocol).
+
+bool plain_char(unsigned char c) {
+  return std::isalnum(c) != 0 || c == '.' || c == '_' || c == '~' ||
+         c == ':' || c == '/' || c == '-';
+}
+
+std::string percent_encode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const unsigned char c : s) {
+    if (plain_char(c)) {
+      out += static_cast<char>(c);
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X", c);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string percent_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) {
+      throw std::runtime_error("manifest: truncated percent escape in '" + s +
+                               "'");
+    }
+    const int hi = hex_nibble(s[i + 1]);
+    const int lo = hex_nibble(s[i + 2]);
+    if (hi < 0 || lo < 0) {
+      throw std::runtime_error("manifest: malformed percent escape in '" + s +
+                               "'");
+    }
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+// Hexfloat: the only printf/scanf round trip that is exact for every
+// finite double — the merged summary must reproduce the in-process CSV
+// byte for byte, so "close" is not good enough.
+std::string encode_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+double decode_double(const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == s.c_str()) {
+    throw std::runtime_error("manifest: malformed double '" + s + "'");
+  }
+  return v;
+}
+
+std::int64_t decode_int(const std::string& s) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == s.c_str()) {
+    throw std::runtime_error("manifest: malformed integer '" + s + "'");
+  }
+  return v;
+}
+
+std::vector<std::pair<std::string, std::string>> split_kv(
+    const std::string& line) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    std::size_t end = line.find(' ', pos);
+    if (end == std::string::npos) end = line.size();
+    if (end > pos) {
+      const std::string token = line.substr(pos, end - pos);
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::runtime_error("manifest: malformed token '" + token + "'");
+      }
+      out.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    }
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- record codec ----
+
+std::string encode_run_record(const CampaignRunRecord& record) {
+  const ExperimentSummary& s = record.summary;
+  std::string out;
+  const auto str = [&out](const char* k, const std::string& v) {
+    if (!out.empty()) out += ' ';
+    out += k;
+    out += '=';
+    out += percent_encode(v);
+  };
+  const auto num = [&out](const char* k, std::int64_t v) {
+    if (!out.empty()) out += ' ';
+    out += k;
+    out += '=';
+    out += std::to_string(v);
+  };
+  const auto dbl = [&out](const char* k, double v) {
+    if (!out.empty()) out += ' ';
+    out += k;
+    out += '=';
+    out += encode_double(v);
+  };
+
+  str("label", record.label);
+  str("site", record.site);
+  num("algorithm", static_cast<std::int64_t>(record.algorithm));
+  num("seed", static_cast<std::int64_t>(record.seed));
+  dbl("disk_gb", record.disk_gb);
+  dbl("failure_rate", record.failure_rate);
+  num("codec", record.codec_enabled ? 1 : 0);
+  num("failed", record.failed ? 1 : 0);
+  str("error", record.error);
+
+  num("completed", s.completed ? 1 : 0);
+  dbl("wall_elapsed_s", s.wall_elapsed.seconds());
+  dbl("sim_finished_wall_s", s.sim_finished_wall.seconds());
+  dbl("sim_reached_s", s.sim_reached.seconds());
+  num("peak_disk_bytes", s.peak_disk_used.count());
+  dbl("min_free_disk_percent", s.min_free_disk_percent);
+  dbl("stall_s", s.total_stall_time.seconds());
+  num("frames_written", s.frames_written);
+  num("frames_sent", s.frames_sent);
+  num("frames_visualized", s.frames_visualized);
+  num("transfer_failures", s.transfer_failures);
+  num("transfer_retries", s.transfer_retries);
+  num("restarts", s.restarts);
+  num("decisions", s.decision_count);
+  num("viewers", s.viewers);
+  num("frames_served", s.frames_served);
+  num("cache_hits", s.cache_hits);
+  num("cache_misses", s.cache_misses);
+  num("cache_evictions", s.cache_evictions);
+  num("rerenders", s.rerenders);
+  num("peak_cache_bytes", s.peak_cache_bytes.count());
+  dbl("codec_mean_ratio", s.codec_mean_ratio);
+  num("codec_saved_bytes", s.codec_bytes_saved.count());
+  num("tree_tiers", s.tree_tiers);
+  num("tree_leaves", s.tree_leaves);
+  num("tree_viewers", s.tree_viewers);
+  num("tree_frames_delivered", s.tree_frames_delivered);
+  num("tree_origin_wan_bytes", s.tree_origin_wan_bytes.count());
+  num("tree_fill_retries", s.tree_fill_retries);
+  num("tree_degraded_events", s.tree_degraded_events);
+  return out;
+}
+
+CampaignRunRecord decode_run_record(const std::string& line) {
+  CampaignRunRecord r;
+  ExperimentSummary& s = r.summary;
+  for (const auto& [key, value] : split_kv(line)) {
+    if (key == "label") {
+      r.label = percent_decode(value);
+    } else if (key == "site") {
+      r.site = percent_decode(value);
+    } else if (key == "algorithm") {
+      r.algorithm = static_cast<AlgorithmKind>(decode_int(value));
+    } else if (key == "seed") {
+      r.seed = static_cast<std::uint64_t>(decode_int(value));
+    } else if (key == "disk_gb") {
+      r.disk_gb = decode_double(value);
+    } else if (key == "failure_rate") {
+      r.failure_rate = decode_double(value);
+    } else if (key == "codec") {
+      r.codec_enabled = decode_int(value) != 0;
+    } else if (key == "failed") {
+      r.failed = decode_int(value) != 0;
+    } else if (key == "error") {
+      r.error = percent_decode(value);
+    } else if (key == "completed") {
+      s.completed = decode_int(value) != 0;
+    } else if (key == "wall_elapsed_s") {
+      s.wall_elapsed = WallSeconds(decode_double(value));
+    } else if (key == "sim_finished_wall_s") {
+      s.sim_finished_wall = WallSeconds(decode_double(value));
+    } else if (key == "sim_reached_s") {
+      s.sim_reached = SimSeconds(decode_double(value));
+    } else if (key == "peak_disk_bytes") {
+      s.peak_disk_used = Bytes(decode_int(value));
+    } else if (key == "min_free_disk_percent") {
+      s.min_free_disk_percent = decode_double(value);
+    } else if (key == "stall_s") {
+      s.total_stall_time = WallSeconds(decode_double(value));
+    } else if (key == "frames_written") {
+      s.frames_written = decode_int(value);
+    } else if (key == "frames_sent") {
+      s.frames_sent = decode_int(value);
+    } else if (key == "frames_visualized") {
+      s.frames_visualized = decode_int(value);
+    } else if (key == "transfer_failures") {
+      s.transfer_failures = decode_int(value);
+    } else if (key == "transfer_retries") {
+      s.transfer_retries = decode_int(value);
+    } else if (key == "restarts") {
+      s.restarts = static_cast<int>(decode_int(value));
+    } else if (key == "decisions") {
+      s.decision_count = static_cast<int>(decode_int(value));
+    } else if (key == "viewers") {
+      s.viewers = static_cast<int>(decode_int(value));
+    } else if (key == "frames_served") {
+      s.frames_served = decode_int(value);
+    } else if (key == "cache_hits") {
+      s.cache_hits = decode_int(value);
+    } else if (key == "cache_misses") {
+      s.cache_misses = decode_int(value);
+    } else if (key == "cache_evictions") {
+      s.cache_evictions = decode_int(value);
+    } else if (key == "rerenders") {
+      s.rerenders = decode_int(value);
+    } else if (key == "peak_cache_bytes") {
+      s.peak_cache_bytes = Bytes(decode_int(value));
+    } else if (key == "codec_mean_ratio") {
+      s.codec_mean_ratio = decode_double(value);
+    } else if (key == "codec_saved_bytes") {
+      s.codec_bytes_saved = Bytes(decode_int(value));
+    } else if (key == "tree_tiers") {
+      s.tree_tiers = static_cast<int>(decode_int(value));
+    } else if (key == "tree_leaves") {
+      s.tree_leaves = static_cast<int>(decode_int(value));
+    } else if (key == "tree_viewers") {
+      s.tree_viewers = decode_int(value);
+    } else if (key == "tree_frames_delivered") {
+      s.tree_frames_delivered = decode_int(value);
+    } else if (key == "tree_origin_wan_bytes") {
+      s.tree_origin_wan_bytes = Bytes(decode_int(value));
+    } else if (key == "tree_fill_retries") {
+      s.tree_fill_retries = decode_int(value);
+    } else if (key == "tree_degraded_events") {
+      s.tree_degraded_events = decode_int(value);
+    } else {
+      throw std::runtime_error("manifest: unknown record key '" + key + "'");
+    }
+  }
+  return r;
+}
+
+// ---- entry codec ----
+//
+// `index=N files=p1:b1,p2:b2 <record kvs>` — the `files` value holds the
+// percent-encoded path and decimal byte size of each stamped output file
+// (or is empty for a failed run).
+
+std::string encode_manifest_entry(const ManifestEntry& entry) {
+  std::string files;
+  for (const FileStamp& f : entry.files) {
+    if (!files.empty()) files += ',';
+    files += percent_encode(f.path) + ':' + std::to_string(f.bytes);
+  }
+  return "index=" + std::to_string(entry.index) + " files=" + files + " " +
+         encode_run_record(entry.record);
+}
+
+ManifestEntry decode_manifest_entry(const std::string& line) {
+  ManifestEntry entry;
+  // Peel the two entry-level tokens off the front; the rest is the record.
+  std::size_t pos = 0;
+  const auto take_token = [&line, &pos](const char* prefix) {
+    const std::size_t plen = std::string(prefix).size();
+    if (line.compare(pos, plen, prefix) != 0) {
+      throw std::runtime_error("manifest: entry missing '" +
+                               std::string(prefix) + "' at '" +
+                               line.substr(pos, 24) + "'");
+    }
+    std::size_t end = line.find(' ', pos);
+    if (end == std::string::npos) end = line.size();
+    const std::string value = line.substr(pos + plen, end - pos - plen);
+    pos = std::min(end + 1, line.size());
+    return value;
+  };
+  entry.index = static_cast<std::size_t>(decode_int(take_token("index=")));
+  const std::string files = take_token("files=");
+  if (!files.empty()) {
+    std::size_t fpos = 0;
+    while (fpos < files.size()) {
+      std::size_t fend = files.find(',', fpos);
+      if (fend == std::string::npos) fend = files.size();
+      const std::string stamp = files.substr(fpos, fend - fpos);
+      const std::size_t colon = stamp.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        throw std::runtime_error("manifest: malformed file stamp '" + stamp +
+                                 "'");
+      }
+      entry.files.push_back(FileStamp{percent_decode(stamp.substr(0, colon)),
+                                      decode_int(stamp.substr(colon + 1))});
+      fpos = fend + 1;
+    }
+  }
+  entry.record = decode_run_record(line.substr(pos));
+  return entry;
+}
+
+// ---- JSON layer ----
+//
+// The manifest is real JSON (CI uploads it as an artifact; humans read it
+// after a failed sweep), written and parsed by the minimal
+// reader/writer below — no external dependency, and the values we emit
+// (percent-encoded strings, decimal numbers) exercise only this subset.
+
+namespace {
+
+void json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04X", c);
+          out << buf;
+        } else {
+          out << static_cast<char>(c);
+        }
+    }
+  }
+  out << '"';
+}
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("manifest: JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t len = std::string(lit).size();
+    if (text_.compare(pos_, len, lit) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = string();
+      return v;
+    }
+    JsonValue v;
+    if (consume_literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (consume_literal("null")) return v;
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out += e;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const int nib = hex_nibble(text_[pos_++]);
+            if (nib < 0) fail("malformed \\u escape");
+            code = code * 16 + nib;
+          }
+          if (code > 0xFF) fail("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = decode_double(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+double require_number(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    throw std::runtime_error(std::string("manifest: missing number '") + key +
+                             "'");
+  }
+  return v->number;
+}
+
+std::string require_string(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) {
+    throw std::runtime_error(std::string("manifest: missing string '") + key +
+                             "'");
+  }
+  return v->string;
+}
+
+}  // namespace
+
+// ---- CampaignManifest ----
+
+const char* CampaignManifest::filename() { return "campaign_manifest.json"; }
+
+void CampaignManifest::upsert(ManifestEntry entry) {
+  const std::size_t index = entry.index;
+  entries.insert_or_assign(index, std::move(entry));
+}
+
+std::string CampaignManifest::to_json() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"version\": " << kVersion << ",\n";
+  out << "  \"campaign\": ";
+  json_string(out, campaign);
+  out << ",\n";
+  out << "  \"grid\": " << grid << ",\n";
+  out << "  \"runs\": [";
+  bool first = true;
+  for (const auto& [index, entry] : entries) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"index\": " << index << ", \"label\": ";
+    json_string(out, entry.record.label);
+    out << ", \"failed\": " << (entry.record.failed ? "true" : "false");
+    out << ", \"record\": ";
+    json_string(out, encode_run_record(entry.record));
+    out << ", \"files\": [";
+    for (std::size_t i = 0; i < entry.files.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << "{\"path\": ";
+      json_string(out, entry.files[i].path);
+      out << ", \"bytes\": " << entry.files[i].bytes << "}";
+    }
+    out << "]}";
+  }
+  out << (first ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.str();
+}
+
+void CampaignManifest::save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      throw std::runtime_error("manifest: cannot write " + tmp);
+    }
+    out << to_json();
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+CampaignManifest CampaignManifest::from_json(const std::string& text) {
+  const JsonValue root = JsonParser(text).parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("manifest: top level is not an object");
+  }
+  if (static_cast<int>(require_number(root, "version")) != kVersion) {
+    throw std::runtime_error("manifest: unsupported version");
+  }
+  CampaignManifest m;
+  m.campaign = require_string(root, "campaign");
+  m.grid = static_cast<std::size_t>(require_number(root, "grid"));
+  const JsonValue* runs = root.find("runs");
+  if (runs == nullptr || runs->kind != JsonValue::Kind::kArray) {
+    throw std::runtime_error("manifest: missing 'runs' array");
+  }
+  for (const JsonValue& run : runs->array) {
+    if (run.kind != JsonValue::Kind::kObject) {
+      throw std::runtime_error("manifest: run entry is not an object");
+    }
+    ManifestEntry entry;
+    entry.index = static_cast<std::size_t>(require_number(run, "index"));
+    entry.record = decode_run_record(require_string(run, "record"));
+    if (const JsonValue* files = run.find("files");
+        files != nullptr && files->kind == JsonValue::Kind::kArray) {
+      for (const JsonValue& f : files->array) {
+        entry.files.push_back(
+            FileStamp{require_string(f, "path"),
+                      static_cast<std::int64_t>(require_number(f, "bytes"))});
+      }
+    }
+    m.upsert(std::move(entry));
+  }
+  return m;
+}
+
+std::optional<CampaignManifest> CampaignManifest::load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  try {
+    return from_json(text.str());
+  } catch (const std::exception&) {
+    // A torn or stale manifest means "start fresh", never a crash.
+    return std::nullopt;
+  }
+}
+
+// ---- output integrity ----
+
+std::vector<FileStamp> stamp_result_files(const std::string& label,
+                                          const std::string& dir) {
+  static const char* kSuffixes[] = {"_samples.csv", "_visualization.csv",
+                                    "_decisions.csv", "_track.csv",
+                                    "_summary.ini",  "_clients.csv"};
+  std::vector<FileStamp> stamps;
+  for (const char* suffix : kSuffixes) {
+    const std::string name = label + suffix;
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(dir + "/" + name, ec);
+    if (ec) continue;  // optional outputs (e.g. _clients.csv) may not exist
+    stamps.push_back(FileStamp{name, static_cast<std::int64_t>(size)});
+  }
+  return stamps;
+}
+
+bool entry_output_intact(const ManifestEntry& entry, const std::string& dir) {
+  for (const FileStamp& f : entry.files) {
+    const std::string path = dir + "/" + f.path;
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec || static_cast<std::int64_t>(size) != f.bytes || f.bytes <= 0) {
+      return false;
+    }
+    // A crash mid-row leaves the final line unterminated even when the
+    // byte count happens to collide; the trailing newline is the
+    // "row complete" marker every writer in this repo emits.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    in.seekg(-1, std::ios::end);
+    char last = '\0';
+    in.read(&last, 1);
+    if (!in || last != '\n') return false;
+  }
+  return true;
+}
+
+}  // namespace adaptviz

@@ -74,6 +74,7 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
   ctx_.has_log_level = config_.log.has_level;
   ctx_.log_level = config_.log.level;
   ctx_.log_sink = config_.log.sink;
+  ctx_.run_label = config_.name;
   if (ctx_.observability != nullptr || ctx_.has_log_level ||
       ctx_.log_sink != nullptr) {
     // Install before any component is built so construction-time activity

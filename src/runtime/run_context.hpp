@@ -22,6 +22,8 @@
 // read the context without a dependency cycle.
 #pragma once
 
+#include <string>
+
 namespace adaptviz::obs {
 class Observability;
 }  // namespace adaptviz::obs
@@ -57,6 +59,12 @@ struct RunContext {
   /// When non-null, the run's log lines go here instead of stderr —
   /// concurrent runs stop interleaving on one terminal.
   LogSink* log_sink = nullptr;
+
+  /// The run's label (the experiment's config name). Stderr log lines
+  /// carry it, so K concurrent campaign runs — or N dispatch worker
+  /// processes sharing the coordinator's stderr — stay attributable.
+  /// Empty keeps the historical line format byte for byte.
+  std::string run_label;
 
   void set_log_level(LogLevel level) {
     log_level = level;

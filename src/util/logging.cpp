@@ -46,6 +46,11 @@ void log(LogLevel level, const char* component, const char* fmt, ...) {
   LogSink* sink = context != nullptr ? context->log_sink : nullptr;
   if (sink != nullptr) {
     sink->write(level, component, msg);
+  } else if (context != nullptr && !context->run_label.empty()) {
+    // Label the line with its run so interleaved campaign runs / dispatch
+    // workers sharing one stderr stay attributable.
+    std::fprintf(stderr, "[%s] %-12s [%s] %s\n", log_level_name(level),
+                 component, context->run_label.c_str(), msg);
   } else {
     std::fprintf(stderr, "[%s] %-12s %s\n", log_level_name(level), component,
                  msg);

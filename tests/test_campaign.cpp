@@ -440,6 +440,57 @@ TEST(Campaign, FailedRunIsRecordedAndCampaignContinues) {
   EXPECT_TRUE(records[1].summary.completed);
 }
 
+// A config that fails validation at framework-construction time (before
+// run_experiment does any work) must still produce its failed summary
+// row — every expanded label yields exactly one row, no silent drops.
+TEST(Campaign, InvalidCellStillEmitsItsRow) {
+  CampaignSpec spec;
+  spec.base = mini_config(AlgorithmKind::kOptimization);
+  spec.algorithms = {AlgorithmKind::kGreedyThreshold,
+                     static_cast<AlgorithmKind>(42)};
+  spec.seeds = {7, 8};
+  const std::vector<CampaignRun> runs = spec.expand();
+  ASSERT_EQ(runs.size(), 4u);  // the invalid cell survives expansion
+
+  CampaignOptions options;
+  options.concurrency = 2;
+  options.write_per_run_csvs = false;
+  options.write_summary_csv = false;
+  const auto records = CampaignRunner(std::move(options)).run(runs);
+
+  ASSERT_EQ(records.size(), runs.size());  // rows == expand().size()
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].label, runs[i].label);
+    if (records[i].failed) {
+      ++failed;
+      EXPECT_EQ(records[i].error, "unknown algorithm kind");
+    }
+  }
+  EXPECT_EQ(failed, 2u);  // both seeds of the invalid algorithm
+
+  // The summary row for an invalid cell must serialize, not throw
+  // (to_string on the enum would): the whole CSV depends on it.
+  ASSERT_TRUE(records[2].failed);
+  const auto row = campaign_summary_row(records[2]);
+  EXPECT_EQ(row.size(), campaign_summary_schema().size());
+}
+
+TEST(CampaignIni, WorkersKeyParsesAndRejectsNegative) {
+  const CampaignSpec spec = campaign_from_ini(IniDocument::parse(
+      "[campaign]\n"
+      "name = c\n"
+      "seeds = 1, 2\n"
+      "workers = 3\n"));
+  EXPECT_EQ(spec.workers, 3);
+  EXPECT_EQ(campaign_from_ini(IniDocument::parse("[campaign]\nname = c\n"))
+                .workers,
+            0);
+  EXPECT_THROW((void)campaign_from_ini(IniDocument::parse(
+                   "[campaign]\nworkers = -1\n")),
+               std::runtime_error);
+}
+
 // Progress callbacks arrive once per run with a monotone finished count.
 TEST(Campaign, ProgressReportsEveryRun) {
   CampaignSpec spec;

@@ -1,29 +1,128 @@
 // adaptviz_sweep — campaign-driven multi-experiment runner.
 //
 //   $ adaptviz_sweep scenarios/paper_suite.ini [output_dir] [--jobs N]
+//   $ adaptviz_sweep scenarios/paper_suite.ini [output_dir] --workers N
 //
 // Loads a campaign file — a normal INI scenario plus a [campaign] section
 // declaring override axes (see src/campaign/campaign.hpp for the schema) —
-// expands the cross-product grid, and executes the runs with up to N
-// experiments in flight. Each run streams its usual result CSVs into the
-// output directory as it finishes (default: results/), and the campaign
-// ends by writing an aggregated campaign_summary.csv with one row per run.
+// expands the cross-product grid, and executes the runs. Two execution
+// modes produce bitwise-identical results:
 //
-// Per-run contexts keep concurrent runs' metrics and logs disjoint, so
-// every CSV is bitwise identical whatever --jobs is.
+//  * in-process (default, or --jobs N): CampaignRunner thread pool.
+//  * distributed (--workers N, or `[campaign] workers`): a coordinator
+//    shards the grid across N `adaptviz_sweep --worker` child processes
+//    (campaign/dispatch.hpp) with crash re-dispatch and
+//    resume-from-manifest; --no-resume forces a fresh start.
+//
+// Each run streams its usual result CSVs into the output directory as it
+// finishes (default: results/), and the campaign ends by writing an
+// aggregated campaign_summary.csv with one row per run.
+//
+// Exit codes: 0 — every run executed without failure (runs that legally
+// did not finish their simulated window still count as executed); 1 — at
+// least one run is recorded as failed (a failed-run summary is printed);
+// 2 — the sweep itself could not run (bad usage, unreadable campaign,
+// coordinator-level dispatch failure).
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 
 #include "campaign/campaign.hpp"
+#include "campaign/dispatch.hpp"
 #include "util/logging.hpp"
 
 using namespace adaptviz;
 
+namespace {
+
+void print_progress(const CampaignProgress& p) {
+  const CampaignRunRecord& r = *p.record;
+  if (r.failed) {
+    std::printf("[%zu/%zu] %s: FAILED (%s)\n", p.finished, p.total,
+                r.label.c_str(), r.error.c_str());
+  } else {
+    std::printf(
+        "[%zu/%zu] %s: completed=%s sim=%.1fh wall=%.1fh "
+        "min-free=%.1f%% frames w/s/v=%lld/%lld/%lld\n",
+        p.finished, p.total, r.label.c_str(),
+        r.summary.completed ? "yes" : "NO", r.summary.sim_reached.as_hours(),
+        r.summary.sim_finished_wall.as_hours(),
+        r.summary.min_free_disk_percent,
+        static_cast<long long>(r.summary.frames_written),
+        static_cast<long long>(r.summary.frames_sent),
+        static_cast<long long>(r.summary.frames_visualized));
+  }
+  std::fflush(stdout);
+}
+
+/// Prints the per-run failure report and returns the process exit code:
+/// 1 when any run failed, 0 otherwise.
+int report_and_exit_code(const std::string& name,
+                         const std::vector<CampaignRunRecord>& records,
+                         const std::string& out_dir) {
+  std::size_t completed = 0;
+  std::vector<const CampaignRunRecord*> failures;
+  for (const CampaignRunRecord& r : records) {
+    if (r.failed) {
+      failures.push_back(&r);
+    } else if (r.summary.completed) {
+      ++completed;
+    }
+  }
+  const std::size_t did_not_finish =
+      records.size() - completed - failures.size();
+  std::printf("campaign '%s': %zu/%zu completed, %zu did not finish, "
+              "%zu failed\n",
+              name.c_str(), completed, records.size(), did_not_finish,
+              failures.size());
+  std::printf("summary written to %s/campaign_summary.csv\n", out_dir.c_str());
+  if (failures.empty()) return 0;
+  std::printf("failed runs:\n");
+  for (const CampaignRunRecord* r : failures) {
+    std::printf("  %s: %s\n", r->label.c_str(), r->error.c_str());
+  }
+  std::fflush(stdout);
+  return 1;
+}
+
+int worker_main(int argc, char** argv) {
+  // argv layout (appended by the coordinator):
+  //   --worker <campaign.ini> [output_dir] [--no-per-run-csvs]
+  //            [--crash-next-task]
+  WorkerOptions options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--no-per-run-csvs") {
+      options.write_per_run_csvs = false;
+    } else if (arg == "--crash-next-task") {
+      options.crash_next_task = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown worker option '%s'\n", arg.c_str());
+      return 2;
+    } else if (options.campaign_path.empty()) {
+      options.campaign_path = arg;
+    } else {
+      options.output_dir = arg;
+    }
+  }
+  if (options.campaign_path.empty()) {
+    std::fprintf(stderr, "error: --worker needs a campaign file\n");
+    return 2;
+  }
+  return run_dispatch_worker(options, std::cin, std::cout);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--worker") {
+    return worker_main(argc, argv);
+  }
+
   const auto usage = [&argv] {
     std::fprintf(stderr,
                  "usage: %s <campaign.ini> [output_dir] [--jobs N] "
-                 "[--verbose]\n",
+                 "[--workers N] [--no-resume] [--verbose]\n",
                  argv[0]);
   };
   if (argc < 2) {
@@ -32,22 +131,41 @@ int main(int argc, char** argv) {
   }
   const std::string campaign_path = argv[1];
   std::string out_dir = "results";
-  int jobs = 0;  // 0 = defer to the campaign file's `concurrency`
+  int jobs = 0;     // 0 = defer to the campaign file's `concurrency`
+  int workers = -1; // -1 = defer to the campaign file's `workers`
+  bool resume = true;
   bool verbose = false;
+  // Undocumented test hooks (integration tests drive the dispatch
+  // failure ladder through the real binary): crash the Nth initial
+  // worker, cap re-dispatch attempts.
+  int crash_inject_worker = -1;
+  int max_task_attempts = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--verbose") {
       verbose = true;
-    } else if (arg == "--jobs") {
+    } else if (arg == "--no-resume") {
+      resume = false;
+    } else if (arg == "--crash-inject-worker" || arg == "--max-task-attempts") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --jobs needs a count\n");
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
         return 2;
       }
-      jobs = std::atoi(argv[++i]);
-      if (jobs < 1) {
-        std::fprintf(stderr, "error: --jobs needs a positive count\n");
+      (arg == "--crash-inject-worker" ? crash_inject_worker
+                                      : max_task_attempts) =
+          std::atoi(argv[++i]);
+    } else if (arg == "--jobs" || arg == "--workers") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a count\n", arg.c_str());
         return 2;
       }
+      const int count = std::atoi(argv[++i]);
+      if (count < (arg == "--jobs" ? 1 : 0)) {
+        std::fprintf(stderr, "error: %s needs a non-negative count\n",
+                     arg.c_str());
+        return 2;
+      }
+      (arg == "--jobs" ? jobs : workers) = count;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       usage();
@@ -61,6 +179,28 @@ int main(int argc, char** argv) {
   try {
     const CampaignSpec spec = load_campaign(campaign_path);
     const std::vector<CampaignRun> runs = spec.expand();
+    const int worker_count = workers >= 0 ? workers : spec.workers;
+
+    if (worker_count > 0) {
+      std::printf("campaign '%s': %zu runs across %d workers -> %s/\n",
+                  spec.name.c_str(), runs.size(), worker_count,
+                  out_dir.c_str());
+      DispatchOptions options;
+      options.workers = worker_count;
+      options.output_dir = out_dir;
+      options.resume = resume;
+      options.crash_inject_worker = crash_inject_worker;
+      if (max_task_attempts > 0) options.max_task_attempts = max_task_attempts;
+      options.on_progress = print_progress;
+      CampaignDispatcher dispatcher({argv[0]}, std::move(options));
+      const DispatchResult result = dispatcher.run(campaign_path);
+      if (result.resumed > 0) {
+        std::printf("resumed: %zu runs already complete, %zu executed\n",
+                    result.resumed, result.executed);
+      }
+      return report_and_exit_code(spec.name, result.records, out_dir);
+    }
+
     const int k = jobs > 0 ? jobs : std::max(1, spec.concurrency);
     std::printf("campaign '%s': %zu runs, %d in flight -> %s/\n",
                 spec.name.c_str(), runs.size(), k, out_dir.c_str());
@@ -69,43 +209,11 @@ int main(int argc, char** argv) {
     options.concurrency = k;
     options.output_dir = out_dir;
     options.run_log_level = verbose ? LogLevel::kWarn : LogLevel::kError;
-    options.on_progress = [](const CampaignProgress& p) {
-      const CampaignRunRecord& r = *p.record;
-      if (r.failed) {
-        std::printf("[%zu/%zu] %s: FAILED (%s)\n", p.finished, p.total,
-                    r.label.c_str(), r.error.c_str());
-      } else {
-        std::printf(
-            "[%zu/%zu] %s: completed=%s sim=%.1fh wall=%.1fh "
-            "min-free=%.1f%% frames w/s/v=%lld/%lld/%lld\n",
-            p.finished, p.total, r.label.c_str(),
-            r.summary.completed ? "yes" : "NO",
-            r.summary.sim_reached.as_hours(),
-            r.summary.sim_finished_wall.as_hours(),
-            r.summary.min_free_disk_percent,
-            static_cast<long long>(r.summary.frames_written),
-            static_cast<long long>(r.summary.frames_sent),
-            static_cast<long long>(r.summary.frames_visualized));
-      }
-      std::fflush(stdout);
-    };
+    options.on_progress = print_progress;
 
     CampaignRunner runner(std::move(options));
     const std::vector<CampaignRunRecord> records = runner.run(runs);
-
-    std::size_t completed = 0, failed = 0;
-    for (const CampaignRunRecord& r : records) {
-      if (r.failed) {
-        ++failed;
-      } else if (r.summary.completed) {
-        ++completed;
-      }
-    }
-    std::printf("campaign '%s': %zu/%zu completed, %zu failed\n",
-                spec.name.c_str(), completed, records.size(), failed);
-    std::printf("summary written to %s/campaign_summary.csv\n",
-                out_dir.c_str());
-    return completed == records.size() ? 0 : 1;
+    return report_and_exit_code(spec.name, records, out_dir);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
