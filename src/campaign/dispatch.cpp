@@ -39,8 +39,8 @@ std::string sanitize_line(std::string s) {
   return s;
 }
 
-/// Worker scratch dirs live under the output dir as `.tmp-<label>`; a
-/// killed worker leaves one behind, so the coordinator sweeps them.
+/// Worker scratch dirs live under the output dir as `.tmp-<label>-<pid>`;
+/// a killed worker leaves one behind, so the coordinator sweeps them.
 void remove_scratch_dirs(const std::string& dir) {
   std::error_code ec;
   for (const auto& e : std::filesystem::directory_iterator(dir, ec)) {
@@ -182,6 +182,7 @@ class Coordinator {
     if (!options_.write_per_run_csvs) {
       argv_strings.push_back("--no-per-run-csvs");
     }
+    if (options_.verbose_workers) argv_strings.push_back("--verbose");
     if (crash_flag) argv_strings.push_back("--crash-next-task");
 
     int to_pipe[2] = {-1, -1};
@@ -218,7 +219,9 @@ class Coordinator {
       argv.reserve(argv_strings.size() + 1);
       for (std::string& s : argv_strings) argv.push_back(s.data());
       argv.push_back(nullptr);
-      execv(argv[0], argv.data());
+      // execvp: the coordinator binary may have been invoked as a bare
+      // command (argv[0] with no slash), which needs the PATH search.
+      execvp(argv[0], argv.data());
       _exit(127);
     }
 
@@ -295,13 +298,19 @@ class Coordinator {
 
   // ---- task scheduling ----
 
-  void send_task(WorkerProc& w, std::size_t index, bool straggler) {
+  /// Returns false when the TASK write failed (the worker is reaped; a
+  /// non-straggler task is requeued — the index must never be lost, or
+  /// done_count_ can never reach the grid size and the loop hangs).
+  bool send_task(WorkerProc& w, std::size_t index, bool straggler) {
     const std::string line = "TASK " + std::to_string(index) + "\n";
     ssize_t written =
         write(w.to_fd, line.data(), static_cast<std::size_t>(line.size()));
     if (written != static_cast<ssize_t>(line.size())) {
+      // w.busy is still false here, so on_worker_failed's requeue path
+      // does not cover this task.
       on_worker_failed(w, "task write failed");
-      return;
+      if (!straggler) requeue_or_fail(index);
+      return false;
     }
     if (attempts_[index] > 0) {
       obs_.metrics().counter("dispatch.tasks_redispatched").add(1);
@@ -316,6 +325,7 @@ class Coordinator {
     w.straggler_flagged = false;
     w.task = index;
     w.dispatched_at = Clock::now();
+    return true;
   }
 
   /// Hands every ready pending task (lowest grid index first) to an idle
@@ -366,9 +376,12 @@ class Coordinator {
         }
       }
       if (idle == nullptr) return;
-      slow.straggler_flagged = true;
-      obs_.metrics().counter("dispatch.tasks_redispatched").add(1);
-      send_task(*idle, slow.task, /*straggler=*/true);
+      // send_task counts the re-dispatch (attempts_ > 0 for any
+      // straggler); counting here too would double it. Leave the flag
+      // clear on a failed send so a later pass can try another worker.
+      if (send_task(*idle, slow.task, /*straggler=*/true)) {
+        slow.straggler_flagged = true;
+      }
     }
   }
 
@@ -677,9 +690,12 @@ int run_dispatch_worker(const WorkerOptions& options, std::istream& in,
             // Write into a private scratch dir, then rename each file
             // into place: a worker killed mid-write (or racing a
             // straggler duplicate) can never leave a truncated CSV
-            // under a real result name.
-            const std::string scratch =
-                options.output_dir + "/.tmp-" + label;
+            // under a real result name. The pid suffix keeps a
+            // straggler duplicate and the original worker from sharing
+            // (and remove_all-ing) each other's staging directory.
+            const std::string scratch = options.output_dir + "/.tmp-" +
+                                        label + "-" +
+                                        std::to_string(getpid());
             std::filesystem::remove_all(scratch);
             write_result(result, scratch);
             for (const auto& e :

@@ -71,6 +71,9 @@ struct DispatchOptions {
   bool resume = true;
   /// Write <output_dir>/dispatch_metrics.json at campaign end.
   bool write_metrics_json = true;
+  /// Spawn workers with --verbose (per-run log level kWarn instead of
+  /// kError), mirroring the in-process runner's --verbose behaviour.
+  bool verbose_workers = false;
 
   /// Re-dispatch attempts per task before it becomes a terminal failed
   /// row ("worker crashed ...").

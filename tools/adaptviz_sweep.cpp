@@ -88,12 +88,15 @@ int report_and_exit_code(const std::string& name,
 int worker_main(int argc, char** argv) {
   // argv layout (appended by the coordinator):
   //   --worker <campaign.ini> [output_dir] [--no-per-run-csvs]
-  //            [--crash-next-task]
+  //            [--verbose] [--crash-next-task]
   WorkerOptions options;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--no-per-run-csvs") {
       options.write_per_run_csvs = false;
+    } else if (arg == "--verbose") {
+      // Same mapping as the in-process runner's --verbose.
+      options.run_log_level = LogLevel::kWarn;
     } else if (arg == "--crash-next-task") {
       options.crash_next_task = true;
     } else if (arg.rfind("--", 0) == 0) {
@@ -189,6 +192,7 @@ int main(int argc, char** argv) {
       options.workers = worker_count;
       options.output_dir = out_dir;
       options.resume = resume;
+      options.verbose_workers = verbose;
       options.crash_inject_worker = crash_inject_worker;
       if (max_task_attempts > 0) options.max_task_attempts = max_task_attempts;
       options.on_progress = print_progress;
