@@ -286,8 +286,23 @@ std::vector<CampaignRunRecord> CampaignRunner::run(
   std::mutex emit_mutex;
   std::size_t finished = 0;
 
+  if (options_.registration != nullptr) {
+    CampaignView view;
+    view.name = campaign_label_;
+    view.total = runs.size();
+    options_.registration->publish_campaign(view);
+  }
+
   auto execute = [&](std::size_t i) {
-    const CampaignRun& cell = runs[i];
+    // The registration hook mutates this run's config copy only; the
+    // caller's grid stays untouched.
+    CampaignRun cell = runs[i];
+    if (options_.registration != nullptr &&
+        cell.config.steering.control_plane == nullptr) {
+      // Every run of the sweep registers with the shared serve process:
+      // one RegistrationServer fronts all K concurrent simulations.
+      cell.config.steering.control_plane = options_.registration;
+    }
     CampaignRunRecord rec = execute_campaign_run(
         cell, options_.run_log_level, [&](const ExperimentResult& result) {
           std::lock_guard<std::mutex> lock(emit_mutex);
@@ -299,6 +314,15 @@ std::vector<CampaignRunRecord> CampaignRunner::run(
     std::lock_guard<std::mutex> lock(emit_mutex);
     records[i] = std::move(rec);
     ++finished;
+    if (options_.registration != nullptr) {
+      CampaignView view;
+      view.name = campaign_label_;
+      view.finished = finished;
+      view.total = runs.size();
+      view.last_label = records[i].label;
+      view.last_failed = records[i].failed;
+      options_.registration->publish_campaign(view);
+    }
     if (options_.on_progress) {
       options_.on_progress(
           CampaignProgress{finished, runs.size(), &records[i]});
@@ -335,6 +359,7 @@ std::vector<CampaignRunRecord> CampaignRunner::run(const CampaignSpec& spec,
   if (options_.concurrency <= 0) {
     options_.concurrency = std::max(1, spec.concurrency);
   }
+  campaign_label_ = spec.name;
   std::vector<CampaignRunRecord> records = run(spec.expand(), sink);
   options_.concurrency = saved;
   return records;

@@ -30,6 +30,7 @@
 
 #include "core/framework.hpp"
 #include "core/scenario.hpp"
+#include "serve/registration.hpp"
 #include "util/csv.hpp"
 
 namespace adaptviz {
@@ -149,6 +150,12 @@ struct CampaignOptions {
   LogLevel run_log_level = LogLevel::kError;
   /// Invoked after each run finishes (serialized, completion order).
   std::function<void(const CampaignProgress&)> on_progress;
+  /// Live control plane fronting the campaign (non-owning; must outlive
+  /// the call). Every run whose config leaves steering.control_plane
+  /// unset registers here — one serve process fronts all K concurrent
+  /// runs — and sweep progress is published as a CampaignView after each
+  /// completion.
+  RegistrationServer* registration = nullptr;
 };
 
 class CampaignRunner {
@@ -175,6 +182,7 @@ class CampaignRunner {
 
  private:
   CampaignOptions options_;
+  std::string campaign_label_ = "campaign";  // CampaignView name
 };
 
 // ---- [campaign] INI schema ----

@@ -1,5 +1,6 @@
 #include "core/application_manager.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 
@@ -91,6 +92,20 @@ void ApplicationManager::invoke() {
   in.min_processors = options_.min_processors;
   in.max_processors = st.max_usable_processors;
   in.bounds = options_.bounds;
+  in.observers = observers_;
+  if (observers_.has_proposal &&
+      observers_.max_output_interval.seconds() > 0 &&
+      observers_.max_output_interval < in.bounds.max_output_interval) {
+    // The strictest observer proposal tightens the upper bound the
+    // algorithms may stretch to; the scientist's floor still wins.
+    in.bounds.max_output_interval =
+        std::max(observers_.max_output_interval,
+                 in.bounds.min_output_interval);
+    obs::Observability* const obp = obs::current();
+    if (obp != nullptr) {
+      obp->metrics().counter("manager.observer_proposals").add(1);
+    }
+  }
 
   obs::Observability* const o = obs::current();
   const double deliberate_start = o != nullptr ? o->tracer().host_now() : 0.0;

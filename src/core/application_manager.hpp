@@ -95,6 +95,17 @@ class ApplicationManager {
   /// the shared configuration (no restart; the process stalls in place).
   void set_paused(bool paused);
 
+  /// Control plane: the aggregated observer proposals become the third
+  /// decision input. A proposal with max_output_interval > 0 tightens the
+  /// upper output-interval bound from the next invocation on; the digest
+  /// itself rides into every DecisionInput for the record.
+  void set_observer_digest(const ObserverDigest& digest) {
+    observers_ = digest;
+  }
+  [[nodiscard]] const ObserverDigest& observer_digest() const {
+    return observers_;
+  }
+
   [[nodiscard]] const std::vector<DecisionRecord>& decisions() const {
     return decisions_;
   }
@@ -115,6 +126,7 @@ class ApplicationManager {
   Options options_;
 
   bool running_ = false;
+  ObserverDigest observers_{};
   std::vector<DecisionRecord> decisions_;
 };
 

@@ -41,6 +41,20 @@ struct ResourceSnapshot {
   bool link_degraded = false;
 };
 
+/// The third decision input (alongside resource observations and the
+/// application snapshot): what the attached observers are asking for.
+/// The control plane aggregates per-client KnobProposals into the
+/// strictest request — smallest proposed max_output_interval, largest
+/// proposed resolution floor — and the application manager tightens the
+/// bounds the algorithms work within accordingly. Zero values mean "no
+/// opinion on that knob".
+struct ObserverDigest {
+  int attached = 0;            // observers currently attached
+  bool has_proposal = false;   // any live proposal at all
+  SimSeconds max_output_interval{0.0};  // strictest "frames this often"
+  double resolution_floor_km = 0.0;     // strictest "don't refine below"
+};
+
 /// Everything the application manager hands the algorithm on one
 /// invocation. Application-state fields (work_units, frame_bytes,
 /// integration_step, remaining_sim_time, resolution_km, link_degraded)
@@ -63,6 +77,9 @@ struct DecisionInput : ResourceSnapshot {
   int min_processors = 1;
   int max_processors = 1;  // min(machine, WRF decomposition limit)
   DecisionBounds bounds{};
+
+  // --- Observer input (control plane) ---
+  ObserverDigest observers{};
 };
 
 /// What the algorithm decides: the two knobs plus the CRITICAL flag.

@@ -99,12 +99,40 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
   app_config_.output_interval = config_.bounds.min_output_interval;
   app_config_.resolution_km = config_.model.base_resolution_km;
 
+  // Normalize the deprecated steering fields into SteeringOptions: both
+  // spellings drive the exact same control-plane path (golden-tested).
+  if (!config_.steering.policy && config_.steering_policy) {
+    config_.steering.policy = config_.steering_policy;
+  }
+  if (config_.steering.latency.seconds() < 0) {
+    config_.steering.latency = config_.steering_latency;
+  }
+  if (!config_.steering.replay_log_path.empty()) {
+    for (SteeringEvent& e :
+         load_steering_log(config_.steering.replay_log_path)) {
+      config_.steering.replay.push_back(std::move(e));
+    }
+  }
+  if (config_.steering.policy && !config_.steering.replay.empty()) {
+    throw std::invalid_argument(
+        "ExperimentConfig: a steering policy and a replay log would "
+        "double-steer the run; configure one or the other");
+  }
+  if (config_.steering.poll_period.seconds() <= 0) {
+    throw std::invalid_argument(
+        "ExperimentConfig: steering.poll_period must be > 0");
+  }
+
   algorithm_ = make_algorithm(config_);
   VisualizationProcess::Options vis_opts = config_.vis;
-  if (config_.steering_policy) {
-    // Wire the scientist's policy at the visualization site; commands ride
-    // the steering channel back to the simulation site.
-    vis_opts.on_frame = [this](const Frame& f, const VisRecord& rec) {
+  {
+    // Every visualized frame becomes a control-plane observation: the
+    // in-run policy reacts to it, and an external registration server
+    // publishes it to attached monitoring clients.
+    auto chained = std::move(vis_opts.on_frame);
+    vis_opts.on_frame = [this, chained = std::move(chained)](
+                            const Frame& f, const VisRecord& rec) {
+      if (chained) chained(f, rec);
       SteeringObservation obs;
       obs.wall_time = rec.wall_time;
       obs.sim_time = rec.sim_time;
@@ -112,8 +140,14 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
       obs.min_pressure_hpa = f.min_pressure_hpa;
       obs.resolution_km = f.resolution_km;
       obs.nest_active = f.nest_active;
-      if (auto cmd = config_.steering_policy(obs)) {
-        steering_channel_->send(std::move(*cmd));
+      if (config_.steering.policy) {
+        if (auto cmd = config_.steering.policy(obs)) {
+          control_->send_command(std::move(*cmd));
+        }
+      }
+      control_->observe(0, obs);
+      if (config_.steering.control_plane != nullptr && server_run_id_ >= 0) {
+        config_.steering.control_plane->observe(server_run_id_, obs);
       }
     };
   }
@@ -122,13 +156,11 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
     // The frame cache + viewer fan-out behind the receiver. Re-renders for
     // catch-up clients reuse the visualization process's renderer on the
     // shared pool.
-    serving_ = std::make_unique<ViewerSessionManager>(
-        queue_, config_.serve.session, config_.seed + 3,
-        &ThreadPool::shared(),
-        [this](const Frame& f) { vis_->render_frame(f); });
+    ensure_serving();
     for (const ViewerConfig& v : config_.serve.viewers) {
-      serving_->add_viewer(v);
+      serving_->attach(v);
     }
+    observers_peak_ = serving_->attached_count();
   }
   if (config_.serve.tree.enabled()) {
     // Edge-cache distribution tree below the visualization site: every
@@ -188,17 +220,156 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
   telemetry_ = std::make_unique<TelemetryRecorder>(
       queue_, [this] { return sample_now(); }, config_.sample_period);
 
-  if (config_.steering_policy) {
-    steering_channel_ = std::make_unique<SteeringChannel>(
-        queue_, config_.steering_latency,
-        [this](const SteeringCommand& c) { apply_steering(c); });
+  // The run's control plane: the single applier of steering events. Always
+  // present — with nothing steering it schedules no events and the run is
+  // bitwise identical to a plane-less one.
+  control_ = std::make_unique<LocalControlPlane>(
+      queue_, config_.steering.latency,
+      [this](const SteeringEvent& e) { apply_event(e); });
+  control_->register_run(config_.name);
+  for (const SteeringEvent& e : config_.steering.replay) {
+    control_->schedule_replay(e);
+  }
+  if (config_.steering.control_plane != nullptr) {
+    server_run_id_ =
+        config_.steering.control_plane->register_run(config_.name);
+    // First inbox pull at t=0 (pre-registration events with wall 0 apply
+    // immediately), then every poll_period.
+    queue_.schedule_at(
+        WallSeconds(0.0),
+        [this] {
+          for (SteeringEvent& e : config_.steering.control_plane->drain(
+                   server_run_id_, queue_.now())) {
+            control_->steer(0, std::move(e));
+          }
+          schedule_control_poll();
+        },
+        "steering.poll");
   }
 }
 
-AdaptiveFramework::~AdaptiveFramework() = default;
+AdaptiveFramework::~AdaptiveFramework() {
+  if (config_.steering.control_plane != nullptr && server_run_id_ >= 0) {
+    config_.steering.control_plane->deregister_run(server_run_id_);
+    server_run_id_ = -1;
+  }
+}
+
+void AdaptiveFramework::schedule_control_poll() {
+  queue_.schedule_after(
+      config_.steering.poll_period,
+      [this] {
+        if (config_.steering.control_plane == nullptr || server_run_id_ < 0) {
+          return;
+        }
+        for (SteeringEvent& e : config_.steering.control_plane->drain(
+                 server_run_id_, queue_.now())) {
+          control_->steer(0, std::move(e));
+        }
+        schedule_control_poll();
+      },
+      "steering.poll");
+}
+
+void AdaptiveFramework::ensure_serving() {
+  if (serving_) return;
+  serving_ = std::make_unique<ViewerSessionManager>(
+      queue_, config_.serve.session, config_.seed + 3, &ThreadPool::shared(),
+      [this](const Frame& f) { vis_->render_frame(f); });
+}
+
+void AdaptiveFramework::recompute_observer_digest() {
+  ObserverDigest d;
+  d.attached = serving_ ? serving_->attached_count() : 0;
+  for (const auto& [client, p] : proposals_) {
+    if (p.max_output_interval.seconds() > 0) {
+      d.has_proposal = true;
+      d.max_output_interval =
+          d.max_output_interval.seconds() > 0
+              ? std::min(d.max_output_interval, p.max_output_interval)
+              : p.max_output_interval;
+    }
+    if (p.resolution_floor_km > 0) {
+      d.has_proposal = true;
+      d.resolution_floor_km =
+          std::max(d.resolution_floor_km, p.resolution_floor_km);
+    }
+  }
+  manager_->set_observer_digest(d);
+  // The strictest observer floor caps the resolution ladder like a
+  // kSetResolutionFloor command would (sticky: withdrawing a proposal does
+  // not un-floor a ladder that already honoured it).
+  if (d.resolution_floor_km > 0) {
+    job_handler_->set_resolution_floor(d.resolution_floor_km);
+  }
+}
+
+void AdaptiveFramework::apply_event(const SteeringEvent& e) {
+  SteeringEvent record = e;
+  record.wall = queue_.now();
+  steering_events_.push_back(record);
+  switch (e.type) {
+    case SteeringEvent::Type::kCommand:
+      steering_log_.push_back(
+          SteeringRecord{queue_.now(), e.command, record});
+      apply_steering(e.command);
+      break;
+    case SteeringEvent::Type::kView: {
+      if (!serving_) {
+        ADAPTVIZ_LOG_WARN("steering",
+                          "view event from '%s' dropped: serving disabled",
+                          e.client.c_str());
+        break;
+      }
+      const std::optional<ClientId> id = serving_->find_client(e.client);
+      if (!id.has_value()) {
+        ADAPTVIZ_LOG_WARN("steering",
+                          "view event from unknown client '%s' dropped",
+                          e.client.c_str());
+        break;
+      }
+      serving_->steer_view(*id, e.view);
+      break;
+    }
+    case SteeringEvent::Type::kProposal:
+      proposals_[e.client] = e.proposal;
+      recompute_observer_digest();
+      break;
+    case SteeringEvent::Type::kAttach: {
+      ensure_serving();
+      if (const std::optional<ClientId> id = serving_->find_client(e.client);
+          id.has_value()) {
+        serving_->reattach(*id);
+      } else {
+        ViewerConfig v;
+        v.name = e.client;
+        v.downlink.nominal = Bandwidth::mbps(e.attach.downlink_mbps);
+        v.mode = e.attach.mode == "catch-up" ? ViewerMode::kCatchUp
+                                             : ViewerMode::kLiveTail;
+        v.catchup_start = SimSeconds::hours(e.attach.catchup_start_hours);
+        v.join_wall = queue_.now();
+        serving_->attach(v);
+      }
+      observers_peak_ = std::max(observers_peak_, serving_->attached_count());
+      recompute_observer_digest();
+      break;
+    }
+    case SteeringEvent::Type::kDetach: {
+      if (serving_) {
+        if (const std::optional<ClientId> id =
+                serving_->find_client(e.client);
+            id.has_value() && serving_->attached(*id)) {
+          serving_->detach(*id);
+        }
+      }
+      proposals_.erase(e.client);
+      recompute_observer_digest();
+      break;
+    }
+  }
+}
 
 void AdaptiveFramework::apply_steering(const SteeringCommand& c) {
-  steering_log_.push_back(SteeringRecord{queue_.now(), c});
   switch (c.kind) {
     case SteeringCommand::Kind::kSetOutputBounds:
       manager_->set_bounds(c.bounds);
@@ -362,7 +533,11 @@ ExperimentResult AdaptiveFramework::run() {
     sum.cache_evictions = cache.evictions;
     sum.rerenders = serving_->rerenders();
     sum.peak_cache_bytes = cache.peak_bytes;
+    sum.steer_renders = serving_->steer_renders();
+    sum.steer_dedup = serving_->steer_dedup();
   }
+  sum.steering_events = static_cast<std::int64_t>(steering_events_.size());
+  sum.observers_peak = observers_peak_;
   if (tree_) {
     sum.tree_tiers = tree_->tier_count();
     sum.tree_leaves = tree_->leaf_count();
@@ -395,6 +570,15 @@ ExperimentResult AdaptiveFramework::run() {
   if (obs_) {
     result.metrics = obs_->metrics().snapshot();
     result.trace = obs_->tracer().events();
+  }
+  if (!config_.steering.record_log_path.empty()) {
+    // The full (un-thinned) applied stream: replaying it reproduces this
+    // run bit for bit.
+    save_steering_log(config_.steering.record_log_path, steering_events_);
+  }
+  if (config_.steering.control_plane != nullptr && server_run_id_ >= 0) {
+    config_.steering.control_plane->deregister_run(server_run_id_);
+    server_run_id_ = -1;
   }
   ADAPTVIZ_LOG_INFO(
       "framework",

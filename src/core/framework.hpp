@@ -9,6 +9,7 @@
 // the paper's figures are drawn from.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "core/telemetry.hpp"
 #include "serve/edge_tree.hpp"
 #include "serve/session_manager.hpp"
+#include "steering/control_plane.hpp"
 #include "steering/steering.hpp"
 #include "transport/receiver.hpp"
 #include "transport/sender.hpp"
@@ -58,6 +60,34 @@ struct FaultOptions {
   /// Probability in [0, 1] that one transfer attempt aborts mid-flight.
   double transfer_failure_rate = 0.0;
   FrameSender::RetryPolicy retry{};
+};
+
+/// The run-side half of the control plane (steering/control_plane.hpp).
+/// All fields default to "no steering" and reproduce the seed bitwise.
+struct SteeringOptions {
+  /// Scientist stand-in consulted at the visualization site per visualized
+  /// frame; commands travel back over the control plane. Mutually
+  /// exclusive with `replay` (a replayed log already contains whatever a
+  /// policy decided — running both would double-steer the run).
+  SteeringPolicy policy;
+  /// Command-channel latency. Negative (the default) inherits the
+  /// deprecated top-level `steering_latency` field.
+  WallSeconds latency{-1.0};
+  /// How often (virtual time) the run drains its inbox on an external
+  /// control plane.
+  WallSeconds poll_period{60.0};
+  /// External multi-run control plane (a RegistrationServer). Non-owning;
+  /// must outlive the run. The framework registers under config.name at
+  /// construction, polls the inbox every `poll_period`, publishes
+  /// per-frame observations, and deregisters when run() returns.
+  ControlPlane* control_plane = nullptr;
+  /// Scripted/replayed events, applied at exactly their `wall` times.
+  std::vector<SteeringEvent> replay;
+  /// Load this steering_log.jsonl into `replay` at construction.
+  std::string replay_log_path;
+  /// Save the applied event stream here when run() returns; replaying the
+  /// saved log reproduces this run bit for bit.
+  std::string record_log_path;
 };
 
 struct ExperimentConfig {
@@ -105,9 +135,14 @@ struct ExperimentConfig {
   FaultOptions faults{};
   std::uint64_t seed = 42;
 
-  /// Computational steering (paper future work): when set, this policy is
-  /// consulted at the visualization site for every visualized frame; its
-  /// commands travel back to the simulation site over `steering_latency`.
+  /// The control plane (registration, observers, scripted/replayed
+  /// steering). `steering.policy` / `steering.latency` supersede the two
+  /// deprecated fields below.
+  SteeringOptions steering{};
+
+  /// Deprecated: use steering.policy / steering.latency. Still honoured
+  /// (normalized into `steering` at construction; the golden test in
+  /// tests/test_steering.cpp asserts both spellings run byte-identically).
   SteeringPolicy steering_policy;
   WallSeconds steering_latency{0.3};
 
@@ -170,6 +205,12 @@ struct ExperimentSummary {
   double codec_mean_ratio = 1.0;  // cumulative raw/encoded over the run
   Bytes codec_bytes_saved{};      // modeled bytes kept off disk and wire
 
+  // Control plane (zero when no steering/observers are configured).
+  std::int64_t steering_events = 0;  // events applied on the run's stream
+  std::int64_t steer_renders = 0;    // view-steer re-renders performed
+  std::int64_t steer_dedup = 0;      // renders saved by (frame,view) dedup
+  int observers_peak = 0;            // most sessions attached at once
+
   // Edge-cache distribution tree (zero when [tree] is absent).
   int tree_tiers = 0;
   int tree_leaves = 0;
@@ -183,6 +224,9 @@ struct ExperimentSummary {
 struct SteeringRecord {
   WallSeconds delivered_at{};
   SteeringCommand command;
+  /// The full control-plane event the command arrived as (event.wall ==
+  /// delivered_at; event.client names the sender, "" for in-run policies).
+  SteeringEvent event{};
 };
 
 /// One client's delivery series plus its terminal stats (CSV + figures).
@@ -239,11 +283,23 @@ class AdaptiveFramework {
   /// Null unless config.observability is set.
   [[nodiscard]] obs::Observability* observability() { return obs_.get(); }
 
+  /// The run's applied steering-event stream (what record_log_path saves).
+  [[nodiscard]] const std::vector<SteeringEvent>& steering_events() const {
+    return steering_events_;
+  }
+  /// The run's in-process control plane (always present). Tests and custom
+  /// drivers steer through it directly.
+  [[nodiscard]] LocalControlPlane& control_plane() { return *control_; }
+
  private:
   [[nodiscard]] TelemetrySample sample_now();
   [[nodiscard]] ApplicationStatus status_now();
   [[nodiscard]] bool drained() const;
   void apply_steering(const SteeringCommand& command);
+  void apply_event(const SteeringEvent& event);
+  void ensure_serving();
+  void recompute_observer_digest();
+  void schedule_control_poll();
 
   ExperimentConfig config_;
   EventQueue queue_;
@@ -267,8 +323,12 @@ class AdaptiveFramework {
   std::unique_ptr<JobHandler> job_handler_;
   std::unique_ptr<ApplicationManager> manager_;
   std::unique_ptr<TelemetryRecorder> telemetry_;
-  std::unique_ptr<SteeringChannel> steering_channel_;
-  std::vector<SteeringRecord> steering_log_;
+  std::unique_ptr<LocalControlPlane> control_;
+  std::vector<SteeringRecord> steering_log_;     // commands only (compat)
+  std::vector<SteeringEvent> steering_events_;   // every applied event
+  std::map<std::string, KnobProposal> proposals_;  // live, by client
+  ControlPlane::RunId server_run_id_ = -1;
+  int observers_peak_ = 0;
 
   // The experiment's run context (obs bundle + log overrides). Declared
   // last and in this order: the scope uninstalls before the context and

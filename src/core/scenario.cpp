@@ -279,6 +279,32 @@ ExperimentConfig scenario_from_ini(const IniDocument& doc) {
     }
   }
 
+  // [steering] — the control plane's run-side knobs. Policies and external
+  // registration servers are code-level wiring; scenario files configure
+  // latency, the inbox poll cadence, and record/replay log paths.
+  if (doc.has_section("steering")) {
+    if (auto v = doc.get_double("steering", "latency_seconds")) {
+      if (*v < 0.0) {
+        throw std::runtime_error(
+            "scenario: steering.latency_seconds must be >= 0");
+      }
+      cfg.steering.latency = WallSeconds(*v);
+    }
+    if (auto v = doc.get_double("steering", "poll_period_seconds")) {
+      if (*v <= 0.0) {
+        throw std::runtime_error(
+            "scenario: steering.poll_period_seconds must be > 0");
+      }
+      cfg.steering.poll_period = WallSeconds(*v);
+    }
+    if (auto v = doc.get("steering", "record_log")) {
+      cfg.steering.record_log_path = *v;
+    }
+    if (auto v = doc.get("steering", "replay_log")) {
+      cfg.steering.replay_log_path = *v;
+    }
+  }
+
   // Sanity.
   if (cfg.model.compute_scale < 1.0) {
     throw std::runtime_error("scenario: compute_scale must be >= 1");
@@ -393,6 +419,12 @@ void write_result(const ExperimentResult& result, const std::string& dir) {
     summary.set_int("serve", "cache_evictions", s.cache_evictions);
     summary.set_int("serve", "rerenders", s.rerenders);
     summary.set_double("serve", "peak_cache_gb", s.peak_cache_bytes.gb());
+  }
+  if (s.steering_events > 0) {
+    summary.set_int("steering", "events", s.steering_events);
+    summary.set_int("steering", "steer_renders", s.steer_renders);
+    summary.set_int("steering", "steer_dedup", s.steer_dedup);
+    summary.set_int("steering", "observers_peak", s.observers_peak);
   }
   summary.save(base + "_summary.ini");
 }

@@ -52,6 +52,12 @@
 //   catchup_start_hours = 0            ; sim time catch-up viewers start at
 //   catchup_join_wall_hours = 12       ; wall time catch-up viewers connect
 //   rerender_workers = 2
+//
+//   [steering]                         ; optional control plane
+//   latency_seconds = 0.3              ; command-channel WAN latency
+//   poll_period_seconds = 60           ; external-inbox drain cadence
+//   record_log = out/steering_log.jsonl ; save the applied event stream
+//   replay_log = steering_session.jsonl ; apply a recorded/scripted stream
 #pragma once
 
 #include <string>

@@ -64,7 +64,7 @@ ViewerSessionManager::ViewerSessionManager(EventQueue& queue, Options options,
   }
 }
 
-int ViewerSessionManager::add_viewer(const ViewerConfig& config) {
+ClientId ViewerSessionManager::attach(const ViewerConfig& config) {
   const int idx = viewer_count();
   Session s;
   s.config = config;
@@ -84,7 +84,96 @@ int ViewerSessionManager::add_viewer(const ViewerConfig& config) {
         },
         "serve.join");
   }
-  return idx;
+  return ClientId{idx};
+}
+
+ViewerSessionManager::Session& ViewerSessionManager::session_for(
+    ClientId client) {
+  if (!client.valid() ||
+      client.value >= static_cast<std::int64_t>(sessions_.size())) {
+    throw std::invalid_argument("ViewerSessionManager: unknown client id " +
+                                std::to_string(client.value));
+  }
+  return sessions_[static_cast<std::size_t>(client.value)];
+}
+
+const ViewerSessionManager::Session& ViewerSessionManager::session_for(
+    ClientId client) const {
+  // NOLINTNEXTLINE(cppcoreguidelines-pro-type-const-cast): same validation
+  return const_cast<ViewerSessionManager*>(this)->session_for(client);
+}
+
+void ViewerSessionManager::detach(ClientId client) {
+  Session& s = session_for(client);
+  if (s.detached) {
+    throw std::invalid_argument("ViewerSessionManager: client " +
+                                std::to_string(client.value) +
+                                " already detached");
+  }
+  s.detached = true;
+  s.pending.reset();
+  obs::count("serve.detaches");
+  ADAPTVIZ_LOG_DEBUG("serve", "[%s] %s detached",
+                     hh_mm(queue_.now()).c_str(), s.config.name.c_str());
+}
+
+void ViewerSessionManager::reattach(ClientId client) {
+  Session& s = session_for(client);
+  if (!s.detached) return;
+  s.detached = false;
+  ADAPTVIZ_LOG_DEBUG("serve", "[%s] %s re-attached",
+                     hh_mm(queue_.now()).c_str(), s.config.name.c_str());
+  if (s.active) pump(static_cast<int>(client.value));
+}
+
+bool ViewerSessionManager::attached(ClientId client) const {
+  if (!client.valid() ||
+      client.value >= static_cast<std::int64_t>(sessions_.size())) {
+    return false;
+  }
+  return !sessions_[static_cast<std::size_t>(client.value)].detached;
+}
+
+std::optional<ClientId> ViewerSessionManager::find_client(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i].config.name == name) {
+      return ClientId{static_cast<std::int64_t>(i)};
+    }
+  }
+  return std::nullopt;
+}
+
+int ViewerSessionManager::attached_count() const {
+  int n = 0;
+  for (const Session& s : sessions_) n += s.detached ? 0 : 1;
+  return n;
+}
+
+void ViewerSessionManager::steer_view(ClientId client,
+                                      const ViewCommand& view) {
+  Session& s = session_for(client);
+  validate(view);
+  const std::string key = view_key(view);
+  if (key == s.view_key) return;  // same render — nothing to do
+  s.view = view;
+  s.view_key = key;
+  // Nothing on screen yet (not joined, detached, or no frame delivered):
+  // the new view simply applies to future renders.
+  if (!s.active || s.detached || s.cursor < 0) return;
+  const RenderKey rk{s.cursor, key};
+  const bool shared = rerender_waiters_.count(rk) != 0 ||
+                      rerender_in_service_.count(rk) != 0;
+  if (shared) {
+    ++steer_dedup_;
+    obs::count("serve.steer_dedup");
+  } else {
+    ++steer_renders_;
+    obs::count("serve.steer_rerenders");
+  }
+  s.waiting_rerender = true;
+  ++s.stats.rerender_waits;
+  request_rerender(static_cast<int>(client.value), rk);
 }
 
 void ViewerSessionManager::on_frame(const Frame& frame) {
@@ -102,6 +191,7 @@ void ViewerSessionManager::on_frame(const Frame& frame) {
 bool ViewerSessionManager::idle() const {
   if (rerendering_ != 0 || !rerender_fifo_.empty()) return false;
   for (const Session& s : sessions_) {
+    if (s.detached) continue;  // detached clients hold nothing up
     if (!s.active) return false;  // still waiting on its join event
     if (s.in_flight || s.waiting_rerender) return false;
     if (next_sequence(s).has_value()) return false;
@@ -147,8 +237,8 @@ void ViewerSessionManager::pump(int idx) {
   Session& s = sessions_[static_cast<std::size_t>(idx)];
   // Per-client backpressure: one frame in flight per downlink, one pending
   // re-render wait. A stalled client parks here without touching anyone
-  // else's progress.
-  if (!s.active || s.in_flight || s.waiting_rerender) return;
+  // else's progress; a detached one receives nothing.
+  if (!s.active || s.detached || s.in_flight || s.waiting_rerender) return;
   const std::optional<std::int64_t> seq = next_sequence(s);
   if (!seq.has_value()) return;  // caught up; the next on_frame re-pumps
 
@@ -170,7 +260,9 @@ void ViewerSessionManager::pump(int idx) {
   } else {
     s.waiting_rerender = true;
     ++s.stats.rerender_waits;
-    request_rerender(idx, *seq);
+    // The miss re-renders under the client's current view key, so two
+    // clients replaying the same era with the same view share one render.
+    request_rerender(idx, RenderKey{*seq, s.view_key});
   }
 }
 
@@ -190,6 +282,12 @@ void ViewerSessionManager::start_transfer(int idx, const Frame& frame,
        size = frame.size, cache_hit] {
         Session& session = sessions_[static_cast<std::size_t>(idx)];
         session.in_flight = false;
+        if (session.detached) {
+          // The client left while the frame was on the wire: the delivery
+          // is abandoned without a record.
+          session.pending.reset();
+          return;
+        }
         session.cursor = std::max(session.cursor, sequence);
         session.records.push_back(
             DeliveryRecord{queue_.now(), sim_time, sequence, size, cache_hit});
@@ -199,18 +297,25 @@ void ViewerSessionManager::start_transfer(int idx, const Frame& frame,
             std::max(session.stats.latest_sim_time, sim_time);
         ++frames_served_;
         obs::count("serve.frames_served");
+        if (session.pending.has_value()) {
+          // A steer re-render finished mid-transfer; deliver it now.
+          const Frame next = *session.pending;
+          session.pending.reset();
+          start_transfer(idx, next, /*cache_hit=*/false);
+          return;
+        }
         pump(idx);
       },
       "serve.deliver");
 }
 
-void ViewerSessionManager::request_rerender(int idx, std::int64_t sequence) {
-  std::vector<int>& waiters = rerender_waiters_[sequence];
+void ViewerSessionManager::request_rerender(int idx, const RenderKey& key) {
+  std::vector<int>& waiters = rerender_waiters_[key];
   waiters.push_back(idx);
   // First waiter enqueues the work; later ones piggyback on the same
   // re-render whether it is still queued or already in a slot.
-  if (waiters.size() == 1 && rerender_in_service_.count(sequence) == 0) {
-    rerender_fifo_.push_back(sequence);
+  if (waiters.size() == 1 && rerender_in_service_.count(key) == 0) {
+    rerender_fifo_.push_back(key);
   }
   drain_rerenders();
 }
@@ -220,51 +325,62 @@ void ViewerSessionManager::drain_rerenders() {
     // Claim every free slot: these re-renders run concurrently in virtual
     // time, so their real work may run concurrently on the pool too
     // (mirrors FrameReceiver::drain).
-    std::vector<Frame> batch;
+    std::vector<std::pair<RenderKey, Frame>> batch;
     while (static_cast<int>(batch.size()) <
                options_.rerender_workers - rerendering_ &&
            !rerender_fifo_.empty()) {
-      batch.push_back(meta(rerender_fifo_.front()));
+      const RenderKey key = rerender_fifo_.front();
       rerender_fifo_.pop_front();
+      batch.emplace_back(key, meta(key.first));
     }
-    for (const Frame& f : batch) rerender_in_service_.insert(f.sequence);
+    for (const auto& b : batch) rerender_in_service_.insert(b.first);
 
     if (rerender_fn_) {
       if (pool_ != nullptr && batch.size() > 1) {
         pool_->parallel_for_chunked(
             0, batch.size(), static_cast<int>(batch.size()), /*chunk=*/1,
             [&](std::size_t lo, std::size_t hi) {
-              for (std::size_t k = lo; k < hi; ++k) rerender_fn_(batch[k]);
+              for (std::size_t k = lo; k < hi; ++k) {
+                rerender_fn_(batch[k].second);
+              }
             });
       } else {
-        for (const Frame& f : batch) rerender_fn_(f);
+        for (const auto& b : batch) rerender_fn_(b.second);
       }
     }
 
-    for (const Frame& f : batch) {
+    for (const auto& b : batch) {
       ++rerendering_;
       ++rerenders_;
       obs::count("serve.rerenders");
+      const Frame& f = b.second;
       const WallSeconds cost(
           options_.rerender_fixed_seconds +
           options_.rerender_seconds_per_gb * f.decoded_bytes().gb());
       queue_.schedule_after(
           cost,
-          [this, f] {
+          [this, key = b.first, f] {
             --rerendering_;
-            rerender_in_service_.erase(f.sequence);
+            rerender_in_service_.erase(key);
             // Back into the cache: the next session replaying this era
-            // hits instead of re-rendering again.
-            cache_.insert(f);
-            std::vector<int> waiters = std::move(rerender_waiters_[f.sequence]);
-            rerender_waiters_.erase(f.sequence);
+            // hits instead of re-rendering again. Steered (non-default)
+            // views are client-specific images and stay out of the
+            // default-keyed cache.
+            if (key.second.empty()) cache_.insert(f);
+            std::vector<int> waiters = std::move(rerender_waiters_[key]);
+            rerender_waiters_.erase(key);
             ADAPTVIZ_LOG_DEBUG("serve",
                                "frame #%lld re-rendered for %zu client(s)",
                                static_cast<long long>(f.sequence),
                                waiters.size());
             for (int idx : waiters) {
-              sessions_[static_cast<std::size_t>(idx)].waiting_rerender =
-                  false;
+              Session& session = sessions_[static_cast<std::size_t>(idx)];
+              session.waiting_rerender = false;
+              if (session.detached) continue;  // result dropped
+              if (session.in_flight) {
+                session.pending = f;  // deliver after the current transfer
+                continue;
+              }
               start_transfer(idx, f, /*cache_hit=*/false);
             }
             drain_rerenders();

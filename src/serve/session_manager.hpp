@@ -24,6 +24,13 @@
 // cache, and then delivered to every session that was waiting on it. All
 // ordering decisions happen on the event loop, so results are bitwise
 // identical for any pool size.
+//
+// The control plane (steering/control_plane.hpp) adds the interactive
+// loop: sessions are addressed by stable ClientId handles, observers
+// detach and re-attach mid-run, and per-client view steering
+// (pan/zoom/field/colormap) re-renders the client's current frame through
+// the same bounded slots — identical (frame, view) requests from
+// different clients are deduped onto a single render.
 #pragma once
 
 #include <cstdint>
@@ -34,12 +41,14 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dataio/frame.hpp"
 #include "resources/event_queue.hpp"
 #include "resources/network.hpp"
 #include "serve/frame_cache.hpp"
+#include "steering/control_plane.hpp"
 #include "util/thread_pool.hpp"
 
 namespace adaptviz {
@@ -120,9 +129,44 @@ class ViewerSessionManager {
   ViewerSessionManager(EventQueue& queue, Options options, std::uint64_t seed,
                        ThreadPool* pool = nullptr, RenderFn rerender = nullptr);
 
-  /// Registers a client; returns its index. Sessions added mid-run join the
-  /// stream from the current head (live-tail) or their catch-up point.
-  int add_viewer(const ViewerConfig& config);
+  /// Registers a client and returns its stable handle. Sessions added
+  /// mid-run join the stream from the current head (live-tail) or their
+  /// catch-up point. Handles are never recycled: the id stays valid after
+  /// detach() (for stats/series queries) and reattach() resumes it.
+  ClientId attach(const ViewerConfig& config);
+
+  /// Deprecated shim for the index-based API: attach() and return the
+  /// handle's value as an int. ClientId values coincide with historical
+  /// indices, so existing callers keep working unchanged.
+  int add_viewer(const ViewerConfig& config) {
+    return static_cast<int>(attach(config).value);
+  }
+
+  /// The observer leaves mid-run: deliveries stop (an in-flight transfer is
+  /// abandoned without a record), re-render results it was waiting on are
+  /// dropped, and idle() no longer waits for it. Stats and the delivery
+  /// series remain queryable. Throws std::invalid_argument on an unknown
+  /// id or one that is already detached.
+  void detach(ClientId client);
+
+  /// Resumes a detached session under the same handle: the cursor is kept,
+  /// so a live-tail client skips to the head (skips counted) and a
+  /// catch-up client continues its replay. No-op when already attached.
+  void reattach(ClientId client);
+
+  /// True when the id is valid and the session is currently attached.
+  [[nodiscard]] bool attached(ClientId client) const;
+
+  /// Handle lookup by client name (first match); nullopt when unknown.
+  [[nodiscard]] std::optional<ClientId> find_client(
+      const std::string& name) const;
+
+  /// Per-client view steering (pan/zoom/field/colormap). A change
+  /// re-renders the client's current frame under the new view; identical
+  /// (frame, view) requests from different clients are deduped onto one
+  /// render (steer_dedup() counts the saved renders). Throws
+  /// std::invalid_argument on an unknown id or malformed view.
+  void steer_view(ClientId client, const ViewCommand& view);
 
   /// Ingest from the FrameReceiver: publishes into the cache and wakes
   /// every session. Sequences must be strictly increasing.
@@ -132,40 +176,77 @@ class ViewerSessionManager {
   [[nodiscard]] int viewer_count() const {
     return static_cast<int>(sessions_.size());
   }
+  /// Currently-attached sessions (viewer_count() minus detached ones).
+  [[nodiscard]] int attached_count() const;
+
+  /// Accessors validate the handle at the API boundary:
+  /// std::invalid_argument on an unknown id, never UB on a stale index.
+  [[nodiscard]] const ViewerConfig& viewer(ClientId client) const {
+    return session_for(client).config;
+  }
+  [[nodiscard]] const ViewerStats& stats(ClientId client) const {
+    return session_for(client).stats;
+  }
+  [[nodiscard]] const std::vector<DeliveryRecord>& deliveries(
+      ClientId client) const {
+    return session_for(client).records;
+  }
+  /// The client's current view (default until steered).
+  [[nodiscard]] const ViewCommand& view(ClientId client) const {
+    return session_for(client).view;
+  }
+
+  // Deprecated index-based accessors: same data, now validated (stale
+  // indices throw instead of UB).
   [[nodiscard]] const ViewerConfig& viewer(int client) const {
-    return sessions_[static_cast<std::size_t>(client)].config;
+    return viewer(ClientId{client});
   }
   [[nodiscard]] const ViewerStats& stats(int client) const {
-    return sessions_[static_cast<std::size_t>(client)].stats;
+    return stats(ClientId{client});
   }
   [[nodiscard]] const std::vector<DeliveryRecord>& deliveries(
       int client) const {
-    return sessions_[static_cast<std::size_t>(client)].records;
+    return deliveries(ClientId{client});
   }
 
   /// Total deliveries across all clients.
   [[nodiscard]] std::int64_t frames_served() const { return frames_served_; }
   /// Total re-renders performed for evicted frames.
   [[nodiscard]] std::int64_t rerenders() const { return rerenders_; }
-  /// True when every session is caught up and nothing is in flight — the
-  /// framework's drain condition.
+  /// Steer-driven re-renders actually performed / saved by deduplication.
+  [[nodiscard]] std::int64_t steer_renders() const { return steer_renders_; }
+  [[nodiscard]] std::int64_t steer_dedup() const { return steer_dedup_; }
+  /// True when every attached session is caught up and nothing is in
+  /// flight — the framework's drain condition.
   [[nodiscard]] bool idle() const;
 
  private:
+  /// One pending or in-service render: (sequence, canonical view key).
+  /// The default view maps to key "" so cache-miss re-renders behave
+  /// exactly as before the control plane existed.
+  using RenderKey = std::pair<std::int64_t, std::string>;
+
   struct Session {
     ViewerConfig config;
     std::unique_ptr<NetworkLink> downlink;
     std::int64_t cursor = -1;  // last delivered sequence
     bool active = false;       // false until join_wall passes
+    bool detached = false;
     bool in_flight = false;
     bool waiting_rerender = false;
+    ViewCommand view{};        // current steered view
+    std::string view_key;      // view_key(view), cached ("" = default)
+    /// Re-render finished while a transfer was in flight: delivered next.
+    std::optional<Frame> pending;
     ViewerStats stats;
     std::vector<DeliveryRecord> records;
   };
 
+  Session& session_for(ClientId client);
+  const Session& session_for(ClientId client) const;
   void pump(int idx);
   void start_transfer(int idx, const Frame& frame, bool cache_hit);
-  void request_rerender(int idx, std::int64_t sequence);
+  void request_rerender(int idx, const RenderKey& key);
   void drain_rerenders();
   /// Next sequence the session should receive, or nullopt when caught up.
   [[nodiscard]] std::optional<std::int64_t> next_sequence(
@@ -185,12 +266,14 @@ class ViewerSessionManager {
   std::vector<Frame> index_;
   std::vector<Session> sessions_;
 
-  std::deque<std::int64_t> rerender_fifo_;        // pending, FIFO
-  std::map<std::int64_t, std::vector<int>> rerender_waiters_;
-  std::set<std::int64_t> rerender_in_service_;
+  std::deque<RenderKey> rerender_fifo_;        // pending, FIFO
+  std::map<RenderKey, std::vector<int>> rerender_waiters_;
+  std::set<RenderKey> rerender_in_service_;
   int rerendering_ = 0;  // busy re-render slots
   std::int64_t frames_served_ = 0;
   std::int64_t rerenders_ = 0;
+  std::int64_t steer_renders_ = 0;
+  std::int64_t steer_dedup_ = 0;
 };
 
 }  // namespace adaptviz

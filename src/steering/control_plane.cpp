@@ -1,0 +1,513 @@
+#include "steering/control_plane.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace adaptviz {
+
+namespace {
+
+// ---- exact-round-trip primitives (steering_log.jsonl layer) ----
+//
+// Free-form strings travel percent-encoded so a value never contains a
+// quote, comma, brace or newline; doubles travel as hexfloats, whose
+// alphabet ([0-9a-fx.+-p]) needs no encoding. Both survive the line/JSON
+// layer byte-exactly.
+
+bool unreserved(char c) {
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' ||
+         c == '~';
+}
+
+std::string percent_encode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (unreserved(static_cast<char>(c))) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      char buf[4];
+      std::snprintf(buf, sizeof buf, "%%%02X", c);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string percent_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) {
+      throw std::runtime_error("steering log: truncated percent escape in '" +
+                               s + "'");
+    }
+    const int hi = hex_nibble(s[i + 1]);
+    const int lo = hex_nibble(s[i + 2]);
+    if (hi < 0 || lo < 0) {
+      throw std::runtime_error("steering log: bad percent escape in '" + s +
+                               "'");
+    }
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return out;
+}
+
+std::string hex_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+double parse_double(const std::string& s) {
+  if (s.empty()) throw std::runtime_error("steering log: empty number");
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    throw std::runtime_error("steering log: malformed number '" + s + "'");
+  }
+  return v;
+}
+
+/// Minimal writer for the flat all-strings JSON object a log line is.
+class LineWriter {
+ public:
+  void raw(const char* key, const std::string& value) {
+    out_ += out_.empty() ? "{\"" : ",\"";
+    out_ += key;
+    out_ += "\":\"";
+    out_ += value;
+    out_ += '"';
+  }
+  void str(const char* key, const std::string& value) {
+    raw(key, percent_encode(value));
+  }
+  void num(const char* key, double value) { raw(key, hex_double(value)); }
+  [[nodiscard]] std::string finish() { return out_ + "}"; }
+
+ private:
+  std::string out_;
+};
+
+/// Parses `{"k":"v",...}` into a key→value map. Values are the raw
+/// (still-encoded) strings; keys must be unique.
+std::map<std::string, std::string> parse_line(const std::string& line) {
+  std::map<std::string, std::string> out;
+  std::size_t i = 0;
+  auto fail = [&](const std::string& why) {
+    throw std::runtime_error("steering log: " + why + " in '" + line + "'");
+  };
+  auto skip_ws = [&] {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  };
+  skip_ws();
+  if (i >= line.size() || line[i] != '{') fail("missing '{'");
+  ++i;
+  skip_ws();
+  if (i < line.size() && line[i] == '}') return out;  // empty object
+  while (true) {
+    skip_ws();
+    // "key"
+    if (i >= line.size() || line[i] != '"') fail("expected key quote");
+    const std::size_t key_start = ++i;
+    while (i < line.size() && line[i] != '"') ++i;
+    if (i >= line.size()) fail("unterminated key");
+    const std::string key = line.substr(key_start, i - key_start);
+    ++i;
+    skip_ws();
+    if (i >= line.size() || line[i] != ':') fail("expected ':'");
+    ++i;
+    skip_ws();
+    if (i >= line.size() || line[i] != '"') fail("expected value quote");
+    const std::size_t val_start = ++i;
+    while (i < line.size() && line[i] != '"') ++i;
+    if (i >= line.size()) fail("unterminated value");
+    const std::string value = line.substr(val_start, i - val_start);
+    ++i;
+    if (!out.emplace(key, value).second) fail("duplicate key '" + key + "'");
+    skip_ws();
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < line.size() && line[i] == '}') break;
+    fail("expected ',' or '}'");
+  }
+  return out;
+}
+
+SteeringCommand::Kind command_kind_from(const std::string& name) {
+  if (name == "set-output-bounds") return SteeringCommand::Kind::kSetOutputBounds;
+  if (name == "set-resolution-floor") {
+    return SteeringCommand::Kind::kSetResolutionFloor;
+  }
+  if (name == "set-nest-extent") return SteeringCommand::Kind::kSetNestExtent;
+  if (name == "pause") return SteeringCommand::Kind::kPause;
+  if (name == "resume") return SteeringCommand::Kind::kResume;
+  throw std::runtime_error("steering log: unknown command kind '" + name +
+                           "'");
+}
+
+}  // namespace
+
+void validate(const ViewCommand& view) {
+  if (view.field.empty()) {
+    throw std::invalid_argument("view command: empty field");
+  }
+  if (view.colormap.empty()) {
+    throw std::invalid_argument("view command: empty colormap");
+  }
+  if (!(view.zoom > 0.0)) {
+    throw std::invalid_argument("view command: zoom must be > 0");
+  }
+  if (view.center_lat < -90.0 || view.center_lat > 90.0) {
+    throw std::invalid_argument("view command: center_lat outside [-90, 90]");
+  }
+  if (view.center_lon < -180.0 || view.center_lon > 180.0) {
+    throw std::invalid_argument(
+        "view command: center_lon outside [-180, 180]");
+  }
+}
+
+std::string view_key(const ViewCommand& view) {
+  static const ViewCommand kDefault{};
+  if (view.field == kDefault.field && view.colormap == kDefault.colormap &&
+      view.zoom == kDefault.zoom && view.center_lat == kDefault.center_lat &&
+      view.center_lon == kDefault.center_lon) {
+    return "";
+  }
+  // Hexfloats: views equal bit-for-bit share a render, nothing else does.
+  return percent_encode(view.field) + "/" + percent_encode(view.colormap) +
+         "/" + hex_double(view.zoom) + "/" + hex_double(view.center_lat) +
+         "/" + hex_double(view.center_lon);
+}
+
+void validate(const KnobProposal& proposal) {
+  if (proposal.max_output_interval.seconds() < 0) {
+    throw std::invalid_argument(
+        "knob proposal: negative max_output_interval");
+  }
+  if (proposal.resolution_floor_km < 0) {
+    throw std::invalid_argument("knob proposal: negative resolution_floor_km");
+  }
+}
+
+void validate(const ObserverSpec& spec) {
+  if (spec.mode != "live-tail" && spec.mode != "catch-up") {
+    throw std::invalid_argument("observer spec: mode must be live-tail or "
+                                "catch-up, got '" +
+                                spec.mode + "'");
+  }
+  if (!(spec.downlink_mbps > 0.0)) {
+    throw std::invalid_argument("observer spec: downlink_mbps must be > 0");
+  }
+  if (spec.catchup_start_hours < 0.0) {
+    throw std::invalid_argument(
+        "observer spec: negative catchup_start_hours");
+  }
+}
+
+const char* to_string(SteeringEvent::Type type) {
+  switch (type) {
+    case SteeringEvent::Type::kCommand:
+      return "command";
+    case SteeringEvent::Type::kView:
+      return "view";
+    case SteeringEvent::Type::kProposal:
+      return "proposal";
+    case SteeringEvent::Type::kAttach:
+      return "attach";
+    case SteeringEvent::Type::kDetach:
+      return "detach";
+  }
+  return "?";
+}
+
+SteeringEvent::Type steering_event_type_from(const std::string& name) {
+  if (name == "command") return SteeringEvent::Type::kCommand;
+  if (name == "view") return SteeringEvent::Type::kView;
+  if (name == "proposal") return SteeringEvent::Type::kProposal;
+  if (name == "attach") return SteeringEvent::Type::kAttach;
+  if (name == "detach") return SteeringEvent::Type::kDetach;
+  throw std::runtime_error("steering log: unknown event type '" + name + "'");
+}
+
+void validate(const SteeringEvent& event) {
+  if (event.wall.seconds() < 0) {
+    throw std::invalid_argument("steering event: negative wall time");
+  }
+  switch (event.type) {
+    case SteeringEvent::Type::kCommand:
+      validate(event.command);
+      break;
+    case SteeringEvent::Type::kView:
+      validate(event.view);
+      break;
+    case SteeringEvent::Type::kProposal:
+      validate(event.proposal);
+      break;
+    case SteeringEvent::Type::kAttach:
+      if (event.client.empty()) {
+        throw std::invalid_argument("steering event: attach needs a client");
+      }
+      validate(event.attach);
+      break;
+    case SteeringEvent::Type::kDetach:
+      if (event.client.empty()) {
+        throw std::invalid_argument("steering event: detach needs a client");
+      }
+      break;
+  }
+}
+
+std::string to_jsonl(const SteeringEvent& e) {
+  LineWriter w;
+  w.num("wall", e.wall.seconds());
+  w.str("client", e.client);
+  w.raw("type", to_string(e.type));
+  switch (e.type) {
+    case SteeringEvent::Type::kCommand:
+      w.raw("kind", to_string(e.command.kind));
+      w.num("bounds_min_s", e.command.bounds.min_output_interval.seconds());
+      w.num("bounds_max_s", e.command.bounds.max_output_interval.seconds());
+      w.num("floor_km", e.command.resolution_floor_km);
+      w.num("nest_deg", e.command.nest_extent_deg);
+      w.num("auto_resume_s", e.command.auto_resume_after.seconds());
+      w.str("reason", e.command.reason);
+      break;
+    case SteeringEvent::Type::kView:
+      w.str("field", e.view.field);
+      w.str("colormap", e.view.colormap);
+      w.num("zoom", e.view.zoom);
+      w.num("lat", e.view.center_lat);
+      w.num("lon", e.view.center_lon);
+      break;
+    case SteeringEvent::Type::kProposal:
+      w.num("max_oi_s", e.proposal.max_output_interval.seconds());
+      w.num("floor_km", e.proposal.resolution_floor_km);
+      w.str("reason", e.proposal.reason);
+      break;
+    case SteeringEvent::Type::kAttach:
+      w.raw("mode", e.attach.mode);
+      w.num("downlink_mbps", e.attach.downlink_mbps);
+      w.num("catchup_start_h", e.attach.catchup_start_hours);
+      break;
+    case SteeringEvent::Type::kDetach:
+      break;
+  }
+  return w.finish();
+}
+
+SteeringEvent steering_event_from_jsonl(const std::string& line) {
+  std::map<std::string, std::string> kv = parse_line(line);
+  auto take = [&](const char* key) {
+    auto it = kv.find(key);
+    if (it == kv.end()) {
+      throw std::runtime_error(std::string("steering log: missing key '") +
+                               key + "' in '" + line + "'");
+    }
+    std::string v = std::move(it->second);
+    kv.erase(it);
+    return v;
+  };
+  SteeringEvent e;
+  e.wall = WallSeconds(parse_double(take("wall")));
+  e.client = percent_decode(take("client"));
+  e.type = steering_event_type_from(take("type"));
+  switch (e.type) {
+    case SteeringEvent::Type::kCommand:
+      e.command.kind = command_kind_from(take("kind"));
+      e.command.bounds.min_output_interval =
+          SimSeconds(parse_double(take("bounds_min_s")));
+      e.command.bounds.max_output_interval =
+          SimSeconds(parse_double(take("bounds_max_s")));
+      e.command.resolution_floor_km = parse_double(take("floor_km"));
+      e.command.nest_extent_deg = parse_double(take("nest_deg"));
+      e.command.auto_resume_after =
+          WallSeconds(parse_double(take("auto_resume_s")));
+      e.command.reason = percent_decode(take("reason"));
+      break;
+    case SteeringEvent::Type::kView:
+      e.view.field = percent_decode(take("field"));
+      e.view.colormap = percent_decode(take("colormap"));
+      e.view.zoom = parse_double(take("zoom"));
+      e.view.center_lat = parse_double(take("lat"));
+      e.view.center_lon = parse_double(take("lon"));
+      break;
+    case SteeringEvent::Type::kProposal:
+      e.proposal.max_output_interval =
+          SimSeconds(parse_double(take("max_oi_s")));
+      e.proposal.resolution_floor_km = parse_double(take("floor_km"));
+      e.proposal.reason = percent_decode(take("reason"));
+      break;
+    case SteeringEvent::Type::kAttach:
+      e.attach.mode = take("mode");
+      e.attach.downlink_mbps = parse_double(take("downlink_mbps"));
+      e.attach.catchup_start_hours = parse_double(take("catchup_start_h"));
+      break;
+    case SteeringEvent::Type::kDetach:
+      break;
+  }
+  if (!kv.empty()) {
+    throw std::runtime_error("steering log: unknown key '" +
+                             kv.begin()->first + "' in '" + line + "'");
+  }
+  return e;
+}
+
+void save_steering_log(const std::string& path,
+                       const std::vector<SteeringEvent>& events) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("steering log: cannot write '" + path + "'");
+  }
+  for (const SteeringEvent& e : events) out << to_jsonl(e) << "\n";
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("steering log: write failed for '" + path + "'");
+  }
+}
+
+std::vector<SteeringEvent> load_steering_log(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("steering log: cannot read '" + path + "'");
+  }
+  std::vector<SteeringEvent> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    out.push_back(steering_event_from_jsonl(line));
+  }
+  return out;
+}
+
+// ---- LocalControlPlane ----
+
+LocalControlPlane::LocalControlPlane(EventQueue& queue, WallSeconds latency,
+                                     ApplyFn apply)
+    : queue_(queue), latency_(latency), apply_(std::move(apply)) {
+  if (!apply_) {
+    throw std::invalid_argument("LocalControlPlane: null apply fn");
+  }
+  if (latency_.seconds() < 0) {
+    throw std::invalid_argument("LocalControlPlane: negative latency");
+  }
+}
+
+ControlPlane::RunId LocalControlPlane::register_run(const std::string& label) {
+  if (registered_) {
+    throw std::invalid_argument(
+        "LocalControlPlane: already fronting run '" + label_ + "'");
+  }
+  label_ = label;
+  registered_ = true;
+  return 0;
+}
+
+void LocalControlPlane::deregister_run(RunId) { registered_ = false; }
+
+ClientId LocalControlPlane::attach(RunId run, const std::string& client,
+                                   const ObserverSpec& spec) {
+  SteeringEvent e;
+  e.client = client;
+  e.type = SteeringEvent::Type::kAttach;
+  e.attach = spec;
+  steer(run, std::move(e));
+  names_.push_back(client);
+  return ClientId{static_cast<std::int64_t>(names_.size()) - 1};
+}
+
+void LocalControlPlane::detach(RunId run, ClientId client) {
+  if (client.value < 0 ||
+      client.value >= static_cast<std::int64_t>(names_.size())) {
+    throw std::invalid_argument("LocalControlPlane: unknown client id " +
+                                std::to_string(client.value));
+  }
+  SteeringEvent e;
+  e.client = names_[static_cast<std::size_t>(client.value)];
+  e.type = SteeringEvent::Type::kDetach;
+  steer(run, std::move(e));
+}
+
+void LocalControlPlane::steer(RunId, SteeringEvent event) {
+  validate(event);
+  ++sent_;
+  // event.wall on an inbound event is an earliest-apply request; the
+  // channel latency always applies on top of "now".
+  WallSeconds deliver_at =
+      std::max(queue_.now(), event.wall) + latency_;
+  schedule_apply(deliver_at, std::move(event));
+}
+
+void LocalControlPlane::send_command(SteeringCommand command,
+                                     WallSeconds extra_delay) {
+  if (extra_delay.seconds() < 0) {
+    throw std::invalid_argument("control plane: negative delay");
+  }
+  validate(command);
+  ++sent_;
+  ADAPTVIZ_LOG_INFO("steering", "[%s] %s queued (%s)",
+                    hh_mm(queue_.now()).c_str(), to_string(command.kind),
+                    command.reason.c_str());
+  SteeringEvent e;
+  e.type = SteeringEvent::Type::kCommand;
+  e.command = std::move(command);
+  schedule_apply(queue_.now() + extra_delay + latency_, std::move(e));
+}
+
+void LocalControlPlane::schedule_apply(WallSeconds at, SteeringEvent event) {
+  if (at < last_delivery_) at = last_delivery_;  // in order
+  last_delivery_ = at;
+  event.wall = at;
+  queue_.schedule_at(
+      at,
+      [this, event = std::move(event)] {
+        ++applied_;
+        apply_(event);
+      },
+      "steering.deliver");
+}
+
+void LocalControlPlane::schedule_replay(const SteeringEvent& event) {
+  validate(event);
+  ++sent_;
+  queue_.schedule_at(
+      event.wall,
+      [this, event] {
+        ++applied_;
+        apply_(event);
+      },
+      "steering.replay");
+}
+
+void LocalControlPlane::observe(RunId, const SteeringObservation& obs) {
+  for (const auto& sink : sinks_) sink(obs);
+}
+
+void LocalControlPlane::add_observation_sink(
+    std::function<void(const SteeringObservation&)> sink) {
+  sinks_.push_back(std::move(sink));
+}
+
+}  // namespace adaptviz

@@ -3,7 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "util/logging.hpp"
+#include "steering/control_plane.hpp"
 
 namespace adaptviz {
 
@@ -23,14 +23,57 @@ const char* to_string(SteeringCommand::Kind kind) {
   return "?";
 }
 
-SteeringChannel::SteeringChannel(EventQueue& queue, WallSeconds latency,
-                                 Handler handler)
-    : queue_(queue), latency_(latency), handler_(std::move(handler)) {
-  if (!handler_) throw std::invalid_argument("SteeringChannel: null handler");
-  if (latency_.seconds() < 0) {
-    throw std::invalid_argument("SteeringChannel: negative latency");
+void validate(const SteeringCommand& command) {
+  switch (command.kind) {
+    case SteeringCommand::Kind::kSetOutputBounds:
+      if (command.bounds.min_output_interval.seconds() <= 0) {
+        throw std::invalid_argument(
+            "steering command: non-positive min_output_interval");
+      }
+      if (command.bounds.min_output_interval >
+          command.bounds.max_output_interval) {
+        throw std::invalid_argument(
+            "steering command: inverted output-interval bounds");
+      }
+      break;
+    case SteeringCommand::Kind::kSetResolutionFloor:
+      if (command.resolution_floor_km < 0) {
+        throw std::invalid_argument(
+            "steering command: negative resolution_floor_km");
+      }
+      break;
+    case SteeringCommand::Kind::kSetNestExtent:
+      if (command.nest_extent_deg < 0) {
+        throw std::invalid_argument(
+            "steering command: negative nest_extent_deg");
+      }
+      break;
+    case SteeringCommand::Kind::kPause:
+      if (command.auto_resume_after.seconds() < 0) {
+        throw std::invalid_argument(
+            "steering command: negative auto_resume_after");
+      }
+      break;
+    case SteeringCommand::Kind::kResume:
+      break;
   }
 }
+
+SteeringChannel::SteeringChannel(EventQueue& queue, WallSeconds latency,
+                                 Handler handler)
+    : handler_(std::move(handler)) {
+  if (!handler_) throw std::invalid_argument("SteeringChannel: null handler");
+  if (latency.seconds() < 0) {
+    throw std::invalid_argument("SteeringChannel: negative latency");
+  }
+  plane_ = std::make_unique<LocalControlPlane>(
+      queue, latency, [this](const SteeringEvent& event) {
+        ++delivered_;
+        handler_(event.command);
+      });
+}
+
+SteeringChannel::~SteeringChannel() = default;
 
 void SteeringChannel::send(SteeringCommand command) {
   send_after(WallSeconds(0.0), std::move(command));
@@ -41,20 +84,10 @@ void SteeringChannel::send_after(WallSeconds extra_delay,
   if (extra_delay.seconds() < 0) {
     throw std::invalid_argument("SteeringChannel: negative delay");
   }
+  // Counted only once the plane accepts it: a command rejected by
+  // validation was never sent.
+  plane_->send_command(std::move(command), extra_delay);
   ++sent_;
-  WallSeconds deliver_at = queue_.now() + extra_delay + latency_;
-  if (deliver_at < last_delivery_) deliver_at = last_delivery_;  // in order
-  last_delivery_ = deliver_at;
-  ADAPTVIZ_LOG_INFO("steering", "[%s] %s queued (%s)",
-                    hh_mm(queue_.now()).c_str(), to_string(command.kind),
-                    command.reason.c_str());
-  queue_.schedule_at(
-      deliver_at,
-      [this, command = std::move(command)] {
-        ++delivered_;
-        handler_(command);
-      },
-      "steering.deliver");
 }
 
 }  // namespace adaptviz

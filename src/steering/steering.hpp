@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -24,6 +25,8 @@
 #include "resources/event_queue.hpp"
 
 namespace adaptviz {
+
+class LocalControlPlane;  // steering/control_plane.hpp
 
 struct SteeringCommand {
   enum class Kind {
@@ -56,15 +59,29 @@ struct SteeringCommand {
 
 const char* to_string(SteeringCommand::Kind kind);
 
+/// Rejects malformed commands at the sending boundary, before they can
+/// reach the decision algorithms: kSetOutputBounds with non-positive or
+/// inverted bounds, negative resolution_floor_km / nest_extent_deg, and a
+/// negative auto-resume delay all throw std::invalid_argument.
+void validate(const SteeringCommand& command);
+
 /// One-way control channel from the visualization site to the simulation
 /// site. Commands arrive in order, each `latency` after being sent.
+///
+/// Deprecated shim: SteeringChannel is now a thin wrapper over
+/// LocalControlPlane (steering/control_plane.hpp) — send()/send_after()
+/// delegate to ControlPlane command events byte-for-byte (asserted by the
+/// golden test in tests/test_steering.cpp). New code should speak
+/// ControlPlane directly.
 class SteeringChannel {
  public:
   using Handler = std::function<void(const SteeringCommand&)>;
 
   SteeringChannel(EventQueue& queue, WallSeconds latency, Handler handler);
+  ~SteeringChannel();
 
-  /// Enqueues a command for delivery (never blocks the caller).
+  /// Enqueues a command for delivery (never blocks the caller). Throws
+  /// std::invalid_argument on a malformed command (see validate()).
   void send(SteeringCommand command);
 
   /// Enqueues a command to be issued `extra_delay` from now (plus the
@@ -77,11 +94,8 @@ class SteeringChannel {
   [[nodiscard]] int commands_delivered() const { return delivered_; }
 
  private:
-  EventQueue& queue_;
-  WallSeconds latency_;
   Handler handler_;
-  // In-order delivery even if latency were ever made variable.
-  WallSeconds last_delivery_{0.0};
+  std::unique_ptr<LocalControlPlane> plane_;
   int sent_ = 0;
   int delivered_ = 0;
 };

@@ -466,6 +466,223 @@ TEST(Sessions, Validation) {
                std::invalid_argument);
 }
 
+// ---------------------------------------- ClientId handles & control plane
+
+TEST(Sessions, ClientIdHandlesAreValidatedAtTheBoundary) {
+  EventQueue queue;
+  ViewerSessionManager manager(queue, {}, /*seed=*/1);
+  ViewerConfig cfg = exact_viewer(1.0);
+  cfg.name = "alice";
+  const ClientId alice = manager.attach(cfg);
+  EXPECT_TRUE(alice.valid());
+  EXPECT_EQ(manager.viewer(alice).name, "alice");
+
+  // Stale/invalid handles throw instead of UB — including through the
+  // deprecated int accessors.
+  EXPECT_THROW(manager.stats(ClientId{}), std::invalid_argument);
+  EXPECT_THROW(manager.deliveries(ClientId{99}), std::invalid_argument);
+  EXPECT_THROW(manager.viewer(-1), std::invalid_argument);
+  EXPECT_THROW(manager.stats(7), std::invalid_argument);
+  EXPECT_THROW(manager.detach(ClientId{42}), std::invalid_argument);
+  EXPECT_THROW(manager.steer_view(ClientId{42}, ViewCommand{}),
+               std::invalid_argument);
+
+  // Name lookup resolves to the same handle; unknown names are nullopt.
+  const auto found = manager.find_client("alice");
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, alice);
+  EXPECT_FALSE(manager.find_client("bob").has_value());
+
+  // The deprecated index API and the handle API are the same session.
+  const int as_int = manager.add_viewer(exact_viewer(1.0));
+  EXPECT_EQ(ClientId{as_int}, ClientId{manager.viewer_count() - 1});
+  EXPECT_FALSE(manager.attached(ClientId{99}));
+}
+
+TEST(Sessions, DetachStopsDeliveriesAndReattachResumes) {
+  EventQueue queue;
+  ViewerSessionManager manager(queue, {}, /*seed=*/1);
+  const ClientId c = manager.attach(exact_viewer(1.0));
+  manager.on_frame(mkframe(0, 1, 0.0));
+  queue.run_all();
+  ASSERT_EQ(manager.deliveries(c).size(), 1u);
+  EXPECT_TRUE(manager.attached(c));
+
+  // Gone: frames published while detached are never delivered, and the
+  // detached session does not hold idle() open.
+  manager.detach(c);
+  EXPECT_FALSE(manager.attached(c));
+  EXPECT_THROW(manager.detach(c), std::invalid_argument);  // already gone
+  manager.on_frame(mkframe(1, 1, 100.0));
+  manager.on_frame(mkframe(2, 1, 200.0));
+  queue.run_all();
+  EXPECT_EQ(manager.deliveries(c).size(), 1u);
+  EXPECT_TRUE(manager.idle());
+  EXPECT_EQ(manager.attached_count(), 0);
+
+  // Back: the same handle resumes at the live head (live-tail skips the
+  // missed era; the skips are counted).
+  manager.reattach(c);
+  EXPECT_TRUE(manager.attached(c));
+  queue.run_all();
+  const auto& records = manager.deliveries(c);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].sequence, 2);
+  EXPECT_EQ(manager.stats(c).frames_skipped, 1);  // frame #1, missed
+  manager.reattach(c);  // idempotent
+  EXPECT_EQ(manager.attached_count(), 1);
+}
+
+TEST(Sessions, DetachMidTransferAbandonsTheFrame) {
+  EventQueue queue;
+  ViewerSessionManager manager(queue, {}, /*seed=*/1);
+  const ClientId c = manager.attach(exact_viewer(1.0));
+  manager.on_frame(mkframe(0, 1, 0.0));  // 1 MB at 1 MB/s: lands at t=1
+  queue.schedule_at(WallSeconds(0.5), [&manager, c] { manager.detach(c); });
+  queue.run_all();
+  // The in-flight transfer completed after the detach: no record, no stats.
+  EXPECT_EQ(manager.deliveries(c).size(), 0u);
+  EXPECT_EQ(manager.stats(c).frames_delivered, 0);
+  EXPECT_EQ(manager.frames_served(), 0);
+}
+
+TEST(Sessions, SteerViewRerendersOnceAndDedupsAcrossClients) {
+  EventQueue queue;
+  std::vector<std::int64_t> rendered;
+  ViewerSessionManager manager(
+      queue, {}, /*seed=*/1, /*pool=*/nullptr,
+      [&rendered](const Frame& f) { rendered.push_back(f.sequence); });
+  const ClientId a = manager.attach(exact_viewer(1.0));
+  const ClientId b = manager.attach(exact_viewer(1.0));
+  manager.on_frame(mkframe(0, 1, 0.0));
+  queue.run_all();
+  ASSERT_EQ(manager.deliveries(a).size(), 1u);
+  ASSERT_EQ(manager.deliveries(b).size(), 1u);
+
+  // Malformed views are rejected before any state changes.
+  EXPECT_THROW(manager.steer_view(a, ViewCommand{.zoom = -1.0}),
+               std::invalid_argument);
+
+  // Both clients steer to the same view of the same frame: one render.
+  ViewCommand zoomed;
+  zoomed.field = "pressure";
+  zoomed.zoom = 2.0;
+  manager.steer_view(a, zoomed);
+  manager.steer_view(a, zoomed);  // unchanged view: no second request
+  manager.steer_view(b, zoomed);
+  EXPECT_EQ(manager.steer_renders(), 1);
+  EXPECT_EQ(manager.steer_dedup(), 1);
+  EXPECT_EQ(manager.view(a).zoom, 2.0);
+  queue.run_all();
+
+  // Each client received the steered frame as a re-render delivery.
+  ASSERT_EQ(manager.deliveries(a).size(), 2u);
+  ASSERT_EQ(manager.deliveries(b).size(), 2u);
+  EXPECT_EQ(manager.deliveries(a)[1].sequence, 0);
+  EXPECT_FALSE(manager.deliveries(a)[1].cache_hit);
+  EXPECT_EQ(rendered, (std::vector<std::int64_t>{0}));
+
+  // A different view is a different render — no dedup.
+  ViewCommand other = zoomed;
+  other.colormap = "viridis";
+  manager.steer_view(b, other);
+  queue.run_all();
+  EXPECT_EQ(manager.steer_renders(), 2);
+  EXPECT_EQ(manager.steer_dedup(), 1);
+  ASSERT_EQ(manager.deliveries(b).size(), 3u);
+
+  // Steering back to the default view re-renders under the shared
+  // default key — and a detached client's steer is recorded but renders
+  // nothing until it reattaches.
+  manager.detach(a);
+  manager.steer_view(a, ViewCommand{});
+  queue.run_all();
+  EXPECT_EQ(manager.steer_renders(), 2);  // no render for the detached one
+  EXPECT_EQ(manager.deliveries(a).size(), 2u);
+}
+
+TEST(Sessions, SteeredRendersNeverPolluteTheSharedCache) {
+  EventQueue queue;
+  ViewerSessionManager manager(queue, {}, /*seed=*/1);
+  const ClientId c = manager.attach(exact_viewer(1.0));
+  manager.on_frame(mkframe(0, 1, 0.0));
+  queue.run_all();
+  const std::int64_t before = manager.cache().stats().insertions;
+  ViewCommand v;
+  v.zoom = 3.0;
+  manager.steer_view(c, v);
+  queue.run_all();
+  ASSERT_EQ(manager.deliveries(c).size(), 2u);
+  // The zoomed render is client-specific: the shared sequence-keyed cache
+  // must not have been touched by it.
+  EXPECT_EQ(manager.cache().stats().insertions, before);
+}
+
+TEST(Sessions, SteerAndDetachChurnIsDeterministicAcrossPoolSizes) {
+  // A replayed control-plane session — view steers, a detach and a
+  // reattach at fixed virtual times, heavy renders on a real pool — must
+  // produce the same delivery series for any worker count.
+  auto run = [](int pool_workers) {
+    EventQueue queue;
+    ThreadPool pool(pool_workers);
+    ViewerSessionManager::Options opts;
+    opts.cache.capacity = Bytes::megabytes(3);
+    opts.cache.policy = EvictionPolicy::kStrideThinning;
+    opts.rerender_fixed_seconds = 10.0;
+    opts.rerender_seconds_per_gb = 0.0;
+    opts.rerender_workers = 2;
+    ViewerSessionManager manager(queue, opts, /*seed=*/3, &pool,
+                                 [](const Frame& f) {
+                                   volatile std::int64_t acc = 0;
+                                   for (int i = 0; i < 5000; ++i) {
+                                     acc = acc + (f.sequence * 31 + i) % 97;
+                                   }
+                                 });
+    for (int i = 0; i < 6; ++i) manager.on_frame(mkframe(i, 1, 10.0 * i));
+    const ClientId replayer =
+        manager.attach(exact_viewer(1.0, ViewerMode::kCatchUp));
+    const ClientId tail = manager.attach(exact_viewer(1.0));
+    for (int i = 6; i < 12; ++i) {
+      queue.schedule_at(WallSeconds(10.0 * (i - 5)), [&manager, i] {
+        manager.on_frame(mkframe(i, 1, 10.0 * i));
+      });
+    }
+    queue.schedule_at(WallSeconds(15.0), [&manager, tail] {
+      ViewCommand v;
+      v.field = "wind-speed";
+      v.zoom = 2.0;
+      manager.steer_view(tail, v);
+    });
+    queue.schedule_at(WallSeconds(25.0), [&manager, replayer] {
+      ViewCommand v;
+      v.field = "wind-speed";
+      v.zoom = 2.0;
+      manager.steer_view(replayer, v);
+    });
+    queue.schedule_at(WallSeconds(31.0),
+                      [&manager, tail] { manager.detach(tail); });
+    queue.schedule_at(WallSeconds(47.0),
+                      [&manager, tail] { manager.reattach(tail); });
+    queue.run_all();
+    std::vector<DeliveryRecord> all = manager.deliveries(replayer);
+    const auto& t = manager.deliveries(tail);
+    all.insert(all.end(), t.begin(), t.end());
+    EXPECT_GT(manager.steer_renders(), 0);
+    return all;
+  };
+  const std::vector<DeliveryRecord> serial = run(0);
+  EXPECT_FALSE(serial.empty());
+  for (const int workers : {2, 5}) {
+    const std::vector<DeliveryRecord> pooled = run(workers);
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].sequence, pooled[i].sequence);
+      EXPECT_EQ(serial[i].wall_time.seconds(), pooled[i].wall_time.seconds());
+      EXPECT_EQ(serial[i].cache_hit, pooled[i].cache_hit);
+    }
+  }
+}
+
 TEST(Sessions, FleetBuilderSplitsModes) {
   const std::vector<ViewerConfig> fleet = make_viewer_fleet(
       4, Bandwidth::mbps(10.0), /*catchup_fraction=*/0.5, SimSeconds(7.0),

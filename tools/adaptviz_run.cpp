@@ -12,6 +12,12 @@
 // --metrics-out <path> switches the observability layer on (regardless of
 // the scenario's [obs] section) and dumps the metrics registry + stage
 // trace as one JSON document to <path> after the run.
+//
+// --steer-replay <path> applies a recorded/scripted steering_log.jsonl to
+// the run (each event at exactly its logged wall time); --steer-record
+// <path> saves the run's applied steering stream. Recording a steered run
+// and replaying the saved log reproduces it bit for bit — the CI
+// steering-smoke step asserts exactly that with cmp(1).
 #include <cstdio>
 
 #include "core/scenario.hpp"
@@ -31,6 +37,8 @@ int main(int argc, char** argv) {
   const std::string scenario_path = argv[1];
   std::string out_dir = "results";
   std::string metrics_out;
+  std::string steer_record;
+  std::string steer_replay;
   bool verbose = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -42,11 +50,24 @@ int main(int argc, char** argv) {
         return 2;
       }
       metrics_out = argv[++i];
+    } else if (arg == "--steer-record") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --steer-record needs a path\n");
+        return 2;
+      }
+      steer_record = argv[++i];
+    } else if (arg == "--steer-replay") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --steer-replay needs a path\n");
+        return 2;
+      }
+      steer_replay = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "error: unknown option '%s'\n"
                    "usage: %s <scenario.ini> [output_dir] [--verbose] "
-                   "[--metrics-out <path>]\n",
+                   "[--metrics-out <path>] [--steer-record <path>] "
+                   "[--steer-replay <path>]\n",
                    arg.c_str(), argv[0]);
       return 2;
     } else {
@@ -58,6 +79,8 @@ int main(int argc, char** argv) {
   try {
     ExperimentConfig cfg = load_scenario(scenario_path);
     if (!metrics_out.empty()) cfg.observability = true;
+    if (!steer_record.empty()) cfg.steering.record_log_path = steer_record;
+    if (!steer_replay.empty()) cfg.steering.replay_log_path = steer_replay;
     std::printf("scenario '%s': %s on %s (%d cores, %s disk, %s WAN)\n",
                 cfg.name.c_str(), to_string(cfg.algorithm),
                 cfg.site.machine.name.c_str(), cfg.site.machine.max_cores,
@@ -93,6 +116,16 @@ int main(int argc, char** argv) {
           to_string(s.peak_cache_bytes).c_str());
       std::printf("per-client deliveries written to %s/%s_clients.csv\n",
                   out_dir.c_str(), cfg.name.c_str());
+    }
+    if (s.steering_events > 0) {
+      std::printf(
+          "steering: %lld events applied, %lld steer re-renders "
+          "(%lld deduped), peak observers=%d%s%s\n",
+          static_cast<long long>(s.steering_events),
+          static_cast<long long>(s.steer_renders),
+          static_cast<long long>(s.steer_dedup), s.observers_peak,
+          steer_record.empty() ? "" : ", log recorded to ",
+          steer_record.c_str());
     }
     if (s.tree_tiers > 0) {
       std::printf(
