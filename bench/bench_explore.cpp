@@ -1,0 +1,149 @@
+// Scenario-explorer bench: snapshot/backtrack vs naive re-execution.
+//
+// The explorer's pitch is that checkpoint/restore makes a tree of
+// adversarial futures affordable: revisiting a decision boundary costs a
+// state restore instead of a re-execution from t = 0. This bench runs the
+// SAME search twice over a reference tree — once restoring snapshots,
+// once re-executing every node — and gates on the speedup (exit 1 when
+// snapshot mode is not at least 3x faster per evaluated leaf; the smoke
+// tree of --quick is much shallower, where re-execution has less to lose,
+// so its gate is 1.5x). Both modes must also produce byte-identical
+// reports — the speedup is only meaningful if the answers agree.
+//
+// The reference tree stacks the deck the way real exploration does: deep
+// boundaries (re-execution cost grows linearly with depth), short leaf
+// tails (shared cost that dilutes the ratio), and a no-op adversary
+// action (failure-burst at probability 0) so every branch follows the
+// same deterministic trajectory and the measurement is timing, not
+// workload drift.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_report.hpp"
+#include "experiment_common.hpp"
+#include "explore/explorer.hpp"
+#include "util/logging.hpp"
+
+using namespace adaptviz;
+using namespace adaptviz::bench;
+
+namespace {
+
+/// Inter-department site scaled like scenarios/explore_smoke.ini, but with
+/// a long simulated window (the run must still be going at the deepest
+/// boundary) and a wall cutoff just past it (short leaf tails).
+ExperimentConfig reference_config(int depth) {
+  ExperimentConfig cfg;
+  cfg.name = "explore-bench";
+  cfg.site = inter_department_site();
+  cfg.site.machine.max_cores = 32;
+  cfg.site.disk_capacity = Bytes::gigabytes(100);
+  cfg.site.wan_nominal = Bandwidth::mbps(30);
+  cfg.algorithm = AlgorithmKind::kOptimization;
+  cfg.model.compute_scale = 12.0;
+  cfg.sim_window = SimSeconds::hours(240.0);
+  cfg.decision_period = WallSeconds::hours(0.5);
+  cfg.sample_period = WallSeconds::minutes(10.0);
+  // Last boundary at (depth - 1) * period; leave a 0.1 h tail.
+  cfg.max_wall = cfg.decision_period * static_cast<double>(depth - 1) +
+                 WallSeconds::hours(0.1);
+  cfg.seed = 7;
+  return cfg;
+}
+
+ExploreSpec reference_spec(int depth) {
+  ExploreSpec spec;
+  spec.max_depth = depth;
+  spec.max_branches = 1 << depth;
+  // One no-op action + the none branch: a full binary tree whose branches
+  // all follow the baseline trajectory bit for bit.
+  spec.failure_burst_levels = {0.0};
+  spec.prune = false;  // identical work in both modes, nothing skipped
+  return spec;
+}
+
+struct Timed {
+  double seconds = 0.0;
+  ExploreReport report;
+};
+
+Timed timed_explore(int depth, bool use_snapshots) {
+  ExploreSpec spec = reference_spec(depth);
+  spec.use_snapshots = use_snapshots;
+  ScenarioExplorer explorer(reference_config(depth), spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  Timed out;
+  out.report = explorer.explore();
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kError);
+  const benchio::BenchArgs args = benchio::parse_bench_args(argc, argv);
+  const std::string json_path =
+      args.json_path.empty() ? "BENCH_explore.json" : args.json_path;
+  const int depth = args.quick ? 3 : 5;
+  const double gate = args.quick ? 1.5 : 3.0;
+
+  // Warm caches and the profiler path before timing.
+  timed_explore(depth, /*use_snapshots=*/true);
+
+  const Timed snap = timed_explore(depth, /*use_snapshots=*/true);
+  const Timed naive = timed_explore(depth, /*use_snapshots=*/false);
+
+  const int leaves = snap.report.leaves_evaluated;
+  const double per_leaf_snap = snap.seconds / leaves;
+  const double per_leaf_naive = naive.seconds / leaves;
+  const double speedup = naive.seconds / snap.seconds;
+  std::printf(
+      "explore bench (depth %d, %d nodes, %d leaves):\n"
+      "  snapshot/backtrack: %6.2f s  (%7.1f ms/leaf)\n"
+      "  naive re-execution: %6.2f s  (%7.1f ms/leaf)\n"
+      "  speedup: %.2fx (gate %.1fx)\n",
+      depth, snap.report.nodes_explored, leaves, snap.seconds,
+      1e3 * per_leaf_snap, naive.seconds, 1e3 * per_leaf_naive, speedup,
+      gate);
+
+  const bool reports_agree =
+      to_string(snap.report) == to_string(naive.report);
+
+  CsvTable table({"depth", "nodes", "leaves", "snapshot_s", "naive_s",
+                  "speedup", "reports_agree"});
+  table.add_row({static_cast<long>(depth),
+                 static_cast<long>(snap.report.nodes_explored),
+                 static_cast<long>(leaves), snap.seconds, naive.seconds,
+                 speedup, static_cast<long>(reports_agree)});
+  save_csv(table, "explore_speedup");
+
+  benchio::BenchReport report;
+  const std::string cell = "depth" + std::to_string(depth);
+  report.add("explore", cell, "snapshot_s", snap.seconds, "s");
+  report.add("explore", cell, "naive_s", naive.seconds, "s");
+  report.add("explore", cell, "per_leaf_snapshot_s", per_leaf_snap, "s");
+  report.add("explore", cell, "per_leaf_naive_s", per_leaf_naive, "s");
+  report.add("explore", cell, "speedup", speedup, "x");
+  report.add("explore", cell, "reports_agree", reports_agree ? 1.0 : 0.0,
+             "flag");
+  report.save(json_path);
+  std::printf("bench rows written to %s\n", json_path.c_str());
+
+  bool ok = true;
+  if (!reports_agree) {
+    std::fprintf(stderr,
+                 "FAIL: snapshot and naive searches disagree on the "
+                 "report\n");
+    ok = false;
+  }
+  if (speedup < gate) {
+    std::fprintf(stderr, "FAIL: speedup %.2fx < %.1fx gate\n", speedup,
+                 gate);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -23,6 +23,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_report.hpp"
 #include "experiment_common.hpp"
 #include "obs/export.hpp"
 
@@ -118,10 +119,10 @@ double run_once(const ExperimentConfig& cfg, bool with_obs,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
-  }
+  const benchio::BenchArgs args = benchio::parse_bench_args(argc, argv);
+  const bool quick = args.quick;
+  const std::string json_path =
+      args.json_path.empty() ? "BENCH_observability.json" : args.json_path;
   const ExperimentConfig cfg = scenario(quick);
   const int kRuns = quick ? 5 : 3;
 
@@ -170,6 +171,18 @@ int main(int argc, char** argv) {
                  static_cast<long>(kRuns), min_off, min_on, overhead_pct,
                  static_cast<long>(digest_off == digest_on)});
   save_csv(table, "observability_overhead");
+
+  benchio::BenchReport report;
+  const std::string cell = quick ? "smoke" : "fig5";
+  report.add("observability", cell, "min_off_s", min_off, "s");
+  report.add("observability", cell, "min_on_s", min_on, "s");
+  report.add("observability", cell, "overhead_percent", overhead_pct, "%");
+  report.add("observability", cell, "digest_match",
+             digest_off == digest_on ? 1.0 : 0.0, "flag");
+  report.add("observability", cell, "trace_events",
+             static_cast<double>(instrumented.trace.size()), "count");
+  report.save(json_path);
+  std::printf("bench rows written to %s\n", json_path.c_str());
 
   bool ok = true;
   if (digest_off != digest_on) {

@@ -1,0 +1,80 @@
+// Adversarial environment actions, keyed by decision boundary.
+//
+// The explorer (src/explore) searches over what the *environment* can do
+// to a run — bandwidth collapse, fault bursts, disk shocks — while the
+// adaptive framework responds with its usual decision machinery. To make
+// an explored branch reproducible as a plain scenario run, adversary
+// actions are not free-floating wall-time events: each action fires
+// *synchronously right after the k-th application-manager decision*, the
+// same instant the explorer branches. A plan is therefore just a list of
+// (decision index, action) pairs, and replaying it through
+// AdaptiveFramework::set_adversary_plan() reproduces the explored branch
+// bit for bit — the same mutations at the same virtual times, with no
+// extra RNG draws.
+//
+// Actions are sticky (they set the new environment level; they do not
+// decay) and none of them consumes a random draw, so a plan's effect is a
+// pure function of (plan, scenario).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaptviz {
+
+/// What the environment does to the run at a decision boundary.
+enum class AdversaryActionKind {
+  /// Multiply the WAN link's efficiency by `magnitude` (0 < m <= 1):
+  /// a routing change or congestion collapse. 0.25 = the link drops to a
+  /// quarter of its current effective bandwidth.
+  kBandwidthDrop,
+  /// Set the WAN per-transfer failure probability to `magnitude`
+  /// (0 <= m <= 1): a flaky peering link or mid-run packet-loss storm.
+  kFailureBurst,
+  /// Fill `magnitude` (0 < m <= 1) of the *capacity* of the simulation
+  /// site's scratch disk with external bytes (a competing job's output).
+  /// Clamped to the free space actually available.
+  kDiskShock,
+};
+
+const char* to_string(AdversaryActionKind kind);
+/// Parses "bandwidth-drop" | "failure-burst" | "disk-shock"; throws
+/// std::runtime_error otherwise.
+AdversaryActionKind adversary_action_kind_from(const std::string& name);
+
+struct AdversaryAction {
+  /// Fires immediately after the decision with this index (0-based; the
+  /// initial decision made inside start() is index 0).
+  int after_decision = 0;
+  AdversaryActionKind kind = AdversaryActionKind::kBandwidthDrop;
+  double magnitude = 1.0;
+
+  friend bool operator==(const AdversaryAction& a, const AdversaryAction& b) {
+    return a.after_decision == b.after_decision && a.kind == b.kind &&
+           a.magnitude == b.magnitude;
+  }
+};
+
+/// Human/INI-readable form: "<k>:<kind>=<magnitude>", e.g.
+/// "2:bandwidth-drop=0.25". The inverse of adversary_action_from().
+std::string to_string(const AdversaryAction& action);
+/// Parses the to_string() form; throws std::runtime_error naming the
+/// malformed token.
+AdversaryAction adversary_action_from(const std::string& text);
+
+/// An adversary plan: actions sorted by after_decision (stable for equal
+/// indices — they apply in list order). validate() checks magnitudes and
+/// ordering.
+using AdversaryPlan = std::vector<AdversaryAction>;
+
+/// Throws std::invalid_argument on out-of-range magnitudes, negative
+/// decision indices, or an unsorted plan.
+void validate(const AdversaryPlan& plan);
+
+/// One-line plan rendering: actions joined by ' ', "" for an empty plan.
+std::string to_string(const AdversaryPlan& plan);
+/// Parses a whitespace-separated list of to_string(action) tokens.
+AdversaryPlan adversary_plan_from(const std::string& text);
+
+}  // namespace adaptviz

@@ -110,6 +110,25 @@ class ApplicationManager {
     return decisions_;
   }
 
+  /// Decision history plus the steering-mutable knobs (the bounds a
+  /// kSetOutputBounds command rewrites and the aggregated observer
+  /// digest). The periodic invocation event is queue state.
+  struct State {
+    bool running = false;
+    DecisionBounds bounds{};
+    ObserverDigest observers{};
+    std::vector<DecisionRecord> decisions;
+  };
+  [[nodiscard]] State snapshot() const {
+    return State{running_, options_.bounds, observers_, decisions_};
+  }
+  void restore(const State& s) {
+    running_ = s.running;
+    options_.bounds = s.bounds;
+    observers_ = s.observers;
+    decisions_ = s.decisions;
+  }
+
  private:
   void schedule_next();
   [[nodiscard]] Bandwidth measure_bandwidth();

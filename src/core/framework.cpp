@@ -122,6 +122,7 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
     throw std::invalid_argument(
         "ExperimentConfig: steering.poll_period must be > 0");
   }
+  validate(config_.adversary);
 
   algorithm_ = make_algorithm(config_);
   VisualizationProcess::Options vis_opts = config_.vis;
@@ -180,7 +181,8 @@ AdaptiveFramework::AdaptiveFramework(ExperimentConfig config)
         if (tree_) tree_->publish(f);
         return cost;
       },
-      config_.vis_workers, &ThreadPool::shared(),
+      config_.vis_workers,
+      config_.pool != nullptr ? config_.pool : &ThreadPool::shared(),
       [this](const Frame& f) { vis_->render_frame(f); });
   FrameSender::Options sender_opts;
   sender_opts.retry = config_.faults.retry;
@@ -274,7 +276,8 @@ void AdaptiveFramework::schedule_control_poll() {
 void AdaptiveFramework::ensure_serving() {
   if (serving_) return;
   serving_ = std::make_unique<ViewerSessionManager>(
-      queue_, config_.serve.session, config_.seed + 3, &ThreadPool::shared(),
+      queue_, config_.serve.session, config_.seed + 3,
+      config_.pool != nullptr ? config_.pool : &ThreadPool::shared(),
       [this](const Frame& f) { vis_->render_frame(f); });
 }
 
@@ -469,24 +472,159 @@ ExperimentResult AdaptiveFramework::run() {
   std::optional<ScopedRunContext> scope;
   if (ctx_scope_ != nullptr) scope.emplace(&ctx_);
 
+  start_run();
+  while (step_once()) {
+  }
+  return finish_run();
+}
+
+void AdaptiveFramework::start_run() {
+  if (run_started_) {
+    throw std::logic_error("AdaptiveFramework: start_run called twice");
+  }
+  run_started_ = true;
   ADAPTVIZ_LOG_INFO("framework", "=== %s / %s ===", config_.name.c_str(),
                     to_string(config_.algorithm));
   job_handler_->launch_initial();
-  manager_->start();
+  manager_->start();  // makes decision 0 synchronously
   sender_->start();
   telemetry_->start();
+  apply_due_adversary_actions();
+}
 
-  WallSeconds sim_finished_wall{0.0};
-  bool sim_finish_seen = false;
-  while (queue_.step()) {
-    if (process_->finished() && !sim_finish_seen) {
-      sim_finish_seen = true;
-      sim_finished_wall = queue_.now();
-    }
-    if (queue_.now() >= config_.max_wall) break;
-    if (process_->finished() && drained()) break;
+bool AdaptiveFramework::step_once() {
+  if (!queue_.step()) return false;
+  apply_due_adversary_actions();
+  if (process_->finished() && !sim_finish_seen_) {
+    sim_finish_seen_ = true;
+    sim_finished_wall_ = queue_.now();
   }
+  if (queue_.now() >= config_.max_wall) return false;
+  if (process_->finished() && drained()) return false;
+  return true;
+}
 
+int AdaptiveFramework::decisions_made() const {
+  return static_cast<int>(manager_->decisions().size());
+}
+
+void AdaptiveFramework::apply_due_adversary_actions() {
+  const int decided = decisions_made();
+  while (adversary_applied_ < config_.adversary.size() &&
+         config_.adversary[adversary_applied_].after_decision < decided) {
+    const AdversaryAction& a = config_.adversary[adversary_applied_];
+    ++adversary_applied_;
+    switch (a.kind) {
+      case AdversaryActionKind::kBandwidthDrop:
+        link_.set_efficiency(link_.spec().efficiency * a.magnitude);
+        break;
+      case AdversaryActionKind::kFailureBurst:
+        link_.set_failure_probability(a.magnitude);
+        break;
+      case AdversaryActionKind::kDiskShock:
+        disk_.inject_external(
+            Bytes(static_cast<std::int64_t>(disk_.capacity().as_double() *
+                                            a.magnitude)));
+        break;
+    }
+    ADAPTVIZ_LOG_WARN("adversary", "[%s] applied %s",
+                      hh_mm(queue_.now()).c_str(), to_string(a).c_str());
+  }
+}
+
+void AdaptiveFramework::set_adversary_plan(AdversaryPlan plan) {
+  validate(plan);
+  if (plan.size() < adversary_applied_) {
+    throw std::invalid_argument(
+        "set_adversary_plan: plan drops already-applied actions");
+  }
+  for (std::size_t i = 0; i < adversary_applied_; ++i) {
+    if (!(plan[i] == config_.adversary[i])) {
+      throw std::invalid_argument(
+          "set_adversary_plan: already-applied prefix changed");
+    }
+  }
+  config_.adversary = std::move(plan);
+  if (run_started_) apply_due_adversary_actions();
+}
+
+ExperimentState AdaptiveFramework::snapshot() const {
+  if (tree_ != nullptr) {
+    throw std::logic_error(
+        "AdaptiveFramework::snapshot: the [tree] edge cache does not "
+        "support snapshot/restore");
+  }
+  if (config_.steering.control_plane != nullptr) {
+    throw std::logic_error(
+        "AdaptiveFramework::snapshot: an external control plane does not "
+        "support snapshot/restore");
+  }
+  ExperimentState s;
+  s.queue = queue_.snapshot();
+  s.machine = machine_.snapshot();
+  s.disk = disk_.snapshot();
+  s.link = link_.snapshot();
+  s.catalog = catalog_.snapshot();
+  s.estimator = estimator_.snapshot();
+  s.app_config = app_config_;
+  s.process = process_->snapshot();
+  s.job_handler = job_handler_->snapshot();
+  s.manager = manager_->snapshot();
+  s.sender = sender_->snapshot();
+  s.receiver = receiver_->snapshot();
+  s.vis = vis_->snapshot();
+  s.telemetry = telemetry_->snapshot();
+  s.control = control_->snapshot();
+  if (serving_) s.serving = serving_->snapshot();
+  s.steering_log = steering_log_;
+  s.steering_events = steering_events_;
+  s.proposals = proposals_;
+  s.observers_peak = observers_peak_;
+  s.run_started = run_started_;
+  s.sim_finish_seen = sim_finish_seen_;
+  s.sim_finished_wall = sim_finished_wall_;
+  s.adversary_applied = adversary_applied_;
+  if (obs_) s.metrics = obs_->metrics().snapshot();
+  return s;
+}
+
+void AdaptiveFramework::restore(const ExperimentState& s) {
+  queue_.restore(s.queue);
+  machine_.restore(s.machine);
+  disk_.restore(s.disk);
+  link_.restore(s.link);
+  catalog_.restore(s.catalog);
+  estimator_.restore(s.estimator);
+  app_config_ = s.app_config;
+  process_->restore(s.process);
+  job_handler_->restore(s.job_handler);
+  manager_->restore(s.manager);
+  sender_->restore(s.sender);
+  receiver_->restore(s.receiver);
+  vis_->restore(s.vis);
+  telemetry_->restore(s.telemetry);
+  control_->restore(s.control);
+  if (s.serving.has_value()) {
+    ensure_serving();
+    serving_->restore(*s.serving);
+  } else {
+    // The serving subsystem did not exist at capture time (it appears
+    // on the first attach event); any manager created since rewinds away
+    // with the events that would have referenced it.
+    serving_.reset();
+  }
+  steering_log_ = s.steering_log;
+  steering_events_ = s.steering_events;
+  proposals_ = s.proposals;
+  observers_peak_ = s.observers_peak;
+  run_started_ = s.run_started;
+  sim_finish_seen_ = s.sim_finish_seen;
+  sim_finished_wall_ = s.sim_finished_wall;
+  adversary_applied_ = s.adversary_applied;
+  if (obs_) obs_->metrics().restore_scalars(s.metrics);
+}
+
+ExperimentResult AdaptiveFramework::finish_run() {
   telemetry_->stop();
   manager_->stop();
   sender_->stop();
@@ -513,7 +651,7 @@ ExperimentResult AdaptiveFramework::run() {
   ExperimentSummary& sum = result.summary;
   sum.completed = process_->finished();
   sum.wall_elapsed = queue_.now();
-  sum.sim_finished_wall = sim_finish_seen ? sim_finished_wall : queue_.now();
+  sum.sim_finished_wall = sim_finish_seen_ ? sim_finished_wall_ : queue_.now();
   sum.sim_reached = process_->sim_time();
   sum.peak_disk_used = disk_.peak_used();
   sum.total_stall_time = process_->total_stall_time();

@@ -11,9 +11,11 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/adversary.hpp"
 #include "core/application_manager.hpp"
 #include "core/greedy_threshold.hpp"
 #include "obs/obs.hpp"
@@ -133,6 +135,15 @@ struct ExperimentConfig {
   std::vector<LinkOutage> wan_outages;
   /// Failure injection: per-transfer abort probability + retry policy.
   FaultOptions faults{};
+  /// Adversarial environment actions applied at decision boundaries
+  /// ([adversary] section; see core/adversary.hpp). An explored branch
+  /// replayed through this field reproduces the branch bit for bit.
+  AdversaryPlan adversary;
+  /// Worker pool for render fan-out at the visualization site. Non-owning;
+  /// must outlive the run. Null uses ThreadPool::shared(). All ordering
+  /// decisions happen on the event loop, so results are bitwise identical
+  /// for any pool size — tests/test_explore.cpp asserts it.
+  ThreadPool* pool = nullptr;
   std::uint64_t seed = 42;
 
   /// The control plane (registration, observers, scripted/replayed
@@ -251,6 +262,51 @@ struct ExperimentResult {
   std::vector<obs::TraceEvent> trace;
 };
 
+/// Complete checkpoint of one experiment at an event boundary: every
+/// stateful layer's State value composed with the pending event queue.
+/// Copyable — the heavy weather-solver fields and codec history ride as
+/// shared immutable copies — so the scenario explorer can hold one per
+/// open tree node. Contract:
+///
+///  * capture only between events (AdaptiveFramework::snapshot() is only
+///    callable from the stepwise driving loop, never from inside a
+///    callback);
+///  * restore only onto the SAME AdaptiveFramework instance the snapshot
+///    was taken from: pending events hold closures over the framework's
+///    long-lived components, which restore() rewinds in place.
+struct ExperimentState {
+  EventQueue::State queue;
+  GroundTruthMachine::State machine;
+  DiskModel::State disk;
+  NetworkLink::State link;
+  FrameCatalog::State catalog;
+  BandwidthEstimator::State estimator;
+  ApplicationConfiguration app_config{};
+  SimulationProcess::State process;
+  JobHandler::State job_handler;
+  ApplicationManager::State manager;
+  FrameSender::State sender;
+  FrameReceiver::State receiver;
+  VisualizationProcess::State vis;
+  TelemetryRecorder::State telemetry;
+  LocalControlPlane::State control;
+  /// Absent when the serving subsystem had not been created yet (restore
+  /// then tears a later-created manager back down).
+  std::optional<ViewerSessionManager::State> serving;
+  std::vector<SteeringRecord> steering_log;
+  std::vector<SteeringEvent> steering_events;
+  std::map<std::string, KnobProposal> proposals;
+  int observers_peak = 0;
+  bool run_started = false;
+  bool sim_finish_seen = false;
+  WallSeconds sim_finished_wall{0.0};
+  std::size_t adversary_applied = 0;
+  /// Scalar instruments at capture time (empty when observability is
+  /// off). restore() rewinds counters and gauges; histograms are not
+  /// rewound (MetricsRegistry::restore_scalars documents why).
+  obs::MetricsSnapshot metrics;
+};
+
 class AdaptiveFramework {
  public:
   explicit AdaptiveFramework(ExperimentConfig config);
@@ -266,8 +322,55 @@ class AdaptiveFramework {
   /// a campaign pool task.
   ExperimentResult run();
 
+  // --- Stepwise driving (run() delegates to these) ---
+  //
+  // The explorer's interface: start, pump events one at a time, snapshot
+  // or restore at any boundary, and build the result when done. Must
+  // execute on the thread that constructed the framework (whose run
+  // context is still installed); run() itself re-installs the context and
+  // so stays safe to call from a campaign pool task.
+
+  /// Launches the initial job, the manager, the sender and telemetry.
+  /// Throws std::logic_error when called twice on the same timeline
+  /// (restoring a pre-start snapshot re-arms it).
+  void start_run();
+  /// Executes one event. Returns false when the run is over: queue empty,
+  /// wall cutoff reached, or simulation finished with the pipeline
+  /// drained.
+  bool step_once();
+  /// Builds the result from the current state. The run must not be
+  /// stepped further afterwards unless restore() rewinds it first.
+  ExperimentResult finish_run();
+
+  /// Whole-experiment checkpoint at the current event boundary. Throws
+  /// std::logic_error when a configured subsystem has no snapshot support
+  /// (the [tree] edge cache, an external control plane).
+  [[nodiscard]] ExperimentState snapshot() const;
+  /// Rewinds this instance to `s`. Only valid with a state captured from
+  /// this same instance.
+  void restore(const ExperimentState& s);
+
+  /// Replaces the adversary plan mid-run (the explorer extends a branch
+  /// right after a restore) and immediately applies any action already
+  /// due at the current decision count. The already-applied prefix must
+  /// be unchanged; throws std::invalid_argument otherwise.
+  void set_adversary_plan(AdversaryPlan plan);
+  [[nodiscard]] const AdversaryPlan& adversary_plan() const {
+    return config_.adversary;
+  }
+  /// Decisions the application manager has made so far (adversary actions
+  /// key off this count).
+  [[nodiscard]] int decisions_made() const;
+
   /// Component access for tests and custom drivers.
   [[nodiscard]] EventQueue& queue() { return queue_; }
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] const DiskModel& disk() const { return disk_; }
+  [[nodiscard]] const SimulationProcess& process() const { return *process_; }
+  [[nodiscard]] const VisualizationProcess& vis() const { return *vis_; }
+  [[nodiscard]] const ApplicationManager& manager() const { return *manager_; }
+  [[nodiscard]] const FrameSender& sender() const { return *sender_; }
+  [[nodiscard]] const FrameReceiver& receiver() const { return *receiver_; }
   [[nodiscard]] const ApplicationConfiguration& configuration() const {
     return app_config_;
   }
@@ -300,6 +403,11 @@ class AdaptiveFramework {
   void ensure_serving();
   void recompute_observer_digest();
   void schedule_control_poll();
+  /// Applies every not-yet-applied adversary action whose decision index
+  /// has passed. Both the stepwise loop and set_adversary_plan() run
+  /// through here, so an explored branch and its plain replay mutate the
+  /// environment at the same virtual instants.
+  void apply_due_adversary_actions();
 
   ExperimentConfig config_;
   EventQueue queue_;
@@ -329,6 +437,12 @@ class AdaptiveFramework {
   std::map<std::string, KnobProposal> proposals_;  // live, by client
   ControlPlane::RunId server_run_id_ = -1;
   int observers_peak_ = 0;
+
+  // Stepwise-run bookkeeping (part of ExperimentState).
+  bool run_started_ = false;
+  bool sim_finish_seen_ = false;
+  WallSeconds sim_finished_wall_{0.0};
+  std::size_t adversary_applied_ = 0;
 
   // The experiment's run context (obs bundle + log overrides). Declared
   // last and in this order: the scope uninstalls before the context and

@@ -66,6 +66,30 @@ class JobHandler {
   [[nodiscard]] int restarts() const { return restarts_; }
   [[nodiscard]] bool restart_in_progress() const { return restarting_; }
 
+  /// Launch/restart latches plus the steering-mutable knobs (resolution
+  /// floor, nest extent via model_config). A restart in flight lives as a
+  /// pending queue event whose closure reads these members at fire time.
+  struct State {
+    ApplicationConfiguration active{};
+    ModelConfig model_config{};
+    double resolution_floor_km = 0.0;
+    bool launched = false;
+    bool restarting = false;
+    int restarts = 0;
+  };
+  [[nodiscard]] State snapshot() const {
+    return State{active_,     model_config_, resolution_floor_km_,
+                 launched_,   restarting_,   restarts_};
+  }
+  void restore(const State& s) {
+    active_ = s.active;
+    model_config_ = s.model_config;
+    resolution_floor_km_ = s.resolution_floor_km;
+    launched_ = s.launched;
+    restarting_ = s.restarting;
+    restarts_ = s.restarts;
+  }
+
  private:
   void restart();
 

@@ -172,6 +172,15 @@ ExperimentConfig scenario_from_ini(const IniDocument& doc) {
     }
   }
 
+  // [adversary] — environment actions keyed by decision boundary, the
+  // plain-scenario replay format for explored branches. `plan` is the
+  // whitespace-separated to_string(AdversaryPlan) form, e.g.
+  //   plan = 1:bandwidth-drop=0.25 2:disk-shock=0.9
+  if (auto v = doc.get("adversary", "plan")) {
+    cfg.adversary = adversary_plan_from(*v);
+    validate(cfg.adversary);
+  }
+
   // [serve] — visualization-site frame cache + viewer fan-out. Nonsensical
   // values are rejected here with the offending key named, never silently
   // clamped: a config that asks for a zero-byte cache or negative render

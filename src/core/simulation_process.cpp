@@ -255,4 +255,48 @@ void SimulationProcess::finish_or_continue() {
   schedule_step();
 }
 
+SimulationProcess::State SimulationProcess::snapshot() const {
+  State s;
+  if (model_) s.model = std::make_shared<const WeatherModel>(*model_);
+  if (codec_) s.codec = std::make_shared<const FrameFieldCodec>(*codec_);
+  s.codec_saved = codec_saved_;
+  s.pending_encoded = pending_encoded_;
+  s.running = running_;
+  s.stalled = stalled_;
+  s.finished = finished_;
+  s.step_in_flight = step_in_flight_;
+  s.stop_callback = stop_callback_;
+  s.launch_processors = launch_processors_;
+  s.launch_output_interval = launch_output_interval_;
+  s.next_output_due = next_output_due_;
+  s.next_sequence = next_sequence_;
+  s.last_signaled_resolution = last_signaled_resolution_;
+  s.steps = steps_;
+  s.frames = frames_;
+  s.stall_time = stall_time_;
+  s.stall_started = stall_started_;
+  return s;
+}
+
+void SimulationProcess::restore(const State& s) {
+  model_ = s.model ? std::make_unique<WeatherModel>(*s.model) : nullptr;
+  codec_ = s.codec ? std::make_unique<FrameFieldCodec>(*s.codec) : nullptr;
+  codec_saved_ = s.codec_saved;
+  pending_encoded_ = s.pending_encoded;
+  running_ = s.running;
+  stalled_ = s.stalled;
+  finished_ = s.finished;
+  step_in_flight_ = s.step_in_flight;
+  stop_callback_ = s.stop_callback;
+  launch_processors_ = s.launch_processors;
+  launch_output_interval_ = s.launch_output_interval;
+  next_output_due_ = s.next_output_due;
+  next_sequence_ = s.next_sequence;
+  last_signaled_resolution_ = s.last_signaled_resolution;
+  steps_ = s.steps;
+  frames_ = s.frames;
+  stall_time_ = s.stall_time;
+  stall_started_ = s.stall_started;
+}
+
 }  // namespace adaptviz

@@ -97,6 +97,36 @@ class SimulationProcess {
   /// Modeled bytes the codec kept off disk and off the wire so far.
   [[nodiscard]] Bytes codec_bytes_saved() const { return codec_saved_; }
 
+  /// Deep-copyable process state: the weather model (full solver fields +
+  /// step counter; the solver's mutable scratch copies along but is
+  /// recomputed every step, so it carries no information), the codec's
+  /// prediction history, and every latch/counter of the step/output state
+  /// machine. Model and codec ride as shared immutable copies so the
+  /// State value itself stays cheap to copy; restore() materializes fresh
+  /// mutable instances from them.
+  struct State {
+    std::shared_ptr<const WeatherModel> model;
+    std::shared_ptr<const FrameFieldCodec> codec;
+    Bytes codec_saved{};
+    std::optional<Bytes> pending_encoded;
+    bool running = false;
+    bool stalled = false;
+    bool finished = false;
+    bool step_in_flight = false;
+    std::function<void(NclFile)> stop_callback;
+    int launch_processors = 1;
+    SimSeconds launch_output_interval{180.0};
+    SimSeconds next_output_due{0.0};
+    std::int64_t next_sequence = 0;
+    double last_signaled_resolution = 0.0;
+    std::int64_t steps = 0;
+    std::int64_t frames = 0;
+    WallSeconds stall_time{0.0};
+    WallSeconds stall_started{0.0};
+  };
+  [[nodiscard]] State snapshot() const;
+  void restore(const State& s);
+
  private:
   void schedule_step();
   void complete_step();

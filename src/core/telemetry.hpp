@@ -92,6 +92,22 @@ class TelemetryRecorder {
     return samples_;
   }
 
+  /// Recorded series + the epoch guard. A tick pending in the EventQueue
+  /// checks the epoch, so a restore that rewinds both stays consistent.
+  struct State {
+    bool running = false;
+    std::uint64_t epoch = 0;
+    std::vector<TelemetrySample> samples;
+  };
+  [[nodiscard]] State snapshot() const {
+    return State{running_, epoch_, samples_};
+  }
+  void restore(const State& s) {
+    running_ = s.running;
+    epoch_ = s.epoch;
+    samples_ = s.samples;
+  }
+
  private:
   void tick(std::uint64_t epoch);
 

@@ -77,6 +77,18 @@ class FrameCatalog {
   /// Sum of modeled sizes of resident frames.
   [[nodiscard]] Bytes total_bytes() const { return total_; }
 
+  /// The resident-frame queue. Frame payloads are shared immutable
+  /// NclFiles, so copying the deque aliases them safely.
+  struct State {
+    std::deque<Frame> frames;
+    Bytes total{};
+  };
+  [[nodiscard]] State snapshot() const { return State{frames_, total_}; }
+  void restore(const State& s) {
+    frames_ = s.frames;
+    total_ = s.total;
+  }
+
  private:
   std::deque<Frame> frames_;
   Bytes total_{};

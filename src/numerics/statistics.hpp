@@ -30,6 +30,21 @@ class ExponentialMovingAverage {
   [[nodiscard]] double value() const;
   [[nodiscard]] std::size_t count() const { return count_; }
 
+  /// Full estimator state (alpha excluded: a construction constant).
+  struct State {
+    double value = 0.0;
+    bool initialized = false;
+    std::size_t count = 0;
+  };
+  [[nodiscard]] State snapshot() const {
+    return State{value_, initialized_, count_};
+  }
+  void restore(const State& s) {
+    value_ = s.value;
+    initialized_ = s.initialized;
+    count_ = s.count;
+  }
+
  private:
   double alpha_;
   double value_ = 0.0;

@@ -135,6 +135,17 @@ std::vector<double> MetricsRegistry::duration_buckets() {
   return {1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1000.0};
 }
 
+void MetricsRegistry::restore_scalars(const MetricsSnapshot& s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    const std::int64_t want = s.counter_or(name, 0);
+    c->add(want - c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    g->set(s.gauge_or(name, 0.0));
+  }
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot s;

@@ -148,6 +148,15 @@ class MetricsRegistry {
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
+  /// Rewinds counters and gauges to a snapshot taken earlier on this
+  /// registry: counters delta-add back to the recorded value (instrument
+  /// addresses stay stable, so resolved handles keep working), gauges are
+  /// set, and instruments created after the snapshot reset to zero.
+  /// Histograms are NOT rewound — bucket counts cannot be subtracted
+  /// without the individual observations. Callers that need exact
+  /// per-branch accounting (the scenario explorer) diff snapshots instead.
+  void restore_scalars(const MetricsSnapshot& s);
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;

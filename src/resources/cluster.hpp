@@ -51,6 +51,14 @@ class GroundTruthMachine {
 
   [[nodiscard]] const MachineSpec& spec() const { return spec_; }
 
+  /// Position of the per-step noise stream (the spec is a construction
+  /// constant).
+  struct State {
+    Rng rng;
+  };
+  [[nodiscard]] State snapshot() const { return State{rng_}; }
+  void restore(const State& s) { rng_ = s.rng; }
+
  private:
   MachineSpec spec_;
   Rng rng_;

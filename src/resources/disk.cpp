@@ -34,6 +34,23 @@ void DiskModel::release(Bytes size) {
   used_ -= size;
 }
 
+Bytes DiskModel::inject_external(Bytes size) {
+  if (size < Bytes(0)) {
+    throw std::invalid_argument("DiskModel: negative injection");
+  }
+  const Bytes placed = size <= free_space() ? size : free_space();
+  used_ += placed;
+  if (used_ > peak_) peak_ = used_;
+  return placed;
+}
+
+void DiskModel::release_external(Bytes size) {
+  if (size < Bytes(0)) {
+    throw std::invalid_argument("DiskModel: negative release");
+  }
+  used_ -= size <= used_ ? size : used_;
+}
+
 double DiskModel::free_percent() const {
   return 100.0 * free_space().as_double() / capacity_.as_double();
 }

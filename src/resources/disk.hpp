@@ -26,6 +26,27 @@ class DiskModel {
   /// Throws std::logic_error on releasing more than is used.
   void release(Bytes size);
 
+  /// Failure injection: an external tenant dumps `size` bytes onto the
+  /// shared disk (the adversary's "disk shock"). Clamped at capacity;
+  /// returns the bytes actually placed. The occupancy is permanent until
+  /// release_external() frees it — the framework's own accounting never
+  /// releases bytes it did not allocate.
+  Bytes inject_external(Bytes size);
+  /// Frees previously injected external bytes (clamped at used()).
+  void release_external(Bytes size);
+
+  /// Mutable occupancy accounting (capacity and I/O rate are construction
+  /// constants and not part of the state machine).
+  struct State {
+    Bytes used{};
+    Bytes peak{};
+  };
+  [[nodiscard]] State snapshot() const { return State{used_, peak_}; }
+  void restore(const State& s) {
+    used_ = s.used;
+    peak_ = s.peak;
+  }
+
   [[nodiscard]] Bytes capacity() const { return capacity_; }
   [[nodiscard]] Bytes used() const { return used_; }
   [[nodiscard]] Bytes free_space() const { return capacity_ - used_; }

@@ -5,6 +5,28 @@
 
 namespace adaptviz {
 
+EventQueue::State EventQueue::snapshot() const {
+  State s;
+  s.now = now_;
+  s.next_seq = next_seq_;
+  s.next_id = next_id_;
+  s.heap = heap_;
+  s.records = records_;
+  s.cancelled = cancelled_;
+  s.executed = executed_;
+  return s;
+}
+
+void EventQueue::restore(const State& s) {
+  now_ = s.now;
+  next_seq_ = s.next_seq;
+  next_id_ = s.next_id;
+  heap_ = s.heap;
+  records_ = s.records;
+  cancelled_ = s.cancelled;
+  executed_ = s.executed;
+}
+
 EventId EventQueue::schedule_at(WallSeconds t, EventFn fn, std::string label) {
   if (!fn) throw std::invalid_argument("EventQueue: null event function");
   if (t < now_) t = now_;

@@ -27,7 +27,46 @@ using EventFn = std::function<void()>;
 using EventId = std::uint64_t;
 
 class EventQueue {
+ private:
+  struct Item {
+    WallSeconds time;
+    std::uint64_t seq;
+    EventId id;
+    // Ordered for a min-heap via std::greater-like comparator below.
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time.seconds() != b.time.seconds()) {
+        return a.time.seconds() > b.time.seconds();
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Record {
+    EventFn fn;
+    std::string label;
+  };
+
  public:
+  /// Copyable checkpoint of the queue: clock, id/seq counters, and every
+  /// pending event (closures included — they capture either long-lived
+  /// component pointers, whose own state is snapshotted alongside, or
+  /// frozen by-value data). Restoring on the same component graph resumes
+  /// the event stream bit for bit.
+  struct State {
+    WallSeconds now{0.0};
+    std::uint64_t next_seq = 0;
+    EventId next_id = 1;
+    std::priority_queue<Item, std::vector<Item>, Later> heap;
+    std::unordered_map<EventId, Record> records;
+    std::unordered_set<EventId> cancelled;
+    std::uint64_t executed = 0;
+  };
+
+  [[nodiscard]] State snapshot() const;
+  void restore(const State& s);
+
   /// Current virtual time. Starts at 0.
   [[nodiscard]] WallSeconds now() const { return now_; }
 
@@ -57,26 +96,6 @@ class EventQueue {
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Item {
-    WallSeconds time;
-    std::uint64_t seq;
-    EventId id;
-    // Ordered for a min-heap via std::greater-like comparator below.
-  };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.time.seconds() != b.time.seconds()) {
-        return a.time.seconds() > b.time.seconds();
-      }
-      return a.seq > b.seq;
-    }
-  };
-
-  struct Record {
-    EventFn fn;
-    std::string label;
-  };
-
   WallSeconds now_{0.0};
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;

@@ -39,6 +39,21 @@ NetworkLink::NetworkLink(LinkSpec spec, std::uint64_t seed)
   }
 }
 
+void NetworkLink::set_efficiency(double efficiency) {
+  if (efficiency <= 0.0 || efficiency > 1.0) {
+    throw std::invalid_argument("NetworkLink: efficiency must be in (0, 1]");
+  }
+  spec_.efficiency = efficiency;
+}
+
+void NetworkLink::set_failure_probability(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument(
+        "NetworkLink: failure probability must be in [0, 1]");
+  }
+  spec_.failure_probability = p;
+}
+
 bool NetworkLink::in_outage(WallSeconds t) const {
   for (const LinkOutage& o : spec_.outages) {
     if (t >= o.start && t < o.end) return true;

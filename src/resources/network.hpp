@@ -88,6 +88,35 @@ class NetworkLink {
 
   [[nodiscard]] const LinkSpec& spec() const { return spec_; }
 
+  /// Failure injection (adversary hooks): replace the sustained-transfer
+  /// efficiency / the per-attempt abort probability mid-run. Both take
+  /// effect on the next transfer planned; neither consumes an RNG draw, so
+  /// applying the same mutation at the same virtual time reproduces the
+  /// same downstream byte stream.
+  void set_efficiency(double efficiency);
+  void set_failure_probability(double p);
+
+  /// The link's full dynamic state: the (mutable) spec, both RNG stream
+  /// positions, and the AR(1) fluctuation factor. Restoring replays the
+  /// exact same bandwidth and failure sequence.
+  struct State {
+    LinkSpec spec;
+    Rng rng;
+    Rng fault_rng;
+    double log_factor = 0.0;
+    WallSeconds last_update{0.0};
+  };
+  [[nodiscard]] State snapshot() const {
+    return State{spec_, rng_, fault_rng_, log_factor_, last_update_};
+  }
+  void restore(const State& s) {
+    spec_ = s.spec;
+    rng_ = s.rng;
+    fault_rng_ = s.fault_rng;
+    log_factor_ = s.log_factor;
+    last_update_ = s.last_update;
+  }
+
  private:
   void advance_factor(WallSeconds now);
 

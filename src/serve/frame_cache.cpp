@@ -97,6 +97,34 @@ std::vector<std::int64_t> FrameCache::resident_sequences() const {
   return out;
 }
 
+FrameCache::State FrameCache::snapshot() const {
+  State s;
+  s.frames.reserve(entries_.size());
+  for (const auto& [seq, entry] : entries_) s.frames.push_back(entry.frame);
+  s.lru.assign(lru_.begin(), lru_.end());
+  s.bytes = bytes_;
+  s.stats = stats_;
+  return s;
+}
+
+void FrameCache::restore(const State& s) {
+  entries_.clear();
+  lru_.assign(s.lru.begin(), s.lru.end());
+  // Index list positions by sequence, then point each rebuilt entry at its
+  // spot in the restored recency order.
+  std::map<std::int64_t, std::list<std::int64_t>::iterator> where;
+  for (auto it = lru_.begin(); it != lru_.end(); ++it) where[*it] = it;
+  for (const Frame& f : s.frames) {
+    const auto w = where.find(f.sequence);
+    if (w == where.end()) {
+      throw std::logic_error("FrameCache::restore: frame missing from lru");
+    }
+    entries_.emplace(f.sequence, Entry{f, w->second});
+  }
+  bytes_ = s.bytes;
+  stats_ = s.stats;
+}
+
 void FrameCache::evict_one() {
   if (entries_.empty()) {
     throw std::logic_error("FrameCache: eviction from an empty cache");

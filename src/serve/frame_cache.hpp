@@ -103,6 +103,18 @@ class FrameCache {
   /// Resident sequences in ascending order (tests, coverage inspection).
   [[nodiscard]] std::vector<std::int64_t> resident_sequences() const;
 
+  /// Cache contents as values: resident frames, the LRU order as a
+  /// sequence list (front = most recent), byte occupancy and counters.
+  /// restore() rebuilds the entry map and list iterators from it.
+  struct State {
+    std::vector<Frame> frames;       // ascending sequence order
+    std::vector<std::int64_t> lru;   // front = most recently used
+    Bytes bytes{};
+    FrameCacheStats stats{};
+  };
+  [[nodiscard]] State snapshot() const;
+  void restore(const State& s);
+
  private:
   struct Entry {
     Frame frame;

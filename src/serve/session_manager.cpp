@@ -309,6 +309,75 @@ void ViewerSessionManager::start_transfer(int idx, const Frame& frame,
       "serve.deliver");
 }
 
+ViewerSessionManager::State ViewerSessionManager::snapshot() const {
+  State s;
+  s.cache = cache_.snapshot();
+  s.index = index_;
+  s.sessions.reserve(sessions_.size());
+  for (const Session& sess : sessions_) {
+    SessionState ss;
+    ss.config = sess.config;
+    ss.downlink = sess.downlink->snapshot();
+    ss.cursor = sess.cursor;
+    ss.active = sess.active;
+    ss.detached = sess.detached;
+    ss.in_flight = sess.in_flight;
+    ss.waiting_rerender = sess.waiting_rerender;
+    ss.view = sess.view;
+    ss.view_key = sess.view_key;
+    ss.pending = sess.pending;
+    ss.stats = sess.stats;
+    ss.records = sess.records;
+    s.sessions.push_back(std::move(ss));
+  }
+  s.rerender_fifo = rerender_fifo_;
+  s.rerender_waiters = rerender_waiters_;
+  s.rerender_in_service = rerender_in_service_;
+  s.rerendering = rerendering_;
+  s.frames_served = frames_served_;
+  s.rerenders = rerenders_;
+  s.steer_renders = steer_renders_;
+  s.steer_dedup = steer_dedup_;
+  return s;
+}
+
+void ViewerSessionManager::restore(const State& s) {
+  cache_.restore(s.cache);
+  index_ = s.index;
+  // Sessions attached after the snapshot vanish with it: their join/pump
+  // events rewind with the EventQueue, so nothing references them again.
+  sessions_.resize(s.sessions.size());
+  for (std::size_t i = 0; i < s.sessions.size(); ++i) {
+    const SessionState& ss = s.sessions[i];
+    Session& sess = sessions_[i];
+    sess.config = ss.config;
+    if (!sess.downlink) {
+      sess.downlink = std::make_unique<NetworkLink>(
+          ss.config.downlink,
+          seed_ + 101 * static_cast<std::uint64_t>(i + 1));
+    }
+    sess.downlink->restore(ss.downlink);
+    sess.cursor = ss.cursor;
+    sess.active = ss.active;
+    sess.detached = ss.detached;
+    sess.in_flight = ss.in_flight;
+    sess.waiting_rerender = ss.waiting_rerender;
+    sess.view = ss.view;
+    sess.view_key = ss.view_key;
+    sess.pending = ss.pending;
+    sess.stats = ss.stats;
+    sess.records = ss.records;
+  }
+  rerender_fifo_ = s.rerender_fifo;
+  rerender_waiters_ = s.rerender_waiters;
+  rerender_in_service_ = s.rerender_in_service;
+  rerendering_ = s.rerendering;
+  frames_served_ = s.frames_served;
+  rerenders_ = s.rerenders;
+  steer_renders_ = s.steer_renders;
+  steer_dedup_ = s.steer_dedup;
+}
+
 void ViewerSessionManager::request_rerender(int idx, const RenderKey& key) {
   std::vector<int>& waiters = rerender_waiters_[key];
   waiters.push_back(idx);

@@ -220,12 +220,46 @@ class ViewerSessionManager {
   /// flight — the framework's drain condition.
   [[nodiscard]] bool idle() const;
 
- private:
   /// One pending or in-service render: (sequence, canonical view key).
   /// The default view maps to key "" so cache-miss re-renders behave
   /// exactly as before the control plane existed.
   using RenderKey = std::pair<std::int64_t, std::string>;
 
+  /// Cache contents, replay index, the full per-session state (cursor,
+  /// latches, view, downlink link state), and the re-render pipeline.
+  /// Sessions attached after the snapshot are dropped by restore() —
+  /// their pending events rewind with the EventQueue.
+  struct SessionState {
+    ViewerConfig config{};
+    NetworkLink::State downlink;
+    std::int64_t cursor = -1;
+    bool active = false;
+    bool detached = false;
+    bool in_flight = false;
+    bool waiting_rerender = false;
+    ViewCommand view{};
+    std::string view_key;
+    std::optional<Frame> pending;
+    ViewerStats stats{};
+    std::vector<DeliveryRecord> records;
+  };
+  struct State {
+    FrameCache::State cache{};
+    std::vector<Frame> index;
+    std::vector<SessionState> sessions;
+    std::deque<RenderKey> rerender_fifo;
+    std::map<RenderKey, std::vector<int>> rerender_waiters;
+    std::set<RenderKey> rerender_in_service;
+    int rerendering = 0;
+    std::int64_t frames_served = 0;
+    std::int64_t rerenders = 0;
+    std::int64_t steer_renders = 0;
+    std::int64_t steer_dedup = 0;
+  };
+  [[nodiscard]] State snapshot() const;
+  void restore(const State& s);
+
+ private:
   struct Session {
     ViewerConfig config;
     std::unique_ptr<NetworkLink> downlink;

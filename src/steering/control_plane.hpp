@@ -230,6 +230,30 @@ class LocalControlPlane : public ControlPlane {
   [[nodiscard]] int events_applied() const { return applied_; }
   [[nodiscard]] WallSeconds latency() const { return latency_; }
 
+  /// Registration and delivery bookkeeping. In-flight deliveries are
+  /// pending queue events carrying their SteeringEvent by value, so they
+  /// rewind with the EventQueue; the counters here make events_sent()/
+  /// events_applied() consistent with the rewound stream.
+  struct State {
+    std::string label;
+    bool registered = false;
+    std::vector<std::string> names;
+    WallSeconds last_delivery{0.0};
+    int sent = 0;
+    int applied = 0;
+  };
+  [[nodiscard]] State snapshot() const {
+    return State{label_, registered_, names_, last_delivery_, sent_, applied_};
+  }
+  void restore(const State& s) {
+    label_ = s.label;
+    registered_ = s.registered;
+    names_ = s.names;
+    last_delivery_ = s.last_delivery;
+    sent_ = s.sent;
+    applied_ = s.applied;
+  }
+
  private:
   void schedule_apply(WallSeconds at, SteeringEvent event);
 

@@ -34,6 +34,11 @@ class BandwidthEstimator {
 
   [[nodiscard]] std::size_t observation_count() const { return ema_.count(); }
 
+  /// The AR(1)/EMA smoother position — all the estimator carries.
+  using State = ExponentialMovingAverage::State;
+  [[nodiscard]] State snapshot() const { return ema_.snapshot(); }
+  void restore(const State& s) { ema_.restore(s); }
+
  private:
   ExponentialMovingAverage ema_;
 };

@@ -61,6 +61,25 @@ class FrameReceiver {
   [[nodiscard]] int workers_busy() const { return rendering_; }
   [[nodiscard]] int worker_count() const { return worker_count_; }
 
+  /// Arrival queue + busy render slots + counters. In-flight render
+  /// completions are pending EventQueue events whose closures only touch
+  /// these counters, so restoring queue + receiver together is exact.
+  struct State {
+    std::deque<Frame> pending;
+    int rendering = 0;
+    std::int64_t frames_received = 0;
+    std::int64_t frames_visualized = 0;
+  };
+  [[nodiscard]] State snapshot() const {
+    return State{pending_, rendering_, frames_received_, frames_visualized_};
+  }
+  void restore(const State& s) {
+    pending_ = s.pending;
+    rendering_ = s.rendering;
+    frames_received_ = s.frames_received;
+    frames_visualized_ = s.frames_visualized;
+  }
+
  private:
   void drain();
 

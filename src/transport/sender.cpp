@@ -172,4 +172,36 @@ void FrameSender::on_transfer_failed(Frame frame) {
       current_backoff_, [this] { retry_event(); }, "sender.retry");
 }
 
+FrameSender::State FrameSender::snapshot() const {
+  State s;
+  s.jitter_rng = jitter_rng_;
+  s.running = running_;
+  s.in_flight = in_flight_;
+  s.poll_scheduled = poll_scheduled_;
+  s.retry_pending = retry_pending_;
+  s.degraded = degraded_;
+  s.consecutive_failures = consecutive_failures_;
+  s.current_backoff = current_backoff_;
+  s.frames_sent = frames_sent_;
+  s.failures = failures_;
+  s.retries = retries_;
+  s.bytes_sent = bytes_sent_;
+  return s;
+}
+
+void FrameSender::restore(const State& s) {
+  jitter_rng_ = s.jitter_rng;
+  running_ = s.running;
+  in_flight_ = s.in_flight;
+  poll_scheduled_ = s.poll_scheduled;
+  retry_pending_ = s.retry_pending;
+  degraded_ = s.degraded;
+  consecutive_failures_ = s.consecutive_failures;
+  current_backoff_ = s.current_backoff;
+  frames_sent_ = s.frames_sent;
+  failures_ = s.failures;
+  retries_ = s.retries;
+  bytes_sent_ = s.bytes_sent;
+}
+
 }  // namespace adaptviz

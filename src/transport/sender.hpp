@@ -102,6 +102,28 @@ class FrameSender {
   }
   [[nodiscard]] bool retry_pending() const { return retry_pending_; }
 
+  /// The whole retry state machine: phase flags, backoff ladder position,
+  /// jitter RNG stream, and delivery counters. The in-flight transfer
+  /// itself lives as a pending completion event in the EventQueue — its
+  /// closure holds the frame by value, so restoring queue + sender state
+  /// together resumes the transfer exactly.
+  struct State {
+    Rng jitter_rng;
+    bool running = false;
+    bool in_flight = false;
+    bool poll_scheduled = false;
+    bool retry_pending = false;
+    bool degraded = false;
+    int consecutive_failures = 0;
+    WallSeconds current_backoff{0.0};
+    std::int64_t frames_sent = 0;
+    std::int64_t failures = 0;
+    std::int64_t retries = 0;
+    Bytes bytes_sent{};
+  };
+  [[nodiscard]] State snapshot() const;
+  void restore(const State& s);
+
  private:
   void poll_event();
   void retry_event();

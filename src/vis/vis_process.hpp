@@ -65,6 +65,13 @@ class VisualizationProcess {
   /// Simulated time of the newest visualized frame (Fig. 7's y-axis head).
   [[nodiscard]] SimSeconds latest_visualized_sim_time() const;
 
+  /// The progress series is the process's only mutable state.
+  struct State {
+    std::vector<VisRecord> records;
+  };
+  [[nodiscard]] State snapshot() const { return State{records_}; }
+  void restore(const State& s) { records_ = s.records; }
+
  private:
   EventQueue& queue_;
   Options options_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "runtime/run_context.hpp"
 #include "serve/edge_tree.hpp"
 
 namespace adaptviz {
@@ -279,7 +280,9 @@ TEST(EdgeTree, NodeCachesStayBoundedUnderEvictionPressure) {
 
 TEST(EdgeTree, PerTierMetricsLandInTheInstalledRegistry) {
   obs::Observability obs;
-  obs::ScopedObservability scope(&obs);
+  RunContext ctx;
+  ctx.observability = &obs;
+  ScopedRunContext scope(&ctx);
 
   EventQueue queue;
   TreeSpec spec =

@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "runtime/run_context.hpp"
 
 namespace adaptviz::obs {
 namespace {
@@ -206,6 +207,8 @@ TEST(ObsInstall, HelpersNoopWhenNothingInstalled) {
   EXPECT_EQ(current(), nullptr);
 }
 
+// Golden test for the deprecated ScopedObservability shim: the only
+// remaining in-tree user. Everything else installs a RunContext directly.
 TEST(ObsInstall, ScopedInstallAndNestedRestore) {
   ASSERT_EQ(current(), nullptr);
   Observability outer;
@@ -229,7 +232,9 @@ TEST(ObsInstall, ScopedInstallAndNestedRestore) {
 TEST(ObsInstall, HelpersRouteToInstalledBundle) {
   Observability obs;
   {
-    ScopedObservability scope(&obs);
+    RunContext ctx;
+    ctx.observability = &obs;
+    ScopedRunContext scope(&ctx);
     count("c", 3);
     gauge_set("g", 1.5);
     gauge_max("g", 9.0);
@@ -259,7 +264,9 @@ TEST(ObsInstall, HelpersRouteToInstalledBundle) {
 TEST(ObsInstall, ScopedSpanMetadata) {
   Observability obs;
   {
-    ScopedObservability scope(&obs);
+    RunContext ctx;
+    ctx.observability = &obs;
+    ScopedRunContext scope(&ctx);
     ScopedSpan span("s");
     span.set_metadata("rows=42");
   }
@@ -285,7 +292,9 @@ TEST(ObsInstall, HotHandlesFollowTheBundleEpoch) {
   HotHistogram hist("hot.hist");
   hist.resolve(&a)->observe(0.5);
   {
-    ScopedObservability scope(&a);
+    RunContext ctx;
+    ctx.observability = &a;
+    ScopedRunContext scope(&ctx);
     ScopedTimer timer(hist);  // cached histogram, no trace event
   }
   const MetricsSnapshot snap = a.metrics().snapshot();

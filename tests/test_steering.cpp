@@ -21,6 +21,8 @@
 namespace adaptviz {
 namespace {
 
+// Golden tests for the deprecated SteeringChannel shim — the only in-tree
+// users of send()/send_after(). New code speaks ControlPlane directly.
 TEST(SteeringChannel, DeliversAfterLatencyInOrder) {
   EventQueue queue;
   std::vector<std::pair<double, SteeringCommand::Kind>> got;

@@ -22,59 +22,27 @@
 
 #include "core/scenario.hpp"
 #include "obs/export.hpp"
+#include "tool_args.hpp"
 #include "util/logging.hpp"
 
 using namespace adaptviz;
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <scenario.ini> [output_dir] [--verbose] "
-                 "[--metrics-out <path>]\n",
-                 argv[0]);
-    return 2;
-  }
-  const std::string scenario_path = argv[1];
-  std::string out_dir = "results";
-  std::string metrics_out;
-  std::string steer_record;
-  std::string steer_replay;
-  bool verbose = false;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--verbose") {
-      verbose = true;
-    } else if (arg == "--metrics-out") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --metrics-out needs a path\n");
-        return 2;
-      }
-      metrics_out = argv[++i];
-    } else if (arg == "--steer-record") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --steer-record needs a path\n");
-        return 2;
-      }
-      steer_record = argv[++i];
-    } else if (arg == "--steer-replay") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: --steer-replay needs a path\n");
-        return 2;
-      }
-      steer_replay = argv[++i];
-    } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr,
-                   "error: unknown option '%s'\n"
-                   "usage: %s <scenario.ini> [output_dir] [--verbose] "
-                   "[--metrics-out <path>] [--steer-record <path>] "
-                   "[--steer-replay <path>]\n",
-                   arg.c_str(), argv[0]);
-      return 2;
-    } else {
-      out_dir = arg;
-    }
-  }
-  set_log_level(verbose ? LogLevel::kInfo : LogLevel::kWarn);
+  const auto args = tools::ArgSpec("<scenario.ini> [output_dir] [--verbose] "
+                                   "[--metrics-out <path>] "
+                                   "[--steer-record <path>] "
+                                   "[--steer-replay <path>]")
+                        .value("--metrics-out")
+                        .value("--steer-record")
+                        .value("--steer-replay")
+                        .parse(argc, argv);
+  if (!args) return 2;
+  const std::string& scenario_path = args->input;
+  const std::string& out_dir = args->out_dir;
+  const std::string metrics_out = args->value_or("--metrics-out");
+  const std::string steer_record = args->value_or("--steer-record");
+  const std::string steer_replay = args->value_or("--steer-replay");
+  set_log_level(args->verbose ? LogLevel::kInfo : LogLevel::kWarn);
 
   try {
     ExperimentConfig cfg = load_scenario(scenario_path);

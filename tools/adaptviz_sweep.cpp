@@ -29,6 +29,7 @@
 
 #include "campaign/campaign.hpp"
 #include "campaign/dispatch.hpp"
+#include "tool_args.hpp"
 #include "util/logging.hpp"
 
 using namespace adaptviz;
@@ -122,60 +123,37 @@ int main(int argc, char** argv) {
     return worker_main(argc, argv);
   }
 
-  const auto usage = [&argv] {
-    std::fprintf(stderr,
-                 "usage: %s <campaign.ini> [output_dir] [--jobs N] "
-                 "[--workers N] [--no-resume] [--verbose]\n",
-                 argv[0]);
-  };
-  if (argc < 2) {
-    usage();
+  // --crash-inject-worker / --max-task-attempts are undocumented test
+  // hooks (integration tests drive the dispatch failure ladder through
+  // the real binary), so the usage line omits them.
+  const auto args = tools::ArgSpec("<campaign.ini> [output_dir] [--jobs N] "
+                                   "[--workers N] [--no-resume] [--verbose]")
+                        .flag("--no-resume")
+                        .value("--jobs")
+                        .value("--workers")
+                        .value("--crash-inject-worker")
+                        .value("--max-task-attempts")
+                        .parse(argc, argv);
+  if (!args) return 2;
+  const std::string& campaign_path = args->input;
+  const std::string& out_dir = args->out_dir;
+  const bool resume = !args->has("--no-resume");
+  const bool verbose = args->verbose;
+  const int crash_inject_worker =
+      std::atoi(args->value_or("--crash-inject-worker", "-1").c_str());
+  const int max_task_attempts =
+      std::atoi(args->value_or("--max-task-attempts", "0").c_str());
+  // 0 = defer to the campaign file's `concurrency`; -1 = defer to its
+  // `workers`.
+  const int jobs = std::atoi(args->value_or("--jobs", "0").c_str());
+  const int workers = std::atoi(args->value_or("--workers", "-1").c_str());
+  if (args->values.count("--jobs") != 0 && jobs < 1) {
+    std::fprintf(stderr, "error: --jobs needs a non-negative count\n");
     return 2;
   }
-  const std::string campaign_path = argv[1];
-  std::string out_dir = "results";
-  int jobs = 0;     // 0 = defer to the campaign file's `concurrency`
-  int workers = -1; // -1 = defer to the campaign file's `workers`
-  bool resume = true;
-  bool verbose = false;
-  // Undocumented test hooks (integration tests drive the dispatch
-  // failure ladder through the real binary): crash the Nth initial
-  // worker, cap re-dispatch attempts.
-  int crash_inject_worker = -1;
-  int max_task_attempts = 0;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--verbose") {
-      verbose = true;
-    } else if (arg == "--no-resume") {
-      resume = false;
-    } else if (arg == "--crash-inject-worker" || arg == "--max-task-attempts") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
-        return 2;
-      }
-      (arg == "--crash-inject-worker" ? crash_inject_worker
-                                      : max_task_attempts) =
-          std::atoi(argv[++i]);
-    } else if (arg == "--jobs" || arg == "--workers") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: %s needs a count\n", arg.c_str());
-        return 2;
-      }
-      const int count = std::atoi(argv[++i]);
-      if (count < (arg == "--jobs" ? 1 : 0)) {
-        std::fprintf(stderr, "error: %s needs a non-negative count\n",
-                     arg.c_str());
-        return 2;
-      }
-      (arg == "--jobs" ? jobs : workers) = count;
-    } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
-      usage();
-      return 2;
-    } else {
-      out_dir = arg;
-    }
+  if (args->values.count("--workers") != 0 && workers < 0) {
+    std::fprintf(stderr, "error: --workers needs a non-negative count\n");
+    return 2;
   }
   set_log_level(verbose ? LogLevel::kInfo : LogLevel::kWarn);
 
